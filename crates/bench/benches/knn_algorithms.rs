@@ -1,0 +1,44 @@
+//! Criterion bench: the all-k-NN algorithms head to head (EXP-4's timing
+//! columns, under criterion's statistics).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sepdc_core::{kdtree_all_knn, parallel_knn, simple_parallel_knn, KnnDcConfig};
+use sepdc_workloads::Workload;
+use std::hint::black_box;
+
+fn bench_all(c: &mut Criterion) {
+    let mut group = c.benchmark_group("all_knn_2d_k1");
+    group.sample_size(10);
+    let cfg = KnnDcConfig::new(1).with_seed(5);
+    for e in [13u32, 15] {
+        let n = 1usize << e;
+        let pts = Workload::UniformCube.generate::<2>(n, 9);
+        group.bench_with_input(BenchmarkId::new("kdtree", n), &pts, |b, pts| {
+            b.iter(|| black_box(kdtree_all_knn(pts, 1)));
+        });
+        group.bench_with_input(BenchmarkId::new("simple_s5", n), &pts, |b, pts| {
+            b.iter(|| black_box(simple_parallel_knn::<2, 3>(pts, &cfg)));
+        });
+        group.bench_with_input(BenchmarkId::new("parallel_s6", n), &pts, |b, pts| {
+            b.iter(|| black_box(parallel_knn::<2, 3>(pts, &cfg)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_adversarial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("all_knn_two_slabs");
+    group.sample_size(10);
+    let cfg = KnnDcConfig::new(1).with_seed(5);
+    let pts = Workload::TwoSlabs.generate::<2>(1 << 14, 9);
+    group.bench_function("simple_s5", |b| {
+        b.iter(|| black_box(simple_parallel_knn::<2, 3>(&pts, &cfg)));
+    });
+    group.bench_function("parallel_s6", |b| {
+        b.iter(|| black_box(parallel_knn::<2, 3>(&pts, &cfg)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_all, bench_adversarial);
+criterion_main!(benches);

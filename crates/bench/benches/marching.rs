@@ -1,0 +1,32 @@
+//! Criterion bench: the Fast Correction marching step (Section 6.2) —
+//! reachable-leaf computation for crossing balls against a partition tree.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sepdc_core::{march_balls, parallel_knn, KnnDcConfig, NeighborhoodSystem};
+use sepdc_geom::ball::Ball;
+use sepdc_workloads::Workload;
+use std::hint::black_box;
+
+fn bench_marching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("march_balls");
+    group.sample_size(10);
+    let cfg = KnnDcConfig::new(1).with_seed(7);
+    for e in [14u32, 16] {
+        let n = 1usize << e;
+        let pts = Workload::UniformCube.generate::<2>(n, 5);
+        let out = parallel_knn::<2, 3>(&pts, &cfg);
+        let sys = NeighborhoodSystem::from_knn(&pts, &out.knn);
+        // March a √n-size batch of the largest balls (the crossing-set
+        // scale the algorithm actually sees).
+        let mut balls: Vec<Ball<2>> = sys.balls().to_vec();
+        balls.sort_by(|a, b| b.radius.partial_cmp(&a.radius).unwrap());
+        let batch = &balls[..(n as f64).sqrt() as usize];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(), |b, _| {
+            b.iter(|| black_box(march_balls(&out.tree, batch, usize::MAX)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_marching);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench: Section 3 query structure build and query costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sepdc_core::{kdtree_all_knn, NeighborhoodSystem, QueryTree, QueryTreeConfig};
+use sepdc_workloads::Workload;
+use std::hint::black_box;
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_tree_build_2d");
+    group.sample_size(10);
+    for e in [12u32, 14, 16] {
+        let n = 1usize << e;
+        let pts = Workload::Clusters.generate::<2>(n, 3);
+        let knn = kdtree_all_knn(&pts, 2);
+        let sys = NeighborhoodSystem::from_knn(&pts, &knn);
+        group.bench_with_input(BenchmarkId::from_parameter(n), sys.balls(), |b, balls| {
+            b.iter(|| black_box(QueryTree::build::<3>(balls, QueryTreeConfig::default(), 5)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_tree_query_2d");
+    let n = 1usize << 16;
+    let pts = Workload::Clusters.generate::<2>(n, 3);
+    let knn = kdtree_all_knn(&pts, 2);
+    let sys = NeighborhoodSystem::from_knn(&pts, &knn);
+    let tree = QueryTree::build::<3>(sys.balls(), QueryTreeConfig::default(), 5);
+    let probes = Workload::UniformCube.generate::<2>(1024, 11);
+    group.bench_function("covering_1k_probes_n64k", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for p in &probes {
+                total += tree.covering(p).len();
+            }
+            black_box(total)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_query);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench: the parallel vector model substrate — serial vs
+//! blocked-parallel scans and packs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sepdc_scan::primitives::{pack, par_pack};
+use sepdc_scan::scan::AddUsize;
+use sepdc_scan::{inclusive_scan, par_inclusive_scan};
+use std::hint::black_box;
+
+fn bench_scans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan");
+    group.sample_size(20);
+    for e in [16u32, 20, 22] {
+        let n = 1usize << e;
+        let xs: Vec<usize> = (0..n).map(|i| i % 97).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("serial", n), &xs, |b, xs| {
+            b.iter(|| black_box(inclusive_scan(AddUsize, xs)));
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", n), &xs, |b, xs| {
+            b.iter(|| black_box(par_inclusive_scan(AddUsize, xs)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_pack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pack");
+    group.sample_size(20);
+    let n = 1usize << 20;
+    let xs: Vec<u64> = (0..n as u64).collect();
+    let flags: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("serial_1M", |b| {
+        b.iter(|| black_box(pack(&xs, &flags)));
+    });
+    group.bench_function("parallel_1M", |b| {
+        b.iter(|| black_box(par_pack(&xs, &flags)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scans, bench_pack);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench: separator machinery.
+//!
+//! * unit-time candidate cost must be flat in `n` (the "unit time" claim —
+//!   work per candidate is constant once the sample is drawn);
+//! * the full good-separator search (with retries) stays near-constant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sepdc_separator::mttv::unit_time_candidate;
+use sepdc_separator::{find_good_separator, SeparatorConfig};
+use sepdc_workloads::Workload;
+use std::hint::black_box;
+
+fn bench_candidate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unit_time_candidate_2d");
+    group.sample_size(20);
+    let cfg = SeparatorConfig::default();
+    for e in [12u32, 14, 16, 18] {
+        let n = 1usize << e;
+        let pts = Workload::UniformCube.generate::<2>(n, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            b.iter(|| black_box(unit_time_candidate::<2, 3, _>(pts, &cfg, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("find_good_separator");
+    group.sample_size(20);
+    let cfg = SeparatorConfig::default();
+    let pts2 = Workload::UniformCube.generate::<2>(1 << 14, 7);
+    group.bench_function("d2_n16k", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        b.iter(|| black_box(find_good_separator::<2, 3, _>(&pts2, &cfg, &mut rng)));
+    });
+    let pts3 = Workload::UniformCube.generate::<3>(1 << 14, 7);
+    group.bench_function("d3_n16k", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        b.iter(|| black_box(find_good_separator::<3, 4, _>(&pts3, &cfg, &mut rng)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_candidate, bench_search);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion bench: the CRCW-PRAM substrate primitives — scan-based radix
+//! sort, split sort, and randomized selection (quickselect vs
+//! Floyd–Rivest).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sepdc_scan::selection::{k_smallest_bucketed, select_rank, select_rank_fr};
+use sepdc_scan::sort::{radix_sort_pairs, split_sort_u64};
+use std::hint::black_box;
+
+fn keys(n: usize) -> Vec<u64> {
+    let mut s = 0x12345u64;
+    (0..n)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s % 1_000_000
+        })
+        .collect()
+}
+
+fn bench_sorts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sort");
+    group.sample_size(10);
+    for e in [16u32, 18] {
+        let n = 1usize << e;
+        let ks = keys(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("radix", n), &ks, |b, ks| {
+            b.iter(|| {
+                let mut pairs: Vec<(u64, u32)> =
+                    ks.iter().enumerate().map(|(i, &k)| (k, i as u32)).collect();
+                radix_sort_pairs(&mut pairs);
+                black_box(pairs)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("split_sort", n), &ks, |b, ks| {
+            b.iter(|| black_box(split_sort_u64(ks)));
+        });
+        group.bench_with_input(BenchmarkId::new("std_unstable", n), &ks, |b, ks| {
+            b.iter(|| {
+                let mut v = ks.clone();
+                v.sort_unstable();
+                black_box(v)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selection");
+    group.sample_size(20);
+    let n = 1usize << 20;
+    let xs: Vec<f64> = keys(n).iter().map(|&k| k as f64).collect();
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("quickselect_median_1M", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        b.iter(|| black_box(select_rank(&xs, n / 2, &mut rng)));
+    });
+    group.bench_function("floyd_rivest_median_1M", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        b.iter(|| black_box(select_rank_fr(&xs, n / 2, &mut rng)));
+    });
+    group.bench_function("bucketed_k64_1M", |b| {
+        b.iter(|| black_box(k_smallest_bucketed(&xs, 64, 128)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sorts, bench_selection);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! EXP-11 — small separators of the constructed k-NN graph (the
+//! abstract's punchline).
+//!
+//! Paper says (abstract + §1): the constructed k-NN graph is "a 'nicely'
+//! embedded graph in d dimensions" — it has sphere separators with
+//! `|W| = o(n)` such that every crossing edge has an endpoint in `W`.
+//! We build k-NN graphs, derive vertex separators from sphere separators,
+//! fit `|W| ~ n^e` (expect `e ≈ (d-1)/d`), and compare against the bad
+//! fixed-orientation hyperplane on the adversarial input (where
+//! `|W| = Θ(n)`).
+
+use crate::harness::{fit_power_law, Table};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sepdc_core::graph_separator::{sphere_graph_separator, vertex_separator_from};
+use sepdc_core::{kdtree_all_knn, KnnGraph};
+use sepdc_geom::Hyperplane;
+use sepdc_separator::SeparatorConfig;
+use sepdc_workloads::Workload;
+
+/// Run EXP-11.
+pub fn run() {
+    let mut table = Table::new(
+        "EXP-11 — vertex separators of the k-NN graph (d=2, k=2, sphere vs worst hyperplane)",
+        &[
+            "workload / n",
+            "|W| sphere",
+            "|W|/√n",
+            "balance",
+            "|W| hyperplane",
+            "hyper/n",
+        ],
+    );
+    let cfg = SeparatorConfig::default();
+    let ns = [1usize << 10, 1 << 12, 1 << 14];
+    for w in [
+        Workload::UniformCube,
+        Workload::TwoSlabs,
+        Workload::Clusters,
+    ] {
+        let mut sizes = Vec::new();
+        for (i, &n) in ns.iter().enumerate() {
+            let pts = w.generate::<2>(n, 60 + i as u64);
+            let g = KnnGraph::from_knn(&kdtree_all_knn(&pts, 2));
+            let mut rng = ChaCha8Rng::seed_from_u64(i as u64);
+            let gs =
+                sphere_graph_separator::<2, 3, _>(&pts, &g, &cfg, 6, &mut rng).expect("splittable");
+            gs.verify(&g).expect("separator property");
+            sizes.push(gs.separator.len() as f64);
+
+            // Worst fixed-orientation median hyperplane.
+            let hyper_w = (0..2)
+                .map(|axis| {
+                    let vals: Vec<f64> = pts.iter().map(|p| p[axis]).collect();
+                    let mut sorted = vals.clone();
+                    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                    let cut = (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0 + 1e-12;
+                    let sep = Hyperplane::axis_aligned(axis, cut).into();
+                    vertex_separator_from(&pts, &g, &sep).separator.len()
+                })
+                .max()
+                .unwrap();
+
+            table.row(
+                format!("{} n={n}", w.name()),
+                vec![
+                    format!("{}", gs.separator.len()),
+                    format!("{:.2}", gs.separator.len() as f64 / (n as f64).sqrt()),
+                    format!("{:.3}", gs.balance()),
+                    format!("{hyper_w}"),
+                    format!("{:.3}", hyper_w as f64 / n as f64),
+                ],
+            );
+        }
+        let ns_f: Vec<f64> = ns.iter().map(|&n| n as f64).collect();
+        table.note(format!(
+            "{}: sphere |W| ~ {}  (theory: n^0.50)",
+            w.name(),
+            crate::harness::fmt_exponent(fit_power_law(&ns_f, &sizes)),
+        ));
+    }
+    table.note("every separator verified: removing W disconnects the two sides.");
+    table.note("on two-slabs the worst hyperplane needs |W| ≈ n/2; spheres stay O(√n).");
+    table.print();
+}

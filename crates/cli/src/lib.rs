@@ -1,0 +1,20 @@
+//! # sepdc-cli
+//!
+//! Library backing the `sepdc` command-line tool. All command logic lives
+//! here (I/O-parameterized and unit-tested); the binary is a thin wrapper.
+//!
+//! ```text
+//! sepdc generate --workload uniform-cube --n 1000 --dim 2 --seed 1 > pts.csv
+//! sepdc knn --input pts.csv --dim 2 --k 3 --algo parallel --edges-out edges.csv
+//! sepdc separator --input pts.csv --dim 2 --k 1
+//! sepdc figure --input pts.csv --k 1 --out fig.svg
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+pub mod io;
+
+/// CLI result type: user-facing error strings.
+pub type CliResult<T> = Result<T, String>;

@@ -1,0 +1,139 @@
+//! Process-level tests of the `sepdc` binary.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sepdc"))
+}
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("sepdc_cli_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = bin().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("generate"));
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn generate_knn_figure_pipeline() {
+    let dir = tmpdir("pipeline");
+    let pts = dir.join("pts.csv");
+    let edges = dir.join("edges.csv");
+    let fig = dir.join("fig.svg");
+
+    let out = bin()
+        .args([
+            "generate",
+            "--workload",
+            "clusters",
+            "--n",
+            "300",
+            "--dim",
+            "2",
+            "--seed",
+            "5",
+            "--out",
+            pts.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(std::fs::read_to_string(&pts).unwrap().lines().count(), 300);
+
+    let out = bin()
+        .args([
+            "knn",
+            "--input",
+            pts.to_str().unwrap(),
+            "--k",
+            "2",
+            "--algo",
+            "parallel",
+            "--edges-out",
+            edges.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let summary = String::from_utf8_lossy(&out.stderr);
+    assert!(summary.contains("300 points (d=2)"), "{summary}");
+    let edge_text = std::fs::read_to_string(&edges).unwrap();
+    assert!(edge_text.lines().count() > 300);
+
+    let out = bin()
+        .args([
+            "figure",
+            "--input",
+            pts.to_str().unwrap(),
+            "--out",
+            fig.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(std::fs::read_to_string(&fig).unwrap().starts_with("<svg"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn separator_reports_to_stdout() {
+    let dir = tmpdir("sep");
+    let pts = dir.join("pts.csv");
+    bin()
+        .args([
+            "generate",
+            "--workload",
+            "uniform-cube",
+            "--n",
+            "400",
+            "--out",
+            pts.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    let out = bin()
+        .args(["separator", "--input", pts.to_str().unwrap(), "--k", "1"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("split"), "{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn missing_input_is_a_clean_error() {
+    let out = bin()
+        .args(["knn", "--input", "/nonexistent/file.csv"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}

@@ -1,0 +1,251 @@
+//! A conventional spatial-index baseline for the neighborhood query
+//! problem (Section 3).
+//!
+//! The paper contrasts its separator-based structure with what
+//! multidimensional divide and conquer achieves
+//! (`T = O(n log^{d-1} n)`, `Q = O(k + log^d n)`, `S = O(n log^{d-1} n)`).
+//! As a practically comparable baseline we implement the standard
+//! *ball-lookup kd-tree*: a kd-tree over ball **centers** where every node
+//! stores the maximum ball radius in its subtree, so a covering query
+//! prunes any subtree whose bounding region lies farther from the probe
+//! than that radius. Worst-case superlogarithmic (a single huge ball
+//! defeats pruning), but `O(log n + k)`-ish on bounded-ply systems —
+//! exactly the comparison EXP-13 runs.
+
+use sepdc_geom::ball::Ball;
+use sepdc_geom::point::Point;
+
+const LEAF_SIZE: usize = 16;
+
+enum Node {
+    Internal {
+        axis: u8,
+        value: f64,
+        /// Maximum ball radius in this subtree (the pruning bound).
+        max_radius: f64,
+        left: u32,
+        right: u32,
+    },
+    Leaf {
+        start: u32,
+        end: u32,
+    },
+}
+
+/// kd-tree over ball centers with subtree radius bounds.
+pub struct BallTree<'a, const D: usize> {
+    balls: &'a [Ball<D>],
+    ids: Vec<u32>,
+    nodes: Vec<Node>,
+    root: u32,
+}
+
+impl<'a, const D: usize> BallTree<'a, D> {
+    /// Build over a ball system.
+    pub fn build(balls: &'a [Ball<D>]) -> Self {
+        let mut ids: Vec<u32> = (0..balls.len() as u32).collect();
+        let mut tree = BallTree {
+            balls,
+            ids: Vec::new(),
+            nodes: Vec::new(),
+            root: 0,
+        };
+        if balls.is_empty() {
+            tree.nodes.push(Node::Leaf { start: 0, end: 0 });
+            return tree;
+        }
+        let n = ids.len();
+        let root = tree.build_rec(&mut ids, 0, n, 0);
+        tree.ids = ids;
+        tree.root = root;
+        tree
+    }
+
+    fn build_rec(&mut self, ids: &mut [u32], start: usize, end: usize, depth: usize) -> u32 {
+        let len = end - start;
+        if len <= LEAF_SIZE {
+            self.nodes.push(Node::Leaf {
+                start: start as u32,
+                end: end as u32,
+            });
+            return (self.nodes.len() - 1) as u32;
+        }
+        let slice = &mut ids[start..end];
+        // Splitting axis: cycle, falling back to any axis with spread.
+        let mut axis = depth % D;
+        let mut found = false;
+        for off in 0..D {
+            let a = (depth + off) % D;
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for &i in slice.iter() {
+                let v = self.balls[i as usize].center[a];
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            if hi > lo {
+                axis = a;
+                found = true;
+                break;
+            }
+        }
+        if !found {
+            self.nodes.push(Node::Leaf {
+                start: start as u32,
+                end: end as u32,
+            });
+            return (self.nodes.len() - 1) as u32;
+        }
+        let mid = len / 2;
+        slice.select_nth_unstable_by(mid, |&a, &b| {
+            self.balls[a as usize].center[axis]
+                .partial_cmp(&self.balls[b as usize].center[axis])
+                .expect("non-finite center")
+        });
+        let value = self.balls[slice[mid] as usize].center[axis];
+        // Subtree radius bound, computed from the slice before recursion
+        // permutes it further (the multiset is unchanged either way).
+        let max_radius = slice
+            .iter()
+            .map(|&i| self.balls[i as usize].radius)
+            .fold(0.0, f64::max);
+        let left = self.build_rec(ids, start, start + mid, depth + 1);
+        let right = self.build_rec(ids, start + mid, end, depth + 1);
+        self.nodes.push(Node::Internal {
+            axis: axis as u8,
+            value,
+            max_radius,
+            left,
+            right,
+        });
+        (self.nodes.len() - 1) as u32
+    }
+
+    /// All ball indices whose closed body contains `p`.
+    pub fn covering(&self, p: &Point<D>) -> Vec<u32> {
+        let mut out = Vec::new();
+        if !self.ids.is_empty() {
+            self.query_rec(self.root, p, &mut out, &mut 0);
+        }
+        out
+    }
+
+    /// Like [`BallTree::covering`] but also counts visited nodes + scanned
+    /// balls — the measured query cost for EXP-13.
+    pub fn covering_with_cost(&self, p: &Point<D>) -> (Vec<u32>, usize) {
+        let mut out = Vec::new();
+        let mut cost = 0;
+        if !self.ids.is_empty() {
+            self.query_rec(self.root, p, &mut out, &mut cost);
+        }
+        (out, cost)
+    }
+
+    fn query_rec(&self, node: u32, p: &Point<D>, out: &mut Vec<u32>, cost: &mut usize) {
+        *cost += 1;
+        match &self.nodes[node as usize] {
+            Node::Leaf { start, end } => {
+                for &i in &self.ids[*start as usize..*end as usize] {
+                    *cost += 1;
+                    if self.balls[i as usize].contains(p) {
+                        out.push(i);
+                    }
+                }
+            }
+            Node::Internal {
+                axis,
+                value,
+                max_radius,
+                left,
+                right,
+            } => {
+                // A ball in a subtree can contain p only if p is within
+                // max_radius of the subtree's side of the splitting plane.
+                let diff = p[*axis as usize] - value;
+                if diff <= *max_radius {
+                    self.query_rec(*left, p, out, cost);
+                }
+                if -diff <= *max_radius {
+                    self.query_rec(*right, p, out, cost);
+                }
+            }
+        }
+    }
+
+    /// Number of indexed balls.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_knn;
+    use crate::neighborhood::NeighborhoodSystem;
+    use sepdc_workloads::Workload;
+
+    fn system(n: usize, k: usize, seed: u64) -> NeighborhoodSystem<2> {
+        let pts = Workload::Clusters.generate::<2>(n, seed);
+        let knn = brute_force_knn(&pts, k);
+        NeighborhoodSystem::from_knn(&pts, &knn)
+    }
+
+    #[test]
+    fn covering_matches_linear_scan() {
+        let sys = system(700, 2, 1);
+        let tree = BallTree::build(sys.balls());
+        let probes = Workload::UniformCube.generate::<2>(300, 9);
+        for p in &probes {
+            let mut fast = tree.covering(p);
+            fast.sort_unstable();
+            let mut slow: Vec<u32> = sys
+                .balls()
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.contains(p))
+                .map(|(i, _)| i as u32)
+                .collect();
+            slow.sort_unstable();
+            assert_eq!(fast, slow);
+        }
+    }
+
+    #[test]
+    fn pruning_bound_is_sound_with_huge_ball() {
+        // One enormous ball must still be found from far away.
+        let mut balls = system(200, 1, 2).balls().to_vec();
+        balls.push(Ball::new(Point::from([0.5, 0.5]), 100.0));
+        let tree = BallTree::build(&balls);
+        let far = Point::from([50.0, -30.0]);
+        let hits = tree.covering(&far);
+        assert_eq!(hits, vec![200]);
+    }
+
+    #[test]
+    fn empty_and_identical_centers() {
+        let empty: Vec<Ball<2>> = Vec::new();
+        let tree = BallTree::build(&empty);
+        assert!(tree.covering(&Point::origin()).is_empty());
+        assert!(tree.is_empty());
+
+        let same = vec![Ball::new(Point::<2>::splat(1.0), 0.5); 50];
+        let tree = BallTree::build(&same);
+        assert_eq!(tree.covering(&Point::splat(1.2)).len(), 50);
+        assert!(tree.covering(&Point::splat(2.0)).is_empty());
+    }
+
+    #[test]
+    fn query_cost_reported() {
+        let sys = system(1000, 1, 3);
+        let tree = BallTree::build(sys.balls());
+        let (_, cost) = tree.covering_with_cost(&Point::from([0.5, 0.5]));
+        assert!(cost > 0);
+        assert!(cost < 1000, "pruning should beat the linear scan: {cost}");
+    }
+}

@@ -1,0 +1,115 @@
+//! All-pairs k-NN — the correctness oracle.
+
+use crate::knn::{KnnResult, Neighbor};
+use rayon::prelude::*;
+use sepdc_geom::point::Point;
+
+/// Exact all-k-NN by scanning all pairs. `O(n² k)` work; parallel over
+/// points. This is the oracle every other algorithm is tested against.
+pub fn brute_force_knn<const D: usize>(points: &[Point<D>], k: usize) -> KnnResult {
+    assert!(k > 0, "k must be positive");
+    let n = points.len();
+    let lists: Vec<Vec<Neighbor>> = points
+        .par_iter()
+        .enumerate()
+        .map(|(i, pi)| {
+            let mut list: Vec<Neighbor> = Vec::with_capacity(k + 1);
+            for (j, pj) in points.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let d = pi.dist_sq(pj);
+                if list.len() == k {
+                    let tail = list[k - 1];
+                    if d > tail.dist_sq || (d == tail.dist_sq && j as u32 >= tail.idx) {
+                        continue;
+                    }
+                }
+                let pos = list
+                    .iter()
+                    .position(|n| d < n.dist_sq || (d == n.dist_sq && (j as u32) < n.idx))
+                    .unwrap_or(list.len());
+                list.insert(
+                    pos,
+                    Neighbor {
+                        idx: j as u32,
+                        dist_sq: d,
+                    },
+                );
+                list.truncate(k);
+            }
+            list
+        })
+        .collect();
+    let mut result = KnnResult::new(n, k);
+    for (i, l) in lists.into_iter().enumerate() {
+        result.set_list(i, l);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knn_on_unit_square_corners() {
+        let pts = vec![
+            Point::<2>::from([0.0, 0.0]),
+            Point::from([1.0, 0.0]),
+            Point::from([0.0, 1.0]),
+            Point::from([1.0, 1.0]),
+        ];
+        let r = brute_force_knn(&pts, 2);
+        r.check_invariants().unwrap();
+        // Every corner's 2 nearest are the adjacent corners (d²=1), not the
+        // diagonal (d²=2).
+        for i in 0..4 {
+            assert_eq!(r.neighbors(i).len(), 2);
+            for n in r.neighbors(i) {
+                assert!((n.dist_sq - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn k_larger_than_n_minus_one() {
+        let pts = vec![Point::<2>::origin(), Point::from([1.0, 0.0])];
+        let r = brute_force_knn(&pts, 5);
+        assert_eq!(r.neighbors(0).len(), 1);
+        assert_eq!(r.radius_sq(0), f64::INFINITY);
+    }
+
+    #[test]
+    fn duplicate_points_are_distinct_neighbors() {
+        let pts = vec![Point::<2>::origin(); 3];
+        let r = brute_force_knn(&pts, 2);
+        for i in 0..3 {
+            assert_eq!(r.neighbors(i).len(), 2);
+            for n in r.neighbors(i) {
+                assert_eq!(n.dist_sq, 0.0);
+                assert_ne!(n.idx as usize, i);
+            }
+        }
+    }
+
+    #[test]
+    fn single_point_has_no_neighbors() {
+        let pts = vec![Point::<3>::origin()];
+        let r = brute_force_knn(&pts, 1);
+        assert!(r.neighbors(0).is_empty());
+    }
+
+    #[test]
+    fn matches_hand_computed_line() {
+        let pts: Vec<Point<1>> = [0.0, 1.0, 3.0, 6.0]
+            .iter()
+            .map(|&x| Point::from([x]))
+            .collect();
+        let r = brute_force_knn(&pts, 1);
+        assert_eq!(r.neighbors(0)[0].idx, 1);
+        assert_eq!(r.neighbors(1)[0].idx, 0);
+        assert_eq!(r.neighbors(2)[0].idx, 1);
+        assert_eq!(r.neighbors(3)[0].idx, 2);
+    }
+}

@@ -1,0 +1,140 @@
+//! Configuration for the divide-and-conquer k-NN algorithms.
+
+use crate::query::QueryTreeConfig;
+use sepdc_separator::SeparatorConfig;
+
+/// Shared configuration of the Section 5 and Section 6 algorithms.
+#[derive(Clone, Copy, Debug)]
+pub struct KnnDcConfig {
+    /// Neighbors per point.
+    pub k: usize,
+    /// Base-case size: subsets of at most this many points are solved by
+    /// the all-pairs base case ("if m ≤ log n, deterministically compute …
+    /// by testing all pairs"). `None` selects
+    /// `max(32, ceil(1.5(k+1)/(1-δ)), ceil(log₂ n))` automatically — the
+    /// `k`-dependent floor guarantees that every side of a `δ`-split above
+    /// the base case still holds more than `k` points, so subset
+    /// neighborhood balls stay bounded.
+    pub base_case: Option<usize>,
+    /// Exponent slack for the punt threshold `m^μ`,
+    /// `μ = (d-1)/d + mu_epsilon` (paper: `μ = (d-1)/d + ε`).
+    pub mu_epsilon: f64,
+    /// Constant multiplier on the `m^μ` punt threshold — the hidden
+    /// constant of the paper's `O(k^{1/d} m^μ)` intersection bound. Too
+    /// small a value punts at every shallow node; the default keeps the
+    /// fast path dominant on benign inputs while still punting on genuine
+    /// outliers.
+    pub punt_slack: f64,
+    /// The `η` of Lemma 6.2: the fast-correction march aborts (punts) when
+    /// some level holds more than `marching_slack · m^{1-η}` active balls.
+    pub eta: f64,
+    /// Multiplier on the `m^{1-η}` marching limit (constant headroom).
+    pub marching_slack: f64,
+    /// Separator search configuration for the partition steps.
+    pub separator: SeparatorConfig,
+    /// Query-structure configuration for the punt path.
+    pub query: QueryTreeConfig,
+    /// Subtree size below which recursion stops forking rayon tasks.
+    pub parallel_cutoff: usize,
+    /// Master seed; all randomness derives from it deterministically.
+    pub seed: u64,
+}
+
+impl KnnDcConfig {
+    /// Default configuration for a given `k`.
+    pub fn new(k: usize) -> Self {
+        KnnDcConfig {
+            k,
+            base_case: None,
+            mu_epsilon: 0.05,
+            punt_slack: 4.0,
+            eta: 0.3,
+            marching_slack: 8.0,
+            separator: SeparatorConfig::default(),
+            query: QueryTreeConfig::default(),
+            parallel_cutoff: 2048,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// With a specific seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Resolve the base-case size for an input of `n` points in
+    /// dimension `d`.
+    pub fn resolve_base_case(&self, n: usize, d: usize) -> usize {
+        match self.base_case {
+            Some(b) => b.max(self.k + 1),
+            None => {
+                let logn = (n.max(2) as f64).log2().ceil() as usize;
+                let delta = self.separator.delta(d);
+                let floor = (1.5 * (self.k as f64 + 1.0) / (1.0 - delta)).ceil() as usize;
+                32usize.max(floor).max(logn)
+            }
+        }
+    }
+
+    /// The punt threshold `punt_slack · m^μ` for a subset of size `m` in
+    /// dimension `d`.
+    pub fn punt_threshold(&self, m: usize, d: usize) -> f64 {
+        let mu = (d as f64 - 1.0) / d as f64 + self.mu_epsilon;
+        self.punt_slack * (m as f64).powf(mu)
+    }
+
+    /// The marching active-ball limit `marching_slack · m^{1-η}`.
+    pub fn marching_limit(&self, m: usize) -> usize {
+        (self.marching_slack * (m as f64).powf(1.0 - self.eta)).ceil() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_case_floor_scales_with_k() {
+        let cfg = KnnDcConfig::new(1);
+        assert_eq!(cfg.resolve_base_case(1000, 2), 32);
+        let cfg8 = KnnDcConfig::new(8);
+        // 1.5 · 9 / (1 - δ₂) with δ₂ = 0.75 + 0.04: ceil(13.5/0.21) = 65.
+        assert!(cfg8.resolve_base_case(1000, 2) >= 8 * (8 + 1) / 2);
+    }
+
+    #[test]
+    fn base_case_grows_with_log_n() {
+        let cfg = KnnDcConfig::new(1);
+        assert_eq!(cfg.resolve_base_case(1 << 40, 2), 40);
+    }
+
+    #[test]
+    fn base_case_grows_with_dimension() {
+        let cfg = KnnDcConfig::new(4);
+        assert!(cfg.resolve_base_case(1000, 4) >= cfg.resolve_base_case(1000, 2));
+    }
+
+    #[test]
+    fn explicit_base_case_respects_k() {
+        let cfg = KnnDcConfig {
+            base_case: Some(2),
+            ..KnnDcConfig::new(5)
+        };
+        assert_eq!(cfg.resolve_base_case(100, 2), 6);
+    }
+
+    #[test]
+    fn punt_threshold_sublinear() {
+        let cfg = KnnDcConfig::new(1);
+        let t = cfg.punt_threshold(10_000, 2);
+        assert!(t > 100.0 && t < 10_000.0, "threshold {t}");
+    }
+
+    #[test]
+    fn marching_limit_sublinear() {
+        let cfg = KnnDcConfig::new(1);
+        let l = cfg.marching_limit(10_000);
+        assert!(l > 100 && l < 10_000, "limit {l}");
+    }
+}

@@ -1,0 +1,303 @@
+//! k-nearest-neighbor result representation and merge machinery.
+//!
+//! Every all-k-NN algorithm in this crate produces a [`KnnResult`]: for each
+//! input point, the `k` nearest other points in ascending distance order.
+//! The divide-and-conquer algorithms build these lists relative to a subset
+//! first and then *correct* them by merging candidates from the other side
+//! of a separator — [`KnnResult::merge_candidate`] is that correction step.
+
+use sepdc_geom::point::Point;
+
+/// One neighbor: index into the input point array plus squared distance.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Neighbor {
+    /// Index of the neighbor point.
+    pub idx: u32,
+    /// Squared Euclidean distance to it.
+    pub dist_sq: f64,
+}
+
+/// Per-point k-nearest lists.
+///
+/// Lists are kept sorted ascending by `dist_sq` (ties broken by index, so
+/// results are deterministic). A list may be shorter than `k` only when the
+/// point's subset had fewer than `k + 1` points — the finished algorithms
+/// always return full lists for `n > k`.
+#[derive(Clone, Debug)]
+pub struct KnnResult {
+    k: usize,
+    lists: Vec<Vec<Neighbor>>,
+}
+
+impl KnnResult {
+    /// Empty result for `n` points.
+    pub fn new(n: usize, k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        KnnResult {
+            k,
+            lists: vec![Vec::new(); n],
+        }
+    }
+
+    /// The `k` this result was built for.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// `true` when there are no points.
+    pub fn is_empty(&self) -> bool {
+        self.lists.is_empty()
+    }
+
+    /// The neighbor list of point `i` (ascending distance).
+    pub fn neighbors(&self, i: usize) -> &[Neighbor] {
+        &self.lists[i]
+    }
+
+    /// Squared radius of the k-neighborhood ball of point `i`: the distance
+    /// to its k-th nearest neighbor, or `f64::INFINITY` when fewer than `k`
+    /// neighbors are known (the ball is unbounded in the paper's sense).
+    pub fn radius_sq(&self, i: usize) -> f64 {
+        let l = &self.lists[i];
+        if l.len() < self.k {
+            f64::INFINITY
+        } else {
+            l[self.k - 1].dist_sq
+        }
+    }
+
+    /// Radius (not squared) of the k-neighborhood ball of point `i`.
+    pub fn radius(&self, i: usize) -> f64 {
+        self.radius_sq(i).sqrt()
+    }
+
+    /// Offer `(j, dist_sq)` as a candidate neighbor of `i`. Keeps the list
+    /// sorted, capped at `k`, deduplicated by index. Returns `true` when
+    /// the candidate was inserted.
+    ///
+    /// `O(k)` per call — `k` is a small constant throughout the paper.
+    pub fn merge_candidate(&mut self, i: usize, j: u32, dist_sq: f64) -> bool {
+        debug_assert_ne!(i as u32, j, "a point is not its own neighbor");
+        let k = self.k;
+        let list = &mut self.lists[i];
+        // Reject when clearly worse than a full list's tail.
+        if list.len() == k {
+            let tail = list[k - 1];
+            if dist_sq > tail.dist_sq || (dist_sq == tail.dist_sq && j >= tail.idx) {
+                return false;
+            }
+        }
+        // Dedup.
+        if list.iter().any(|n| n.idx == j) {
+            return false;
+        }
+        let pos = list
+            .iter()
+            .position(|n| dist_sq < n.dist_sq || (dist_sq == n.dist_sq && j < n.idx))
+            .unwrap_or(list.len());
+        list.insert(pos, Neighbor { idx: j, dist_sq });
+        list.truncate(k);
+        true
+    }
+
+    /// Replace the list of point `i` wholesale (used by leaf solvers).
+    pub(crate) fn set_list(&mut self, i: usize, mut list: Vec<Neighbor>) {
+        list.truncate(self.k);
+        self.lists[i] = list;
+    }
+
+    /// Distance-profile equality with `other` under tolerance `tol`:
+    /// the sorted distance sequences agree per point. Index-insensitive,
+    /// which is the right equality under ties (two valid k-NN answers may
+    /// pick different equidistant neighbors).
+    pub fn same_distances(&self, other: &KnnResult, tol: f64) -> Result<(), String> {
+        if self.len() != other.len() {
+            return Err(format!(
+                "length mismatch: {} vs {}",
+                self.len(),
+                other.len()
+            ));
+        }
+        if self.k != other.k {
+            return Err(format!("k mismatch: {} vs {}", self.k, other.k));
+        }
+        for i in 0..self.len() {
+            let a = &self.lists[i];
+            let b = &other.lists[i];
+            if a.len() != b.len() {
+                return Err(format!(
+                    "point {i}: list lengths {} vs {}",
+                    a.len(),
+                    b.len()
+                ));
+            }
+            for (r, (na, nb)) in a.iter().zip(b).enumerate() {
+                if (na.dist_sq - nb.dist_sq).abs() > tol {
+                    return Err(format!(
+                        "point {i} rank {r}: dist_sq {} vs {}",
+                        na.dist_sq, nb.dist_sq
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Internal invariants: sorted, deduplicated, no self-loops, capped.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (i, l) in self.lists.iter().enumerate() {
+            if l.len() > self.k {
+                return Err(format!("point {i}: list longer than k"));
+            }
+            for w in l.windows(2) {
+                let ord_ok = w[0].dist_sq < w[1].dist_sq
+                    || (w[0].dist_sq == w[1].dist_sq && w[0].idx < w[1].idx);
+                if !ord_ok {
+                    return Err(format!("point {i}: list not strictly ordered"));
+                }
+            }
+            if l.iter().any(|n| n.idx as usize == i) {
+                return Err(format!("point {i}: self-loop"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Solve k-NN exactly within a subset of points by all-pairs scan, writing
+/// global indices into `result`. `ids` are indices into `points`.
+///
+/// `O(|ids|² k)` — used for recursion base cases (`|ids| = O(log n)`).
+pub fn solve_subset_brute<const D: usize>(
+    points: &[Point<D>],
+    ids: &[u32],
+    result: &mut KnnResult,
+) {
+    for &i in ids {
+        let pi = points[i as usize];
+        let mut list: Vec<Neighbor> = Vec::with_capacity(result.k() + 1);
+        for &j in ids {
+            if i == j {
+                continue;
+            }
+            let d = pi.dist_sq(&points[j as usize]);
+            // Insertion sort into a list capped at k.
+            if list.len() == result.k() {
+                let tail = list[list.len() - 1];
+                if d > tail.dist_sq || (d == tail.dist_sq && j >= tail.idx) {
+                    continue;
+                }
+            }
+            let pos = list
+                .iter()
+                .position(|n| d < n.dist_sq || (d == n.dist_sq && j < n.idx))
+                .unwrap_or(list.len());
+            list.insert(pos, Neighbor { idx: j, dist_sq: d });
+            list.truncate(result.k());
+        }
+        result.set_list(i as usize, list);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_keeps_sorted_and_capped() {
+        let mut r = KnnResult::new(3, 2);
+        assert!(r.merge_candidate(0, 1, 4.0));
+        assert!(r.merge_candidate(0, 2, 1.0));
+        assert_eq!(r.neighbors(0)[0].idx, 2);
+        assert_eq!(r.neighbors(0)[1].idx, 1);
+        // Better candidate evicts the tail.
+        assert!(!r.merge_candidate(0, 1, 4.0), "dedup");
+        let mut r2 = KnnResult::new(4, 2);
+        r2.merge_candidate(0, 1, 1.0);
+        r2.merge_candidate(0, 2, 2.0);
+        assert!(r2.merge_candidate(0, 3, 1.5));
+        assert_eq!(r2.neighbors(0).len(), 2);
+        assert_eq!(r2.neighbors(0)[1].idx, 3);
+        r2.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn merge_rejects_worse_when_full() {
+        let mut r = KnnResult::new(4, 1);
+        r.merge_candidate(0, 1, 1.0);
+        assert!(!r.merge_candidate(0, 2, 2.0));
+        assert_eq!(r.neighbors(0).len(), 1);
+        assert_eq!(r.neighbors(0)[0].idx, 1);
+    }
+
+    #[test]
+    fn ties_break_by_index() {
+        let mut r = KnnResult::new(4, 2);
+        r.merge_candidate(0, 3, 1.0);
+        assert!(r.merge_candidate(0, 1, 1.0));
+        assert_eq!(r.neighbors(0)[0].idx, 1);
+        assert_eq!(r.neighbors(0)[1].idx, 3);
+        // A third equidistant candidate with larger index is rejected.
+        assert!(!r.merge_candidate(0, 5, 1.0));
+    }
+
+    #[test]
+    fn radius_semantics() {
+        let mut r = KnnResult::new(2, 2);
+        assert_eq!(r.radius_sq(0), f64::INFINITY);
+        r.merge_candidate(0, 1, 9.0);
+        assert_eq!(r.radius_sq(0), f64::INFINITY, "only 1 of k=2 known");
+        let mut full = KnnResult::new(3, 1);
+        full.merge_candidate(0, 2, 4.0);
+        assert_eq!(full.radius(0), 2.0);
+    }
+
+    #[test]
+    fn solve_subset_brute_on_line() {
+        let pts: Vec<Point<1>> = (0..6).map(|i| Point::from([i as f64])).collect();
+        let ids: Vec<u32> = (0..6).collect();
+        let mut r = KnnResult::new(6, 2);
+        solve_subset_brute(&pts, &ids, &mut r);
+        r.check_invariants().unwrap();
+        // Point 0: neighbors 1 (d=1) and 2 (d=4).
+        assert_eq!(r.neighbors(0)[0].idx, 1);
+        assert_eq!(r.neighbors(0)[1].idx, 2);
+        // Point 3: neighbors 2 and 4 (both d=1, index order).
+        assert_eq!(r.neighbors(3)[0].idx, 2);
+        assert_eq!(r.neighbors(3)[1].idx, 4);
+    }
+
+    #[test]
+    fn solve_subset_respects_subset() {
+        let pts: Vec<Point<1>> = (0..6).map(|i| Point::from([i as f64])).collect();
+        let ids = vec![0u32, 5]; // only the two extremes
+        let mut r = KnnResult::new(6, 1);
+        solve_subset_brute(&pts, &ids, &mut r);
+        assert_eq!(r.neighbors(0)[0].idx, 5);
+        assert_eq!(r.neighbors(5)[0].idx, 0);
+        assert!(r.neighbors(1).is_empty(), "non-subset point untouched");
+    }
+
+    #[test]
+    fn same_distances_tolerates_tie_permutations() {
+        let mut a = KnnResult::new(3, 1);
+        a.merge_candidate(0, 1, 1.0);
+        let mut b = KnnResult::new(3, 1);
+        b.merge_candidate(0, 2, 1.0);
+        assert!(a.same_distances(&b, 1e-12).is_ok());
+        let mut c = KnnResult::new(3, 1);
+        c.merge_candidate(0, 2, 2.0);
+        assert!(a.same_distances(&c, 1e-12).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        KnnResult::new(3, 0);
+    }
+}

@@ -1,0 +1,64 @@
+//! # sepdc-core
+//!
+//! The algorithms of Frieze, Miller & Teng, *Separator Based Parallel
+//! Divide and Conquer in Computational Geometry* (SPAA 1992):
+//!
+//! | Paper | Module |
+//! |---|---|
+//! | §2 neighborhood systems, Density Lemma | [`neighborhood`] |
+//! | §3 neighborhood query structure, Thm 3.1 | [`query`] |
+//! | §4 Punting Lemma, probabilistic `(a,b)`-trees | [`punting`] |
+//! | §5 Simple Parallel Divide-and-Conquer (`O(log² n)`) | [`simple_parallel`] |
+//! | §6 Parallel Nearest Neighborhood (`O(log n)`) | [`parallel`] |
+//! | §6.2 Fast Correction / reachability marching | [`partition_tree`], [`correction`] |
+//! | Def 1.1 k-NN graph | [`graph`] |
+//!
+//! Baselines and substrates: [`brute`] (the `O(n²)` oracle), [`kdtree`]
+//! (the sequential `O(n log n)`-class baseline standing in for Vaidya's
+//! algorithm), [`knn`] (result representation shared by all).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use sepdc_core::{parallel_knn, KnnDcConfig, KnnGraph};
+//! use sepdc_workloads::Workload;
+//!
+//! let points = Workload::UniformCube.generate::<2>(500, 42);
+//! let cfg = KnnDcConfig::new(3); // k = 3
+//! let out = parallel_knn::<2, 3>(&points, &cfg); // <D, D+1>
+//! let graph = KnnGraph::from_knn(&out.knn);
+//! assert_eq!(graph.num_vertices(), 500);
+//! assert!(out.stats.fast_corrections > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod balltree;
+pub mod brute;
+pub mod config;
+pub mod correction;
+pub mod graph;
+pub mod graph_separator;
+pub mod kdtree;
+pub mod knn;
+pub mod neighborhood;
+pub mod parallel;
+pub mod partition_tree;
+pub mod punting;
+pub mod query;
+mod shared;
+pub mod simple_parallel;
+pub mod validate;
+
+pub use brute::brute_force_knn;
+pub use config::KnnDcConfig;
+pub use graph::KnnGraph;
+pub use graph_separator::{sphere_graph_separator, GraphSeparator};
+pub use kdtree::{kdtree_all_knn, KdTree};
+pub use knn::{KnnResult, Neighbor};
+pub use neighborhood::NeighborhoodSystem;
+pub use parallel::{parallel_knn, ParallelDcOutput, ParallelDcStats};
+pub use partition_tree::{march_balls, MarchOutcome, PartitionTree};
+pub use query::{QueryTree, QueryTreeConfig, QueryTreeStats};
+pub use simple_parallel::{simple_parallel_knn, SimpleDcOutput, SimpleDcStats};
+pub use validate::{validate_against_oracle, validate_knn, ValidationError};

@@ -1,0 +1,221 @@
+//! Neighborhood systems (Section 2 of the paper).
+//!
+//! A *`d`-dimensional neighborhood system* is a finite collection of balls.
+//! It is a *`k`-neighborhood system* when each ball's interior contains at
+//! most `k` centers, and *`k`-ply* when no point of space is covered by
+//! more than `k` balls. The Density Lemma (2.1) connects the two:
+//! a `k`-neighborhood system is `τ_d · k`-ply.
+
+use crate::knn::KnnResult;
+use rayon::prelude::*;
+use sepdc_geom::ball::Ball;
+use sepdc_geom::point::Point;
+use sepdc_geom::shape::Separator;
+
+/// A neighborhood system: balls with known centers.
+#[derive(Clone, Debug)]
+pub struct NeighborhoodSystem<const D: usize> {
+    balls: Vec<Ball<D>>,
+}
+
+impl<const D: usize> NeighborhoodSystem<D> {
+    /// Build from explicit balls.
+    pub fn from_balls(balls: Vec<Ball<D>>) -> Self {
+        NeighborhoodSystem { balls }
+    }
+
+    /// The *k-neighborhood system* of a point set (Section 5.1): ball `i`
+    /// is centered at `points[i]` with radius equal to the distance to its
+    /// k-th nearest neighbor, taken from a finished [`KnnResult`].
+    ///
+    /// # Panics
+    /// Panics when some point has fewer than `k` known neighbors (its ball
+    /// would be unbounded) — callers must have `n > k`.
+    pub fn from_knn(points: &[Point<D>], knn: &KnnResult) -> Self {
+        assert_eq!(points.len(), knn.len());
+        let balls = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let r_sq = knn.radius_sq(i);
+                assert!(
+                    r_sq.is_finite(),
+                    "point {i} has fewer than k neighbors; need n > k"
+                );
+                Ball::new(*p, r_sq.sqrt())
+            })
+            .collect();
+        NeighborhoodSystem { balls }
+    }
+
+    /// The balls.
+    pub fn balls(&self) -> &[Ball<D>] {
+        &self.balls
+    }
+
+    /// Number of balls.
+    pub fn len(&self) -> usize {
+        self.balls.len()
+    }
+
+    /// `true` when the system has no balls.
+    pub fn is_empty(&self) -> bool {
+        self.balls.is_empty()
+    }
+
+    /// Ball centers.
+    pub fn centers(&self) -> Vec<Point<D>> {
+        self.balls.iter().map(|b| b.center).collect()
+    }
+
+    /// Ply at a probe point: the number of balls whose *closed* body
+    /// contains it.
+    pub fn ply_at(&self, p: &Point<D>) -> usize {
+        self.balls.iter().filter(|b| b.contains(p)).count()
+    }
+
+    /// Maximum ply over the ball centers (a lower bound on the system ply;
+    /// by a standard argument the maximum over all of space is attained
+    /// arbitrarily close to ball boundaries/centers, and centers are the
+    /// conventional probe set for the Density Lemma experiment).
+    pub fn max_ply_at_centers(&self) -> usize {
+        if self.balls.len() < 1 << 12 {
+            self.balls
+                .iter()
+                .map(|b| self.ply_at(&b.center))
+                .max()
+                .unwrap_or(0)
+        } else {
+            self.balls
+                .par_iter()
+                .map(|b| self.ply_at(&b.center))
+                .max()
+                .unwrap_or(0)
+        }
+    }
+
+    /// Verify the k-neighborhood property: every ball's *open interior*
+    /// contains at most `k - 1` other centers (equivalently at most `k`
+    /// centers counting its own). Returns the first violating ball index.
+    ///
+    /// A relative tolerance absorbs the `sqrt`/square roundtrip on radii
+    /// built from squared distances: a center at distance exactly `r` must
+    /// not be counted as strictly inside.
+    pub fn check_k_neighborhood(&self, k: usize) -> Result<(), usize> {
+        for (i, b) in self.balls.iter().enumerate() {
+            let r_sq = b.radius * b.radius;
+            let cut = r_sq * (1.0 - 1e-12) - 1e-300;
+            let inside = self
+                .balls
+                .iter()
+                .enumerate()
+                .filter(|(j, other)| *j != i && b.center.dist_sq(&other.center) < cut)
+                .count();
+            if inside > k.saturating_sub(1) {
+                return Err(i);
+            }
+        }
+        Ok(())
+    }
+
+    /// Intersection number `ι_B(S)` against a separator.
+    pub fn intersection_number(&self, sep: &Separator<D>) -> usize {
+        sepdc_separator::intersection_number(&self.balls, sep)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_knn;
+    use sepdc_geom::sphere::Sphere;
+
+    fn line_system(n: usize, k: usize) -> (Vec<Point<2>>, NeighborhoodSystem<2>) {
+        let pts: Vec<Point<2>> = (0..n).map(|i| Point::from([i as f64, 0.0])).collect();
+        let knn = brute_force_knn(&pts, k);
+        let sys = NeighborhoodSystem::from_knn(&pts, &knn);
+        (pts, sys)
+    }
+
+    #[test]
+    fn from_knn_radii_match_kth_distance() {
+        let (_, sys) = line_system(10, 1);
+        // Interior points: nearest neighbor at distance 1.
+        for b in &sys.balls()[1..9] {
+            assert!((b.radius - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn k_neighborhood_property_holds_for_knn_system() {
+        let (_, sys) = line_system(20, 3);
+        sys.check_k_neighborhood(3).unwrap();
+    }
+
+    #[test]
+    fn ply_on_line_is_bounded() {
+        let (_, sys) = line_system(50, 1);
+        // 1-neighborhood system on a line: τ_1 · 1 = 2... but our points
+        // are in R², τ_2 = 6. The actual ply here is small.
+        let ply = sys.max_ply_at_centers();
+        assert!(ply >= 2, "adjacent balls must overlap at centers? {ply}");
+        assert!(ply <= 6, "ply {ply} exceeds τ_2");
+    }
+
+    #[test]
+    fn density_lemma_on_random_points() {
+        let pts = sepdc_workloads::Workload::UniformCube.generate::<2>(400, 5);
+        for k in [1, 2, 4] {
+            let knn = brute_force_knn(&pts, k);
+            let sys = NeighborhoodSystem::from_knn(&pts, &knn);
+            sys.check_k_neighborhood(k).unwrap();
+            let ply = sys.max_ply_at_centers();
+            let bound = sepdc_geom::kissing_number(2) * k + k; // τ_d k (+slack for closed containment at centers)
+            assert!(ply <= bound, "k={k}: ply {ply} > τ₂·k bound {bound}");
+        }
+    }
+
+    #[test]
+    fn ply_at_counts_closed_containment() {
+        let sys = NeighborhoodSystem::from_balls(vec![
+            Ball::new(Point::<2>::origin(), 1.0),
+            Ball::new(Point::from([2.0, 0.0]), 1.0),
+        ]);
+        // x=1 is on both boundaries.
+        assert_eq!(sys.ply_at(&Point::from([1.0, 0.0])), 2);
+        assert_eq!(sys.ply_at(&Point::from([0.0, 0.0])), 1);
+        assert_eq!(sys.ply_at(&Point::from([5.0, 0.0])), 0);
+    }
+
+    #[test]
+    fn check_k_neighborhood_detects_violation() {
+        // One huge ball swallowing many centers is not a 1-neighborhood
+        // system.
+        let mut balls = vec![Ball::new(Point::<2>::origin(), 100.0)];
+        for i in 1..5 {
+            balls.push(Ball::new(Point::from([i as f64, 0.0]), 0.1));
+        }
+        let sys = NeighborhoodSystem::from_balls(balls);
+        assert_eq!(sys.check_k_neighborhood(1), Err(0));
+    }
+
+    #[test]
+    fn intersection_number_delegates() {
+        let (_, sys) = line_system(20, 1);
+        let sep: Separator<2> = Sphere::new(Point::from([10.0, 0.0]), 2.5).into();
+        // Balls at x = 7.5..12.5 (radius 1) crossing the sphere |x-10|=2.5:
+        // centers 7,8 and 12,13 cross; 9,10,11 inside untouched... check
+        // against a direct count.
+        let direct = sys.balls().iter().filter(|b| b.crosses(&sep)).count();
+        assert_eq!(sys.intersection_number(&sep), direct);
+        assert!(direct > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer than k neighbors")]
+    fn from_knn_rejects_unbounded_balls() {
+        let pts = vec![Point::<2>::origin(), Point::from([1.0, 0.0])];
+        let knn = brute_force_knn(&pts, 5);
+        let _ = NeighborhoodSystem::from_knn(&pts, &knn);
+    }
+}

@@ -1,0 +1,469 @@
+//! *Parallel Nearest Neighborhood* (Section 6): the random `O(log n)` time,
+//! `n` processor k-nearest-neighbor algorithm — the paper's headline
+//! result.
+//!
+//! The recursion partitions with a **sphere separator** instead of a
+//! hyperplane, so only `ι_B(S) = O(m^μ)` balls cross the cut w.h.p.
+//! (Lemma 6.4), and the correction step can afford to be aggressive:
+//!
+//! * **fast path** — march the crossing balls down the opposite partition
+//!   subtree (Section 6.2). Reachable-leaf computation is `O(1)` rounds
+//!   with `h·2^h` processors (Lemma 6.3); candidate gathering and the
+//!   k-closest fix are `O(1)` scan rounds. Succeeds when no level holds
+//!   more than `m^{1-η}` active balls (Lemma 6.2, w.h.p.).
+//! * **punt** — when the node was unlucky (too many crossers, or the march
+//!   exploded), fall back to the Section 3 query structure, paying
+//!   `O(log m)` rounds at this node. The Punting Lemma (4.1) shows the
+//!   punts along any root-leaf path sum to `O(log n)` w.h.p., so the whole
+//!   algorithm stays `O(log n)` depth.
+
+use crate::config::KnnDcConfig;
+use crate::correction::{collect_crossing, correct_unbounded, correct_via_query, CrossingBall};
+use crate::knn::{solve_subset_brute, KnnResult};
+use crate::partition_tree::{march_balls, PartitionTree};
+use crate::shared::SharedLists;
+use sepdc_geom::point::Point;
+use sepdc_scan::cost::{CostMeter, MeterSnapshot};
+use sepdc_scan::CostProfile;
+use sepdc_separator::find_good_separator;
+
+/// Statistics from one run of the Section 6 algorithm.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ParallelDcStats {
+    /// Partition tree height.
+    pub height: usize,
+    /// Total crossing balls over all nodes.
+    pub total_crossing: u64,
+    /// Largest per-node crossing count.
+    pub max_node_crossing: usize,
+    /// Largest per-node crossing count divided by the node's `m^μ` punt
+    /// threshold (> 1 means that node punted).
+    pub max_crossing_vs_threshold: f64,
+    /// Nodes corrected on the fast path.
+    pub fast_corrections: u64,
+    /// Nodes that punted because the crossing count exceeded `m^μ`.
+    pub punts_threshold: u64,
+    /// Nodes that punted because the march exceeded the active-ball limit.
+    pub punts_marching: u64,
+    /// Largest `max_active_per_level / m^{1-η}` ratio observed in a
+    /// *successful* march (Lemma 6.2 says this stays below 1 w.h.p.).
+    pub max_marching_ratio: f64,
+    /// Base-case leaves.
+    pub base_leaves: usize,
+    /// Nodes where no separator could split (identical points).
+    pub forced_leaves: usize,
+    /// Unit-time separator candidates drawn.
+    pub candidates: u64,
+}
+
+impl ParallelDcStats {
+    fn leaf(forced: bool) -> Self {
+        ParallelDcStats {
+            base_leaves: 1,
+            forced_leaves: usize::from(forced),
+            ..Default::default()
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn merge(self, o: Self) -> Self {
+        ParallelDcStats {
+            height: 1 + self.height.max(o.height),
+            total_crossing: self.total_crossing + o.total_crossing,
+            max_node_crossing: self.max_node_crossing.max(o.max_node_crossing),
+            max_crossing_vs_threshold: self
+                .max_crossing_vs_threshold
+                .max(o.max_crossing_vs_threshold),
+            fast_corrections: self.fast_corrections + o.fast_corrections,
+            punts_threshold: self.punts_threshold + o.punts_threshold,
+            punts_marching: self.punts_marching + o.punts_marching,
+            max_marching_ratio: self.max_marching_ratio.max(o.max_marching_ratio),
+            base_leaves: self.base_leaves + o.base_leaves,
+            forced_leaves: self.forced_leaves + o.forced_leaves,
+            candidates: self.candidates + o.candidates,
+        }
+    }
+}
+
+/// Output of [`parallel_knn`].
+pub struct ParallelDcOutput<const D: usize> {
+    /// The k-nearest-neighbor lists.
+    pub knn: KnnResult,
+    /// Work–depth profile (depth is the `O(log n)` quantity of
+    /// Theorem 6.1).
+    pub cost: CostProfile,
+    /// Structural statistics.
+    pub stats: ParallelDcStats,
+    /// Whole-run event counters.
+    pub meter: MeterSnapshot,
+    /// The partition tree (reusable for queries and the experiments).
+    pub tree: PartitionTree<D>,
+}
+
+struct Ctx<'a, const D: usize> {
+    points: &'a [Point<D>],
+    lists: &'a SharedLists,
+    cfg: &'a KnnDcConfig,
+    meter: &'a CostMeter,
+    base: usize,
+}
+
+/// Section 6: sphere-separator divide and conquer with fast correction and
+/// punting. `E` must be `D + 1`.
+pub fn parallel_knn<const D: usize, const E: usize>(
+    points: &[Point<D>],
+    cfg: &KnnDcConfig,
+) -> ParallelDcOutput<D> {
+    assert_eq!(E, D + 1, "parallel_knn requires E = D + 1");
+    let n = points.len();
+    let lists = SharedLists::new(n, cfg.k);
+    let meter = CostMeter::new();
+    let base = cfg.resolve_base_case(n, D);
+    let ctx = Ctx {
+        points,
+        lists: &lists,
+        cfg,
+        meter: &meter,
+        base,
+    };
+    let ids: Vec<u32> = (0..n as u32).collect();
+    let (tree, cost, stats) = rec::<D, E>(&ctx, ids, cfg.seed);
+    ParallelDcOutput {
+        knn: lists.into_result(),
+        cost,
+        stats,
+        meter: meter.snapshot(),
+        tree,
+    }
+}
+
+fn leaf_case<const D: usize>(
+    ctx: &Ctx<'_, D>,
+    ids: Vec<u32>,
+    forced: bool,
+) -> (PartitionTree<D>, CostProfile, ParallelDcStats) {
+    let m = ids.len();
+    let mut tmp = KnnResult::new(ctx.points.len(), ctx.lists.k());
+    solve_subset_brute(ctx.points, &ids, &mut tmp);
+    for &i in &ids {
+        ctx.lists
+            .set_list(i as usize, tmp.neighbors(i as usize).to_vec());
+    }
+    ctx.meter.add_distance_evals((m * m) as u64);
+    (
+        PartitionTree::Leaf { point_ids: ids },
+        // Paper base case: "compute in m time using m processors".
+        CostProfile::rounds(m as u64, m as u64),
+        ParallelDcStats::leaf(forced),
+    )
+}
+
+fn rec<const D: usize, const E: usize>(
+    ctx: &Ctx<'_, D>,
+    ids: Vec<u32>,
+    seed: u64,
+) -> (PartitionTree<D>, CostProfile, ParallelDcStats) {
+    let m = ids.len();
+    if m <= ctx.base {
+        return leaf_case(ctx, ids, false);
+    }
+    let mut rng = rand::SeedableRng::seed_from_u64(seed);
+    let rng: &mut rand_chacha::ChaCha8Rng = &mut rng;
+    let centers: Vec<Point<D>> = ids.iter().map(|&i| ctx.points[i as usize]).collect();
+    let Some(found) = find_good_separator::<D, E, _>(&centers, &ctx.cfg.separator, rng) else {
+        return leaf_case(ctx, ids, true);
+    };
+    ctx.meter.add_candidates(found.attempts as u64);
+    ctx.meter.add_accept();
+    let sep = found.separator;
+
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for &i in &ids {
+        if sep.side(&ctx.points[i as usize]).routes_interior() {
+            left.push(i);
+        } else {
+            right.push(i);
+        }
+    }
+    debug_assert!(!left.is_empty() && !right.is_empty());
+
+    let lseed = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    let rseed = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(2);
+    let ((ltree, lcost, lstats), (rtree, rcost, rstats)) = if m > ctx.cfg.parallel_cutoff {
+        rayon::join(
+            || rec::<D, E>(ctx, left.clone(), lseed),
+            || rec::<D, E>(ctx, right.clone(), rseed),
+        )
+    } else {
+        (
+            rec::<D, E>(ctx, left.clone(), lseed),
+            rec::<D, E>(ctx, right.clone(), rseed),
+        )
+    };
+
+    // ---- Correction (the paper's `Correction` procedure) ----
+    let (cross_l, unbounded_l) = collect_crossing(ctx.points, ctx.lists, &left, &sep);
+    let (cross_r, unbounded_r) = collect_crossing(ctx.points, ctx.lists, &right, &sep);
+    correct_unbounded(ctx.points, ctx.lists, &unbounded_l, &right);
+    correct_unbounded(ctx.points, ctx.lists, &unbounded_r, &left);
+
+    let crossing_total = cross_l.len() + cross_r.len();
+    let threshold = ctx.cfg.punt_threshold(m, D);
+    let crossing_ratio = crossing_total as f64 / threshold;
+
+    let mut stats = lstats.merge(rstats);
+    stats.total_crossing += crossing_total as u64;
+    stats.max_node_crossing = stats.max_node_crossing.max(crossing_total);
+    stats.max_crossing_vs_threshold = stats.max_crossing_vs_threshold.max(crossing_ratio);
+    stats.candidates += found.attempts as u64;
+
+    let qseed = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(3);
+    let corr_cost = if (crossing_total as f64) >= threshold {
+        // Unlucky separator: punt straight to the query structure.
+        ctx.meter.add_punt();
+        ctx.meter.add_query_build();
+        stats.punts_threshold += 1;
+        let mut crossing = cross_l;
+        crossing.extend(cross_r);
+        correct_via_query::<D, E>(ctx.points, ctx.lists, &ids, &crossing, ctx.cfg.query, qseed)
+    } else {
+        // Fast Correction: march each side's crossers down the opposite
+        // subtree.
+        let limit = ctx.cfg.marching_limit(m);
+        match try_fast_correction(ctx, &cross_l, &cross_r, &ltree, &rtree, limit) {
+            Some((work, max_ratio)) => {
+                ctx.meter.add_fast_correction();
+                stats.fast_corrections += 1;
+                stats.max_marching_ratio = stats.max_marching_ratio.max(max_ratio);
+                // Lemma 6.3: constant rounds with enough processors — the
+                // march, the gather, and the k-closest fix.
+                CostProfile {
+                    work,
+                    depth: 3,
+                    ..CostProfile::default()
+                }
+            }
+            None => {
+                // March exploded (Lemma 6.2's low-probability event): punt.
+                ctx.meter.add_punt();
+                ctx.meter.add_query_build();
+                stats.punts_marching += 1;
+                let mut crossing = cross_l;
+                crossing.extend(cross_r);
+                correct_via_query::<D, E>(
+                    ctx.points,
+                    ctx.lists,
+                    &ids,
+                    &crossing,
+                    ctx.cfg.query,
+                    qseed,
+                )
+            }
+        }
+    };
+
+    let local = CostProfile::scan(m as u64).with_candidates(found.attempts as u64);
+    let cost = local.then(lcost.alongside(rcost)).then(corr_cost);
+    let tree = PartitionTree::Internal {
+        sep,
+        size: m as u32,
+        left: Box::new(ltree),
+        right: Box::new(rtree),
+    };
+    (tree, cost, stats)
+}
+
+/// March both crossing sets down the opposite subtrees and merge the
+/// verified candidates. Returns `(work, max_active_ratio)` on success,
+/// `None` when either march exceeds `limit` (caller punts).
+fn try_fast_correction<const D: usize>(
+    ctx: &Ctx<'_, D>,
+    cross_l: &[CrossingBall<D>],
+    cross_r: &[CrossingBall<D>],
+    ltree: &PartitionTree<D>,
+    rtree: &PartitionTree<D>,
+    limit: usize,
+) -> Option<(u64, f64)> {
+    let mut work = 0u64;
+    let mut max_ratio = 0.0f64;
+    let limit_f = limit as f64;
+    for (crossers, opposite_tree) in [(cross_l, rtree), (cross_r, ltree)] {
+        if crossers.is_empty() {
+            continue;
+        }
+        let balls: Vec<_> = crossers.iter().map(|c| c.ball).collect();
+        let out = march_balls(opposite_tree, &balls, limit);
+        ctx.meter.add_marching(out.total_steps);
+        if out.aborted {
+            return None;
+        }
+        work += out.total_steps;
+        max_ratio = max_ratio.max(out.max_active_per_level as f64 / limit_f);
+        // Candidate fix: keep the k closest (merge handles it).
+        for (c, cands) in crossers.iter().zip(&out.candidates) {
+            let owner_pt = ctx.points[c.owner as usize];
+            let r_sq = c.ball.radius * c.ball.radius;
+            for &q in cands {
+                debug_assert_ne!(q, c.owner, "opposite subtree cannot contain the owner");
+                let d = owner_pt.dist_sq(&ctx.points[q as usize]);
+                if d < r_sq {
+                    ctx.lists.merge_candidate(c.owner as usize, q, d);
+                }
+            }
+            work += cands.len() as u64;
+            ctx.meter.add_distance_evals(cands.len() as u64);
+        }
+    }
+    Some((work, max_ratio))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_knn;
+    use sepdc_workloads::Workload;
+
+    fn check_matches_oracle<const D: usize, const E: usize>(
+        w: Workload,
+        n: usize,
+        k: usize,
+        seed: u64,
+    ) -> ParallelDcStats {
+        let pts = w.generate::<D>(n, seed);
+        let cfg = KnnDcConfig::new(k).with_seed(seed ^ 0x5EED);
+        let out = parallel_knn::<D, E>(&pts, &cfg);
+        let oracle = brute_force_knn(&pts, k);
+        out.knn
+            .same_distances(&oracle, 1e-9)
+            .unwrap_or_else(|e| panic!("{} n={n} k={k}: {e}", w.name()));
+        out.knn.check_invariants().unwrap();
+        out.stats
+    }
+
+    #[test]
+    fn matches_oracle_uniform_2d() {
+        check_matches_oracle::<2, 3>(Workload::UniformCube, 900, 1, 1);
+        check_matches_oracle::<2, 3>(Workload::UniformCube, 900, 4, 2);
+    }
+
+    #[test]
+    fn matches_oracle_adversarial() {
+        check_matches_oracle::<2, 3>(Workload::TwoSlabs, 700, 1, 3);
+        check_matches_oracle::<2, 3>(Workload::SphereShell, 700, 2, 4);
+        check_matches_oracle::<2, 3>(Workload::NoisyLine, 500, 3, 5);
+        check_matches_oracle::<2, 3>(Workload::Grid, 700, 2, 6);
+    }
+
+    #[test]
+    fn matches_oracle_3d() {
+        check_matches_oracle::<3, 4>(Workload::UniformCube, 800, 2, 7);
+        check_matches_oracle::<3, 4>(Workload::Clusters, 800, 1, 8);
+    }
+
+    #[test]
+    fn small_inputs() {
+        for n in [1usize, 2, 7, 40] {
+            let pts = Workload::UniformCube.generate::<2>(n, 9);
+            let cfg = KnnDcConfig::new(1);
+            let out = parallel_knn::<2, 3>(&pts, &cfg);
+            let oracle = brute_force_knn(&pts, 1);
+            out.knn.same_distances(&oracle, 1e-12).unwrap();
+        }
+    }
+
+    #[test]
+    fn duplicates_and_identical() {
+        let mut pts = Workload::UniformCube.generate::<2>(300, 10);
+        for _ in 0..60 {
+            pts.push(pts[5]);
+        }
+        let cfg = KnnDcConfig::new(2);
+        let out = parallel_knn::<2, 3>(&pts, &cfg);
+        out.knn
+            .same_distances(&brute_force_knn(&pts, 2), 1e-12)
+            .unwrap();
+
+        let same = vec![sepdc_geom::Point::<2>::splat(3.0); 120];
+        let out2 = parallel_knn::<2, 3>(&same, &cfg);
+        assert!(out2.stats.forced_leaves >= 1);
+        for i in 0..120 {
+            assert_eq!(out2.knn.radius_sq(i), 0.0);
+        }
+    }
+
+    #[test]
+    fn fast_path_dominates_on_uniform_data() {
+        let stats = check_matches_oracle::<2, 3>(Workload::UniformCube, 4000, 1, 11);
+        assert!(
+            stats.fast_corrections > 0,
+            "no fast corrections at all: {stats:?}"
+        );
+        let punts = stats.punts_threshold + stats.punts_marching;
+        assert!(
+            stats.fast_corrections >= 3 * punts,
+            "fast path not dominant: {} fast vs {} punts",
+            stats.fast_corrections,
+            punts
+        );
+    }
+
+    #[test]
+    fn depth_is_order_log_n() {
+        let pts = Workload::UniformCube.generate::<2>(8192, 12);
+        let cfg = KnnDcConfig::new(1);
+        let out = parallel_knn::<2, 3>(&pts, &cfg);
+        let log2n = (8192f64).log2();
+        // Depth = O(log n): candidates + scans + O(1) corrections per
+        // level, plus the base case (~max(32, log n) rounds at the leaves).
+        let bound = 30.0 * log2n + 64.0;
+        assert!(
+            (out.cost.depth as f64) < bound,
+            "depth {} vs bound {bound}",
+            out.cost.depth
+        );
+        assert!(out.stats.height as f64 <= 3.5 * log2n);
+    }
+
+    #[test]
+    fn partition_tree_covers_all_points() {
+        let pts = Workload::Clusters.generate::<2>(1000, 13);
+        let cfg = KnnDcConfig::new(1);
+        let out = parallel_knn::<2, 3>(&pts, &cfg);
+        let mut ids = Vec::new();
+        out.tree.collect_point_ids(&mut ids);
+        ids.sort_unstable();
+        assert_eq!(ids, (0..1000u32).collect::<Vec<_>>());
+        assert_eq!(out.tree.size(), 1000);
+    }
+
+    #[test]
+    fn meter_counts_are_consistent() {
+        let pts = Workload::UniformCube.generate::<2>(2000, 14);
+        let cfg = KnnDcConfig::new(1);
+        let out = parallel_knn::<2, 3>(&pts, &cfg);
+        let m = out.meter;
+        assert_eq!(
+            m.punts,
+            out.stats.punts_threshold + out.stats.punts_marching
+        );
+        assert_eq!(m.fast_corrections, out.stats.fast_corrections);
+        assert!(m.separator_candidates >= m.separator_accepts);
+        assert!(m.separator_accepts > 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pts = Workload::SphereShell.generate::<2>(600, 15);
+        let cfg = KnnDcConfig::new(2).with_seed(123);
+        let a = parallel_knn::<2, 3>(&pts, &cfg);
+        let b = parallel_knn::<2, 3>(&pts, &cfg);
+        a.knn.same_distances(&b.knn, 0.0).unwrap();
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn k_equal_to_eight_still_correct() {
+        check_matches_oracle::<2, 3>(Workload::UniformCube, 600, 8, 16);
+    }
+}

@@ -1,0 +1,279 @@
+//! The partition tree produced by the separator-based recursion
+//! (the `T` of Section 6), and the ball-marching machinery of Fast
+//! Correction (Section 6.2).
+//!
+//! Internal nodes carry the separator chosen at that recursion step; leaves
+//! carry the point ids solved by the base case. *Marching* a ball `B` down
+//! the tree computes its set of **reachable** leaves (Lemma 6.3): the root
+//! is reachable; from a reachable node, the left child is reachable when
+//! `B` meets the separator or its interior, the right child when `B` meets
+//! the separator or its exterior. Every point of the point set that lies
+//! inside `B` sits in a reachable leaf, so the reachable leaves are a sound
+//! candidate set for correcting `B`'s radius.
+
+use sepdc_geom::ball::Ball;
+use sepdc_geom::shape::Separator;
+
+/// A node of the partition tree.
+pub enum PartitionTree<const D: usize> {
+    /// Internal node: the separator plus the two subtrees.
+    Internal {
+        /// The separator chosen at this recursion step.
+        sep: Separator<D>,
+        /// Number of points below this node.
+        size: u32,
+        /// Interior-side subtree.
+        left: Box<PartitionTree<D>>,
+        /// Exterior-side subtree.
+        right: Box<PartitionTree<D>>,
+    },
+    /// Leaf: base-case point ids (indices into the global point array).
+    Leaf {
+        /// Point ids solved by the base case at this leaf.
+        point_ids: Vec<u32>,
+    },
+}
+
+impl<const D: usize> PartitionTree<D> {
+    /// Number of points under this node.
+    pub fn size(&self) -> usize {
+        match self {
+            PartitionTree::Internal { size, .. } => *size as usize,
+            PartitionTree::Leaf { point_ids } => point_ids.len(),
+        }
+    }
+
+    /// Height in edges (leaf = 0).
+    pub fn height(&self) -> usize {
+        match self {
+            PartitionTree::Leaf { .. } => 0,
+            PartitionTree::Internal { left, right, .. } => 1 + left.height().max(right.height()),
+        }
+    }
+
+    /// Number of leaves.
+    pub fn leaves(&self) -> usize {
+        match self {
+            PartitionTree::Leaf { .. } => 1,
+            PartitionTree::Internal { left, right, .. } => left.leaves() + right.leaves(),
+        }
+    }
+
+    /// All point ids below this node, in leaf order.
+    pub fn collect_point_ids(&self, out: &mut Vec<u32>) {
+        match self {
+            PartitionTree::Leaf { point_ids } => out.extend_from_slice(point_ids),
+            PartitionTree::Internal { left, right, .. } => {
+                left.collect_point_ids(out);
+                right.collect_point_ids(out);
+            }
+        }
+    }
+}
+
+/// Result of marching a batch of balls down a partition tree.
+#[derive(Clone, Debug)]
+pub struct MarchOutcome {
+    /// For each input ball, the point ids found in its reachable leaves.
+    /// Meaningful only when `aborted` is false.
+    pub candidates: Vec<Vec<u32>>,
+    /// Largest number of active (ball, node) pairs at any level — the
+    /// quantity Lemma 6.2 bounds by `m^{1-η}` w.h.p.
+    pub max_active_per_level: usize,
+    /// Number of levels marched.
+    pub levels: usize,
+    /// Total (ball, node) steps — the marching work.
+    pub total_steps: u64,
+    /// `true` when the active-ball limit was exceeded and the march was
+    /// abandoned (the caller must punt).
+    pub aborted: bool,
+}
+
+/// March `balls` down `tree` level-synchronously, collecting for each ball
+/// the point ids in its reachable leaves. Aborts (returning
+/// `aborted = true`) as soon as a level holds more than `active_limit`
+/// active pairs — the "unlucky" event of Lemma 6.2 that triggers a punt.
+pub fn march_balls<const D: usize>(
+    tree: &PartitionTree<D>,
+    balls: &[Ball<D>],
+    active_limit: usize,
+) -> MarchOutcome {
+    let mut candidates: Vec<Vec<u32>> = vec![Vec::new(); balls.len()];
+    let mut frontier: Vec<(&PartitionTree<D>, u32)> = balls
+        .iter()
+        .enumerate()
+        .map(|(b, _)| (tree, b as u32))
+        .collect();
+    let mut levels = 0usize;
+    let mut max_active = frontier.len();
+    let mut total_steps = 0u64;
+
+    while !frontier.is_empty() {
+        if frontier.len() > active_limit {
+            return MarchOutcome {
+                candidates,
+                max_active_per_level: frontier.len(),
+                levels,
+                total_steps,
+                aborted: true,
+            };
+        }
+        max_active = max_active.max(frontier.len());
+        total_steps += frontier.len() as u64;
+        let mut next: Vec<(&PartitionTree<D>, u32)> = Vec::with_capacity(frontier.len() * 2);
+        for (node, b) in frontier {
+            let ball = &balls[b as usize];
+            match node {
+                PartitionTree::Leaf { point_ids } => {
+                    candidates[b as usize].extend_from_slice(point_ids);
+                }
+                PartitionTree::Internal {
+                    sep, left, right, ..
+                } => {
+                    if ball.touches_interior_of(sep) {
+                        next.push((left, b));
+                    }
+                    if ball.touches_exterior_of(sep) {
+                        next.push((right, b));
+                    }
+                }
+            }
+        }
+        frontier = next;
+        levels += 1;
+    }
+    MarchOutcome {
+        candidates,
+        max_active_per_level: max_active,
+        levels,
+        total_steps,
+        aborted: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sepdc_geom::point::Point;
+    use sepdc_geom::sphere::Sphere;
+    use sepdc_geom::Hyperplane;
+
+    /// Hand-built tree over points 0..8 on a line, split at x = 4, then at
+    /// x = 2 and x = 6.
+    fn line_tree() -> PartitionTree<1> {
+        let leaf = |ids: Vec<u32>| PartitionTree::Leaf { point_ids: ids };
+        let cut = |x: f64, l, r| PartitionTree::Internal {
+            sep: Separator::Halfspace(Hyperplane::axis_aligned(0, x)),
+            size: 8,
+            left: Box::new(l),
+            right: Box::new(r),
+        };
+        cut(
+            4.0,
+            cut(2.0, leaf(vec![0, 1]), leaf(vec![2, 3])),
+            cut(6.0, leaf(vec![4, 5]), leaf(vec![6, 7])),
+        )
+    }
+
+    #[test]
+    fn structure_queries() {
+        let t = line_tree();
+        assert_eq!(t.height(), 2);
+        assert_eq!(t.leaves(), 4);
+        let mut ids = Vec::new();
+        t.collect_point_ids(&mut ids);
+        assert_eq!(ids, (0..8).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn small_ball_reaches_one_leaf() {
+        let t = line_tree();
+        // Ball at x=1, r=0.4: only the [0,1] leaf is reachable.
+        let balls = vec![Ball::new(Point::<1>::from([1.0]), 0.4)];
+        let out = march_balls(&t, &balls, 100);
+        assert!(!out.aborted);
+        assert_eq!(out.candidates[0], vec![0, 1]);
+        assert_eq!(out.levels, 3);
+    }
+
+    #[test]
+    fn straddling_ball_reaches_both_sides() {
+        let t = line_tree();
+        // Ball at x=4, r=0.5 crosses the root cut: reaches leaves around 4.
+        let balls = vec![Ball::new(Point::<1>::from([4.0]), 0.5)];
+        let out = march_balls(&t, &balls, 100);
+        assert!(!out.aborted);
+        // Reaches [2,3] (interior side, then its right leaf) and [4,5].
+        let mut c = out.candidates[0].clone();
+        c.sort_unstable();
+        assert_eq!(c, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn huge_ball_reaches_everything() {
+        let t = line_tree();
+        let balls = vec![Ball::new(Point::<1>::from([4.0]), 100.0)];
+        let out = march_balls(&t, &balls, 100);
+        let mut c = out.candidates[0].clone();
+        c.sort_unstable();
+        assert_eq!(c, (0..8).collect::<Vec<u32>>());
+        assert_eq!(out.max_active_per_level, 4, "duplicated at each level");
+    }
+
+    #[test]
+    fn reachability_covers_contained_points() {
+        // Soundness property: every point inside the ball appears among
+        // the candidates, for a tree with sphere separators.
+        let pts: Vec<Point<2>> = (0..16)
+            .map(|i| Point::from([(i % 4) as f64, (i / 4) as f64]))
+            .collect();
+        let leaf = |ids: Vec<u32>| PartitionTree::Leaf { point_ids: ids };
+        // Sphere around (1.5, 1.5) radius 1.2 as root; children leaves by
+        // the actual side of each point.
+        let sep: Separator<2> = Sphere::new(Point::from([1.5, 1.5]), 1.2).into();
+        let mut left_ids = Vec::new();
+        let mut right_ids = Vec::new();
+        for (i, p) in pts.iter().enumerate() {
+            if sep.side(p).routes_interior() {
+                left_ids.push(i as u32);
+            } else {
+                right_ids.push(i as u32);
+            }
+        }
+        let t = PartitionTree::Internal {
+            sep,
+            size: 16,
+            left: Box::new(leaf(left_ids)),
+            right: Box::new(leaf(right_ids)),
+        };
+        let ball = Ball::new(Point::from([2.0, 2.0]), 1.5);
+        let out = march_balls(&t, std::slice::from_ref(&ball), 100);
+        for (i, p) in pts.iter().enumerate() {
+            if ball.contains(p) {
+                assert!(
+                    out.candidates[0].contains(&(i as u32)),
+                    "point {i} in ball but not a candidate"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn abort_on_active_limit() {
+        let t = line_tree();
+        let balls: Vec<Ball<1>> = (0..50)
+            .map(|i| Ball::new(Point::from([i as f64 * 0.1]), 50.0))
+            .collect();
+        let out = march_balls(&t, &balls, 60);
+        assert!(out.aborted, "50 huge balls duplicate past 60 actives");
+    }
+
+    #[test]
+    fn empty_ball_batch() {
+        let t = line_tree();
+        let out = march_balls(&t, &[], 10);
+        assert!(!out.aborted);
+        assert_eq!(out.levels, 0);
+        assert!(out.candidates.is_empty());
+    }
+}

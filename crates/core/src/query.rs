@@ -1,0 +1,490 @@
+//! The separator-based search structure for the neighborhood query problem
+//! (Section 3 of the paper).
+//!
+//! Given a `k`-ply neighborhood system `B`, build a binary tree: each
+//! internal node stores a sphere separator `S` of the ball *centers*; the
+//! left subtree indexes `B_I(S) ∪ B_O(S)` (balls meeting the closed
+//! interior) and the right subtree `B_E(S) ∪ B_O(S)` (balls meeting the
+//! closed exterior) — crossing balls are duplicated into both. A query
+//! point descends by its side of each separator (surface ties go left, the
+//! paper's convention) and scans one leaf.
+//!
+//! Costs (Lemma 3.1): height `O(log n)`, leaves `O(n / m₀)`, total space
+//! `O(n)`, query `O(log n + m₀)`; parallel construction in `O(log n)`
+//! rounds w.h.p. (Theorem 3.1).
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sepdc_geom::ball::Ball;
+use sepdc_geom::point::Point;
+use sepdc_geom::shape::Separator;
+use sepdc_scan::CostProfile;
+use sepdc_separator::{find_good_separator, SearchOutcome, SeparatorConfig};
+
+/// Build parameters for the query structure.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryTreeConfig {
+    /// Leaf capacity `m₀`. The paper requires `m₀^μ ≤ ((1-δ)/2)·m₀` for
+    /// the recurrences of Lemma 3.1; with the default `δ, μ` this holds
+    /// for `m₀ ≥ ~150`, but smaller leaves are fine in practice and only
+    /// affect constants. The default trades a slightly taller tree for
+    /// cheaper leaf scans.
+    pub leaf_size: usize,
+    /// Separator search configuration.
+    pub separator: SeparatorConfig,
+    /// Subtree size below which construction stops forking rayon tasks.
+    pub parallel_cutoff: usize,
+}
+
+impl Default for QueryTreeConfig {
+    fn default() -> Self {
+        QueryTreeConfig {
+            leaf_size: 48,
+            separator: SeparatorConfig::default(),
+            parallel_cutoff: 4096,
+        }
+    }
+}
+
+enum QNode<const D: usize> {
+    Internal {
+        sep: Separator<D>,
+        left: Box<QNode<D>>,
+        right: Box<QNode<D>>,
+    },
+    Leaf {
+        /// Indices into the original ball array.
+        ball_ids: Vec<u32>,
+    },
+}
+
+/// Structural statistics, the measurable side of Lemma 3.1.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryTreeStats {
+    /// Tree height (edges on the longest root-leaf path).
+    pub height: usize,
+    /// Number of leaves.
+    pub leaves: usize,
+    /// Number of internal nodes.
+    pub internals: usize,
+    /// Total ball references across leaves (the `O(n)` space bound).
+    pub stored_balls: usize,
+    /// Unit-time separator candidates drawn during construction.
+    pub candidates: u64,
+    /// Nodes where the deterministic fallback cut was used.
+    pub fallbacks: usize,
+    /// Nodes where no separator could split and the node became an
+    /// oversized leaf.
+    pub forced_leaves: usize,
+}
+
+/// The search structure.
+pub struct QueryTree<const D: usize> {
+    root: QNode<D>,
+    balls: Vec<Ball<D>>,
+    stats: QueryTreeStats,
+    cost: CostProfile,
+}
+
+struct BuildCtx<'a, const D: usize> {
+    balls: &'a [Ball<D>],
+    cfg: &'a QueryTreeConfig,
+}
+
+/// Outcome of one recursive build: node plus accumulated stats/cost.
+struct Built<const D: usize> {
+    node: QNode<D>,
+    stats: QueryTreeStats,
+    cost: CostProfile,
+}
+
+impl<const D: usize> QueryTree<D> {
+    /// Build the structure over a neighborhood system. `E` must be `D + 1`
+    /// (stereographic lift dimension).
+    ///
+    /// Deterministic given `seed`. Construction is parallel (rayon join on
+    /// the two subtrees), mirroring *Parallel Neighborhood Querying*.
+    ///
+    /// ```
+    /// use sepdc_core::{QueryTree, QueryTreeConfig};
+    /// use sepdc_geom::{Ball, Point};
+    ///
+    /// let balls: Vec<Ball<2>> = (0..200)
+    ///     .map(|i| Ball::new(Point::from([(i % 20) as f64, (i / 20) as f64]), 0.6))
+    ///     .collect();
+    /// let tree = QueryTree::build::<3>(&balls, QueryTreeConfig::default(), 7);
+    /// let hits = tree.covering(&Point::from([5.0, 5.0]));
+    /// assert!(hits.contains(&105)); // the ball centered exactly there
+    /// ```
+    pub fn build<const E: usize>(balls: &[Ball<D>], cfg: QueryTreeConfig, seed: u64) -> Self {
+        assert_eq!(E, D + 1, "QueryTree::build requires E = D + 1");
+        let ids: Vec<u32> = (0..balls.len() as u32).collect();
+        let ctx = BuildCtx { balls, cfg: &cfg };
+        let built = build_rec::<D, E>(&ctx, ids, seed);
+        QueryTree {
+            root: built.node,
+            balls: balls.to_vec(),
+            stats: built.stats,
+            cost: built.cost,
+        }
+    }
+
+    /// Indices of all balls whose *closed* body contains `p`.
+    pub fn covering(&self, p: &Point<D>) -> Vec<u32> {
+        let leaf = self.descend(p);
+        leaf.iter()
+            .copied()
+            .filter(|&i| self.balls[i as usize].contains(p))
+            .collect()
+    }
+
+    /// Indices of all balls whose *open interior* contains `p` — the
+    /// predicate the correction step needs (a point strictly inside a
+    /// k-neighborhood ball invalidates its radius).
+    pub fn covering_interior(&self, p: &Point<D>) -> Vec<u32> {
+        let leaf = self.descend(p);
+        leaf.iter()
+            .copied()
+            .filter(|&i| self.balls[i as usize].contains_interior(p))
+            .collect()
+    }
+
+    /// The leaf ball-id list a query point lands in.
+    fn descend(&self, p: &Point<D>) -> &[u32] {
+        let mut node = &self.root;
+        loop {
+            match node {
+                QNode::Leaf { ball_ids } => return ball_ids,
+                QNode::Internal { sep, left, right } => {
+                    node = if sep.side(p).routes_interior() {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Number of tree nodes visited plus leaf balls scanned for `p` —
+    /// the measured query cost `O(log n + m₀)`.
+    pub fn query_cost(&self, p: &Point<D>) -> usize {
+        let mut node = &self.root;
+        let mut visited = 0;
+        loop {
+            visited += 1;
+            match node {
+                QNode::Leaf { ball_ids } => return visited + ball_ids.len(),
+                QNode::Internal { sep, left, right } => {
+                    node = if sep.side(p).routes_interior() {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Batch query: open-interior covering sets for many probes, in
+    /// parallel — the shape the correction steps consume ("for all p ∈ P,
+    /// in parallel").
+    pub fn batch_covering_interior(&self, probes: &[Point<D>]) -> Vec<Vec<u32>> {
+        use rayon::prelude::*;
+        if probes.len() < 1024 {
+            probes.iter().map(|p| self.covering_interior(p)).collect()
+        } else {
+            probes
+                .par_iter()
+                .map(|p| self.covering_interior(p))
+                .collect()
+        }
+    }
+
+    /// Structural statistics.
+    pub fn stats(&self) -> QueryTreeStats {
+        self.stats
+    }
+
+    /// Work–depth profile of the (parallel) construction.
+    pub fn build_cost(&self) -> CostProfile {
+        self.cost
+    }
+
+    /// Number of balls indexed.
+    pub fn len(&self) -> usize {
+        self.balls.len()
+    }
+
+    /// `true` when no balls are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.balls.is_empty()
+    }
+}
+
+fn leaf_stats(ids_len: usize, forced: bool) -> QueryTreeStats {
+    QueryTreeStats {
+        height: 0,
+        leaves: 1,
+        internals: 0,
+        stored_balls: ids_len,
+        candidates: 0,
+        fallbacks: 0,
+        forced_leaves: usize::from(forced),
+    }
+}
+
+fn merge_stats(
+    a: QueryTreeStats,
+    b: QueryTreeStats,
+    candidates: u64,
+    fallback: bool,
+) -> QueryTreeStats {
+    QueryTreeStats {
+        height: 1 + a.height.max(b.height),
+        leaves: a.leaves + b.leaves,
+        internals: 1 + a.internals + b.internals,
+        stored_balls: a.stored_balls + b.stored_balls,
+        candidates: a.candidates + b.candidates + candidates,
+        fallbacks: a.fallbacks + b.fallbacks + usize::from(fallback),
+        forced_leaves: a.forced_leaves + b.forced_leaves,
+    }
+}
+
+fn build_rec<const D: usize, const E: usize>(
+    ctx: &BuildCtx<'_, D>,
+    ids: Vec<u32>,
+    seed: u64,
+) -> Built<D> {
+    let m = ids.len();
+    if m <= ctx.cfg.leaf_size {
+        return Built {
+            node: QNode::Leaf { ball_ids: ids },
+            stats: leaf_stats(m, false),
+            cost: CostProfile::round(m as u64),
+        };
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let centers: Vec<Point<D>> = ids.iter().map(|&i| ctx.balls[i as usize].center).collect();
+    let found = find_good_separator::<D, E, _>(&centers, &ctx.cfg.separator, &mut rng);
+    let Some(found) = found else {
+        // Unsplittable (e.g. all centers identical): oversized leaf.
+        return Built {
+            node: QNode::Leaf { ball_ids: ids },
+            stats: leaf_stats(m, true),
+            cost: CostProfile::round(m as u64),
+        };
+    };
+    let sep = found.separator;
+    // Route balls: closed-interior contact goes left, closed-exterior goes
+    // right; crossers go both ways (B₀ = B_I ∪ B_O, B₁ = B_E ∪ B_O).
+    let mut left_ids = Vec::new();
+    let mut right_ids = Vec::new();
+    for &i in &ids {
+        let b = &ctx.balls[i as usize];
+        let l = b.touches_interior_of(&sep);
+        let r = b.touches_exterior_of(&sep);
+        debug_assert!(l || r, "ball reaches no side of the separator");
+        if l {
+            left_ids.push(i);
+        }
+        if r {
+            right_ids.push(i);
+        }
+    }
+    if left_ids.len() >= m || right_ids.len() >= m {
+        // No progress (every ball crosses): oversized leaf. With k-ply
+        // systems and good separators this fires only on adversarial
+        // degenerate inputs.
+        return Built {
+            node: QNode::Leaf { ball_ids: ids },
+            stats: leaf_stats(m, true),
+            cost: CostProfile::round(m as u64),
+        };
+    }
+    let fallback = found.outcome == SearchOutcome::Fallback;
+    let attempts = found.attempts as u64;
+    let (lseed, rseed) = (seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1), {
+        seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(2)
+    });
+    let (lb, rb) = if m > ctx.cfg.parallel_cutoff {
+        rayon::join(
+            || build_rec::<D, E>(ctx, left_ids, lseed),
+            || build_rec::<D, E>(ctx, right_ids, rseed),
+        )
+    } else {
+        (
+            build_rec::<D, E>(ctx, left_ids, lseed),
+            build_rec::<D, E>(ctx, right_ids, rseed),
+        )
+    };
+    // Cost: the candidate rounds plus one scan (the split) at this node,
+    // then the two children in parallel.
+    let local = CostProfile::scan(m as u64).with_candidates(attempts);
+    let cost = local.then(lb.cost.alongside(rb.cost));
+    Built {
+        node: QNode::Internal {
+            sep,
+            left: Box::new(lb.node),
+            right: Box::new(rb.node),
+        },
+        stats: merge_stats(lb.stats, rb.stats, attempts, fallback),
+        cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_knn;
+    use crate::neighborhood::NeighborhoodSystem;
+    use sepdc_workloads::Workload;
+
+    fn knn_system(n: usize, k: usize, seed: u64) -> (Vec<Point<2>>, NeighborhoodSystem<2>) {
+        let pts = Workload::UniformCube.generate::<2>(n, seed);
+        let knn = brute_force_knn(&pts, k);
+        let sys = NeighborhoodSystem::from_knn(&pts, &knn);
+        (pts, sys)
+    }
+
+    #[test]
+    fn covering_matches_linear_scan() {
+        let (pts, sys) = knn_system(600, 2, 1);
+        let tree = QueryTree::build::<3>(sys.balls(), QueryTreeConfig::default(), 42);
+        for p in pts.iter().take(100) {
+            let mut fast = tree.covering(p);
+            fast.sort_unstable();
+            let mut slow: Vec<u32> = sys
+                .balls()
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.contains(p))
+                .map(|(i, _)| i as u32)
+                .collect();
+            slow.sort_unstable();
+            assert_eq!(fast, slow, "covering mismatch at {p:?}");
+        }
+    }
+
+    #[test]
+    fn covering_interior_matches_linear_scan() {
+        let (pts, sys) = knn_system(400, 1, 2);
+        let tree = QueryTree::build::<3>(sys.balls(), QueryTreeConfig::default(), 7);
+        for p in pts.iter().take(80) {
+            let mut fast = tree.covering_interior(p);
+            fast.sort_unstable();
+            let mut slow: Vec<u32> = sys
+                .balls()
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.contains_interior(p))
+                .map(|(i, _)| i as u32)
+                .collect();
+            slow.sort_unstable();
+            assert_eq!(fast, slow);
+        }
+    }
+
+    #[test]
+    fn covering_works_for_off_sample_probes() {
+        let (_, sys) = knn_system(500, 2, 3);
+        let tree = QueryTree::build::<3>(sys.balls(), QueryTreeConfig::default(), 9);
+        let probes = Workload::UniformCube.generate::<2>(200, 99);
+        for p in &probes {
+            let mut fast = tree.covering(p);
+            fast.sort_unstable();
+            let mut slow: Vec<u32> = sys
+                .balls()
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.contains(p))
+                .map(|(i, _)| i as u32)
+                .collect();
+            slow.sort_unstable();
+            assert_eq!(fast, slow);
+        }
+    }
+
+    #[test]
+    fn height_is_logarithmic() {
+        let (_, sys) = knn_system(2000, 1, 4);
+        let tree = QueryTree::build::<3>(sys.balls(), QueryTreeConfig::default(), 11);
+        let stats = tree.stats();
+        let log2n = (2000f64).log2();
+        assert!(
+            (stats.height as f64) < 4.0 * log2n,
+            "height {} too large vs log2(n) = {log2n:.1}",
+            stats.height
+        );
+    }
+
+    #[test]
+    fn space_is_linear() {
+        let (_, sys) = knn_system(3000, 1, 5);
+        let tree = QueryTree::build::<3>(sys.balls(), QueryTreeConfig::default(), 13);
+        let stats = tree.stats();
+        // Lemma 3.1: stored balls = O(n). Allow a generous constant.
+        assert!(
+            stats.stored_balls < 6 * 3000,
+            "stored {} not O(n)",
+            stats.stored_balls
+        );
+        assert!(stats.leaves * tree_cfg_leaf() >= 3000, "leaves too few");
+    }
+
+    fn tree_cfg_leaf() -> usize {
+        QueryTreeConfig::default().leaf_size
+    }
+
+    #[test]
+    fn tiny_system_is_single_leaf() {
+        let balls = vec![Ball::new(Point::<2>::origin(), 1.0); 5];
+        let tree = QueryTree::build::<3>(&balls, QueryTreeConfig::default(), 1);
+        let stats = tree.stats();
+        assert_eq!(stats.leaves, 1);
+        assert_eq!(stats.height, 0);
+        assert_eq!(tree.covering(&Point::origin()).len(), 5);
+    }
+
+    #[test]
+    fn identical_centers_forced_leaf() {
+        let balls = vec![Ball::new(Point::<2>::splat(1.0), 0.5); 200];
+        let tree = QueryTree::build::<3>(&balls, QueryTreeConfig::default(), 2);
+        assert!(tree.stats().forced_leaves >= 1);
+        assert_eq!(tree.covering(&Point::splat(1.0)).len(), 200);
+        assert!(tree.covering(&Point::splat(9.0)).is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (_, sys) = knn_system(500, 1, 6);
+        let a = QueryTree::build::<3>(sys.balls(), QueryTreeConfig::default(), 5);
+        let b = QueryTree::build::<3>(sys.balls(), QueryTreeConfig::default(), 5);
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn build_cost_depth_scales_with_height() {
+        let (_, sys) = knn_system(2000, 1, 7);
+        let tree = QueryTree::build::<3>(sys.balls(), QueryTreeConfig::default(), 3);
+        let cost = tree.build_cost();
+        let stats = tree.stats();
+        assert!(cost.depth as usize >= stats.height);
+        assert!(cost.separator_candidates >= stats.internals as u64);
+        // Work is near-linear-ish: O(n log n) with small constants here.
+        assert!(cost.work < 80 * 2000 * 11);
+    }
+
+    #[test]
+    fn query_cost_is_logarithmic_plus_leaf() {
+        let (pts, sys) = knn_system(4000, 1, 8);
+        let cfg = QueryTreeConfig::default();
+        let tree = QueryTree::build::<3>(sys.balls(), cfg, 21);
+        let mut worst = 0;
+        for p in pts.iter().take(200) {
+            worst = worst.max(tree.query_cost(p));
+        }
+        let bound = 6 * (4000f64).log2() as usize + 8 * cfg.leaf_size;
+        assert!(worst <= bound, "query cost {worst} > bound {bound}");
+    }
+}

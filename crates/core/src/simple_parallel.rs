@@ -1,0 +1,317 @@
+//! *Simple Parallel Divide-and-Conquer* (Section 5): the `O(log² n)` time,
+//! `n` processor k-neighborhood algorithm.
+//!
+//! 1. split the points in half with a (median) hyperplane;
+//! 2. recursively compute the k-neighborhood systems of the two halves, in
+//!    parallel;
+//! 3. correct every ball that intersects the cutting hyperplane by querying
+//!    the Section 3 search structure built over the crossing balls.
+//!
+//! This is the hyperplane-based baseline (Bentley's shape with the paper's
+//! improved combine step). Each level costs `O(log n)` rounds for the
+//! query-structure correction, and there are `O(log n)` levels, hence
+//! `O(log² n)` depth. The statistics expose the crossing counts that
+//! motivate Section 6: on hyperplane-adversarial inputs a single cut is
+//! crossed by `Ω(n)` balls.
+
+use crate::config::KnnDcConfig;
+use crate::correction::{collect_crossing, correct_unbounded, correct_via_query};
+use crate::knn::{solve_subset_brute, KnnResult};
+use crate::shared::SharedLists;
+use sepdc_geom::point::Point;
+use sepdc_scan::CostProfile;
+use sepdc_separator::hyperplane_cut::median_cut_cycling;
+
+/// Statistics from one run of the Section 5 algorithm.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SimpleDcStats {
+    /// Recursion tree height.
+    pub height: usize,
+    /// Total crossing balls summed over all nodes.
+    pub total_crossing: u64,
+    /// Largest crossing count at any single node.
+    pub max_node_crossing: usize,
+    /// Largest crossing count at any node, as a fraction of that node's
+    /// subset size — the `Ω(1)` exhibit on adversarial inputs.
+    pub max_crossing_fraction: f64,
+    /// Base-case leaves.
+    pub base_leaves: usize,
+    /// Nodes where no hyperplane could split (identical points).
+    pub forced_leaves: usize,
+}
+
+impl SimpleDcStats {
+    fn leaf(forced: bool) -> Self {
+        SimpleDcStats {
+            base_leaves: 1,
+            forced_leaves: usize::from(forced),
+            ..Default::default()
+        }
+    }
+
+    fn merge(self, other: Self, node_crossing: usize, node_size: usize) -> Self {
+        let frac = node_crossing as f64 / node_size.max(1) as f64;
+        SimpleDcStats {
+            height: 1 + self.height.max(other.height),
+            total_crossing: self.total_crossing + other.total_crossing + node_crossing as u64,
+            max_node_crossing: self
+                .max_node_crossing
+                .max(other.max_node_crossing)
+                .max(node_crossing),
+            max_crossing_fraction: self
+                .max_crossing_fraction
+                .max(other.max_crossing_fraction)
+                .max(frac),
+            base_leaves: self.base_leaves + other.base_leaves,
+            forced_leaves: self.forced_leaves + other.forced_leaves,
+        }
+    }
+}
+
+/// Output of [`simple_parallel_knn`].
+pub struct SimpleDcOutput {
+    /// The k-nearest-neighbor lists.
+    pub knn: KnnResult,
+    /// Work–depth profile (depth is the `O(log² n)` quantity).
+    pub cost: CostProfile,
+    /// Structural statistics.
+    pub stats: SimpleDcStats,
+}
+
+struct Ctx<'a, const D: usize> {
+    points: &'a [Point<D>],
+    lists: &'a SharedLists,
+    cfg: &'a KnnDcConfig,
+    base: usize,
+}
+
+/// Section 5: hyperplane divide and conquer with query-structure
+/// correction. `E` must be `D + 1`.
+pub fn simple_parallel_knn<const D: usize, const E: usize>(
+    points: &[Point<D>],
+    cfg: &KnnDcConfig,
+) -> SimpleDcOutput {
+    assert_eq!(E, D + 1, "simple_parallel_knn requires E = D + 1");
+    let n = points.len();
+    let lists = SharedLists::new(n, cfg.k);
+    let base = cfg.resolve_base_case(n, D);
+    let ctx = Ctx {
+        points,
+        lists: &lists,
+        cfg,
+        base,
+    };
+    let ids: Vec<u32> = (0..n as u32).collect();
+    let (cost, stats) = rec::<D, E>(&ctx, ids, cfg.seed, 0);
+    SimpleDcOutput {
+        knn: lists.into_result(),
+        cost,
+        stats,
+    }
+}
+
+fn rec<const D: usize, const E: usize>(
+    ctx: &Ctx<'_, D>,
+    ids: Vec<u32>,
+    seed: u64,
+    depth: usize,
+) -> (CostProfile, SimpleDcStats) {
+    let m = ids.len();
+    if m <= ctx.base {
+        solve_subset_into(ctx, &ids);
+        return (
+            CostProfile::rounds(m as u64, m as u64),
+            SimpleDcStats::leaf(false),
+        );
+    }
+    let subset_points: Vec<Point<D>> = ids.iter().map(|&i| ctx.points[i as usize]).collect();
+    let Some(sep) = median_cut_cycling(&subset_points, depth) else {
+        // All points identical: brute leaf.
+        solve_subset_into(ctx, &ids);
+        return (
+            CostProfile::rounds(m as u64, m as u64),
+            SimpleDcStats::leaf(true),
+        );
+    };
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for &i in &ids {
+        if sep.side(&ctx.points[i as usize]).routes_interior() {
+            left.push(i);
+        } else {
+            right.push(i);
+        }
+    }
+    if left.is_empty() || right.is_empty() {
+        solve_subset_into(ctx, &ids);
+        return (
+            CostProfile::rounds(m as u64, m as u64),
+            SimpleDcStats::leaf(true),
+        );
+    }
+
+    let lseed = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    let rseed = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(2);
+    let ((lcost, lstats), (rcost, rstats)) = if m > ctx.cfg.parallel_cutoff {
+        rayon::join(
+            || rec::<D, E>(ctx, left.clone(), lseed, depth + 1),
+            || rec::<D, E>(ctx, right.clone(), rseed, depth + 1),
+        )
+    } else {
+        (
+            rec::<D, E>(ctx, left.clone(), lseed, depth + 1),
+            rec::<D, E>(ctx, right.clone(), rseed, depth + 1),
+        )
+    };
+
+    // Correction: query structure over all crossing balls (both sides).
+    let (mut crossing, unbounded_l) = collect_crossing(ctx.points, ctx.lists, &left, &sep);
+    let (cross_r, unbounded_r) = collect_crossing(ctx.points, ctx.lists, &right, &sep);
+    crossing.extend(cross_r);
+    correct_unbounded(ctx.points, ctx.lists, &unbounded_l, &right);
+    correct_unbounded(ctx.points, ctx.lists, &unbounded_r, &left);
+    let node_crossing = crossing.len();
+    let qseed = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(3);
+    let corr_cost =
+        correct_via_query::<D, E>(ctx.points, ctx.lists, &ids, &crossing, ctx.cfg.query, qseed);
+
+    let local = CostProfile::scan(m as u64); // the split
+    let cost = local.then(lcost.alongside(rcost)).then(corr_cost);
+    let stats = lstats.merge(rstats, node_crossing, m);
+    (cost, stats)
+}
+
+fn solve_subset_into<const D: usize>(ctx: &Ctx<'_, D>, ids: &[u32]) {
+    let mut tmp = KnnResult::new(ctx.points.len(), ctx.lists.k());
+    solve_subset_brute(ctx.points, ids, &mut tmp);
+    for &i in ids {
+        ctx.lists
+            .set_list(i as usize, tmp.neighbors(i as usize).to_vec());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_knn;
+    use sepdc_workloads::Workload;
+
+    fn check_matches_oracle<const D: usize, const E: usize>(
+        w: Workload,
+        n: usize,
+        k: usize,
+        seed: u64,
+    ) {
+        let pts = w.generate::<D>(n, seed);
+        let cfg = KnnDcConfig::new(k).with_seed(seed ^ 0xABCD);
+        let out = simple_parallel_knn::<D, E>(&pts, &cfg);
+        let oracle = brute_force_knn(&pts, k);
+        out.knn
+            .same_distances(&oracle, 1e-9)
+            .unwrap_or_else(|e| panic!("{} n={n} k={k}: {e}", w.name()));
+        out.knn.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn matches_oracle_uniform_2d() {
+        check_matches_oracle::<2, 3>(Workload::UniformCube, 800, 1, 1);
+        check_matches_oracle::<2, 3>(Workload::UniformCube, 800, 4, 2);
+    }
+
+    #[test]
+    fn matches_oracle_adversarial() {
+        check_matches_oracle::<2, 3>(Workload::TwoSlabs, 600, 1, 3);
+        check_matches_oracle::<2, 3>(Workload::SphereShell, 600, 2, 4);
+        check_matches_oracle::<2, 3>(Workload::NoisyLine, 500, 3, 5);
+    }
+
+    #[test]
+    fn matches_oracle_3d() {
+        check_matches_oracle::<3, 4>(Workload::UniformCube, 700, 2, 6);
+        check_matches_oracle::<3, 4>(Workload::Clusters, 700, 1, 7);
+    }
+
+    #[test]
+    fn small_inputs() {
+        for n in [1usize, 2, 5, 33] {
+            let pts = Workload::UniformCube.generate::<2>(n, 8);
+            let cfg = KnnDcConfig::new(1);
+            let out = simple_parallel_knn::<2, 3>(&pts, &cfg);
+            let oracle = brute_force_knn(&pts, 1);
+            out.knn.same_distances(&oracle, 1e-12).unwrap();
+        }
+    }
+
+    #[test]
+    fn duplicate_points() {
+        let mut pts = Workload::UniformCube.generate::<2>(200, 9);
+        let dup = pts[0];
+        for _ in 0..50 {
+            pts.push(dup);
+        }
+        let cfg = KnnDcConfig::new(2);
+        let out = simple_parallel_knn::<2, 3>(&pts, &cfg);
+        let oracle = brute_force_knn(&pts, 2);
+        out.knn.same_distances(&oracle, 1e-12).unwrap();
+    }
+
+    #[test]
+    fn all_identical_points() {
+        let pts = vec![sepdc_geom::Point::<2>::splat(1.0); 100];
+        let cfg = KnnDcConfig::new(3);
+        let out = simple_parallel_knn::<2, 3>(&pts, &cfg);
+        assert!(out.stats.forced_leaves >= 1);
+        for i in 0..100 {
+            assert_eq!(out.knn.radius_sq(i), 0.0);
+        }
+    }
+
+    #[test]
+    fn crossing_stats_expose_adversarial_structure() {
+        // On two-slabs, the level that cuts along the slab axis is crossed
+        // by a constant fraction of the balls.
+        let pts = Workload::TwoSlabs.generate::<2>(1024, 10);
+        let cfg = KnnDcConfig::new(1);
+        let out = simple_parallel_knn::<2, 3>(&pts, &cfg);
+        assert!(
+            out.stats.max_crossing_fraction > 0.3,
+            "expected Ω(n) crossing on two-slabs, got fraction {}",
+            out.stats.max_crossing_fraction
+        );
+        // Uniform control: crossings are sublinear at every node.
+        let upts = Workload::UniformCube.generate::<2>(1024, 11);
+        let uout = simple_parallel_knn::<2, 3>(&upts, &cfg);
+        assert!(
+            uout.stats.max_crossing_fraction < out.stats.max_crossing_fraction,
+            "uniform {} vs slabs {}",
+            uout.stats.max_crossing_fraction,
+            out.stats.max_crossing_fraction
+        );
+    }
+
+    #[test]
+    fn depth_is_polylog() {
+        let pts = Workload::UniformCube.generate::<2>(4096, 12);
+        let cfg = KnnDcConfig::new(1);
+        let out = simple_parallel_knn::<2, 3>(&pts, &cfg);
+        let log2n = (4096f64).log2();
+        // Depth O(log² n) with modest constants (base-case adds ~base).
+        let bound = 40.0 * log2n * log2n;
+        assert!(
+            (out.cost.depth as f64) < bound,
+            "depth {} vs bound {bound}",
+            out.cost.depth
+        );
+        assert!(out.stats.height as f64 <= 3.0 * log2n);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pts = Workload::Clusters.generate::<2>(500, 13);
+        let cfg = KnnDcConfig::new(2).with_seed(99);
+        let a = simple_parallel_knn::<2, 3>(&pts, &cfg);
+        let b = simple_parallel_knn::<2, 3>(&pts, &cfg);
+        a.knn.same_distances(&b.knn, 0.0).unwrap();
+        assert_eq!(a.stats, b.stats);
+    }
+}

@@ -1,0 +1,186 @@
+//! Validation utilities: the checks the test suite runs, exposed as a
+//! public API so downstream users (and the experiment harness) can verify
+//! results on their own data.
+
+use crate::brute::brute_force_knn;
+use crate::knn::KnnResult;
+use rayon::prelude::*;
+use sepdc_geom::point::Point;
+
+/// A failed validation, with enough context to debug.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ValidationError {
+    /// Which check failed.
+    pub check: &'static str,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "validation '{}' failed: {}", self.check, self.detail)
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+fn err(check: &'static str, detail: String) -> ValidationError {
+    ValidationError { check, detail }
+}
+
+/// Full validation of a k-NN result against its point set:
+///
+/// 1. structural invariants (sorted, deduplicated, capped, no self-loops);
+/// 2. recorded distances match the actual point coordinates;
+/// 3. **radius maximality**: no non-listed point is strictly closer than
+///    the k-th listed distance (the defining property of the
+///    k-neighborhood ball) — checked exhaustively, `O(n²)` but parallel.
+pub fn validate_knn<const D: usize>(
+    points: &[Point<D>],
+    knn: &KnnResult,
+) -> Result<(), ValidationError> {
+    if points.len() != knn.len() {
+        return Err(err(
+            "length",
+            format!("{} points vs {} lists", points.len(), knn.len()),
+        ));
+    }
+    knn.check_invariants().map_err(|e| err("invariants", e))?;
+
+    // Distances must be genuine.
+    for i in 0..points.len() {
+        for nb in knn.neighbors(i) {
+            let actual = points[i].dist_sq(&points[nb.idx as usize]);
+            if (actual - nb.dist_sq).abs() > 1e-9 * (1.0 + actual) {
+                return Err(err(
+                    "distances",
+                    format!(
+                        "point {i} -> {}: recorded {} vs actual {actual}",
+                        nb.idx, nb.dist_sq
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Radius maximality, in parallel.
+    let k = knn.k();
+    let bad: Option<(usize, usize)> = (0..points.len()).into_par_iter().find_map_any(|i| {
+        let expected_len = k.min(points.len().saturating_sub(1));
+        if knn.neighbors(i).len() != expected_len {
+            return Some((i, usize::MAX));
+        }
+        let r_sq = knn.radius_sq(i);
+        if !r_sq.is_finite() {
+            return None; // short list already reported above
+        }
+        let listed = knn.neighbors(i);
+        for (j, p) in points.iter().enumerate() {
+            if j == i {
+                continue;
+            }
+            let d = points[i].dist_sq(p);
+            // Strictly closer than the k-th and not listed => missed.
+            if d < r_sq * (1.0 - 1e-12) - 1e-300 && !listed.iter().any(|nb| nb.idx as usize == j) {
+                return Some((i, j));
+            }
+        }
+        None
+    });
+    if let Some((i, j)) = bad {
+        if j == usize::MAX {
+            return Err(err("completeness", format!("point {i}: short list")));
+        }
+        return Err(err(
+            "maximality",
+            format!("point {i} misses closer neighbor {j}"),
+        ));
+    }
+    Ok(())
+}
+
+/// Validate by direct comparison against a freshly computed brute-force
+/// oracle (distance profiles, tie-insensitive).
+pub fn validate_against_oracle<const D: usize>(
+    points: &[Point<D>],
+    knn: &KnnResult,
+    tol: f64,
+) -> Result<(), ValidationError> {
+    let oracle = brute_force_knn(points, knn.k());
+    knn.same_distances(&oracle, tol)
+        .map_err(|e| err("oracle", e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::Neighbor;
+    use sepdc_workloads::Workload;
+
+    #[test]
+    fn oracle_result_validates() {
+        let pts = Workload::UniformCube.generate::<2>(300, 1);
+        let knn = brute_force_knn(&pts, 3);
+        validate_knn(&pts, &knn).unwrap();
+        validate_against_oracle(&pts, &knn, 1e-12).unwrap();
+    }
+
+    #[test]
+    fn corrupted_distance_is_caught() {
+        let pts = Workload::UniformCube.generate::<2>(50, 2);
+        let mut knn = brute_force_knn(&pts, 1);
+        let wrong = vec![Neighbor {
+            idx: 1,
+            dist_sq: 0.0, // almost surely not the true distance
+        }];
+        knn.set_list(0, wrong);
+        assert!(validate_knn(&pts, &knn).is_err());
+    }
+
+    #[test]
+    fn missing_closer_neighbor_is_caught() {
+        // Three collinear points; claim 2's neighbor is 0 (distance 2)
+        // while 1 is at distance 1.
+        let pts = vec![
+            Point::<1>::from([0.0]),
+            Point::from([1.0]),
+            Point::from([2.0]),
+        ];
+        let mut knn = brute_force_knn(&pts, 1);
+        knn.set_list(
+            2,
+            vec![Neighbor {
+                idx: 0,
+                dist_sq: 4.0,
+            }],
+        );
+        let e = validate_knn(&pts, &knn).unwrap_err();
+        assert_eq!(e.check, "maximality");
+    }
+
+    #[test]
+    fn short_list_is_caught() {
+        let pts = Workload::UniformCube.generate::<2>(20, 3);
+        let mut knn = brute_force_knn(&pts, 2);
+        knn.set_list(5, Vec::new());
+        let e = validate_knn(&pts, &knn).unwrap_err();
+        assert_eq!(e.check, "completeness");
+    }
+
+    #[test]
+    fn length_mismatch_is_caught() {
+        let pts = Workload::UniformCube.generate::<2>(10, 4);
+        let knn = KnnResult::new(9, 1);
+        assert_eq!(validate_knn(&pts, &knn).unwrap_err().check, "length");
+    }
+
+    #[test]
+    fn parallel_and_simple_results_validate() {
+        let pts = Workload::TwoSlabs.generate::<2>(400, 5);
+        let cfg = crate::KnnDcConfig::new(2);
+        let par = crate::parallel_knn::<2, 3>(&pts, &cfg);
+        validate_knn(&pts, &par.knn).unwrap();
+        let simple = crate::simple_parallel_knn::<2, 3>(&pts, &cfg);
+        validate_knn(&pts, &simple.knn).unwrap();
+    }
+}

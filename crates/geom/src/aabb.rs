@@ -1,0 +1,218 @@
+//! Axis-aligned bounding boxes.
+//!
+//! Used for coordinate normalization (the unit-time separator pipeline
+//! scales its sample into a box before lifting) and for spatial pruning in
+//! the baselines.
+
+use crate::ball::Ball;
+use crate::point::Point;
+use crate::shape::Separator;
+
+/// A (possibly empty) axis-aligned box `[lo, hi]`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Aabb<const D: usize> {
+    /// Component-wise minimum corner.
+    pub lo: Point<D>,
+    /// Component-wise maximum corner.
+    pub hi: Point<D>,
+}
+
+impl<const D: usize> Aabb<D> {
+    /// The empty box (inverted bounds; absorbs under [`Aabb::union_point`]).
+    pub fn empty() -> Self {
+        Aabb {
+            lo: Point::splat(f64::INFINITY),
+            hi: Point::splat(f64::NEG_INFINITY),
+        }
+    }
+
+    /// Bounding box of a point set (empty box for an empty slice).
+    pub fn of_points(points: &[Point<D>]) -> Self {
+        let mut b = Self::empty();
+        for p in points {
+            b = b.union_point(p);
+        }
+        b
+    }
+
+    /// `true` when no point has been absorbed.
+    pub fn is_empty(&self) -> bool {
+        (0..D).any(|i| self.lo[i] > self.hi[i])
+    }
+
+    /// Grow to include `p`.
+    #[must_use]
+    pub fn union_point(&self, p: &Point<D>) -> Self {
+        Aabb {
+            lo: self.lo.min(p),
+            hi: self.hi.max(p),
+        }
+    }
+
+    /// Box center (undefined on empty boxes).
+    pub fn center(&self) -> Point<D> {
+        (self.lo + self.hi) / 2.0
+    }
+
+    /// Largest side length (0 for empty/degenerate boxes).
+    pub fn max_extent(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        (0..D).map(|i| self.hi[i] - self.lo[i]).fold(0.0, f64::max)
+    }
+
+    /// Axis with the largest extent.
+    pub fn widest_axis(&self) -> usize {
+        (0..D)
+            .max_by(|&a, &b| {
+                (self.hi[a] - self.lo[a])
+                    .partial_cmp(&(self.hi[b] - self.lo[b]))
+                    .expect("non-finite extent")
+            })
+            .unwrap_or(0)
+    }
+
+    /// `true` when `p` lies in the closed box.
+    pub fn contains(&self, p: &Point<D>) -> bool {
+        (0..D).all(|i| self.lo[i] <= p[i] && p[i] <= self.hi[i])
+    }
+
+    /// Squared distance from `p` to the box (0 inside).
+    pub fn dist_sq(&self, p: &Point<D>) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..D {
+            let d = if p[i] < self.lo[i] {
+                self.lo[i] - p[i]
+            } else if p[i] > self.hi[i] {
+                p[i] - self.hi[i]
+            } else {
+                0.0
+            };
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// `true` when the closed ball intersects the box.
+    pub fn intersects_ball(&self, b: &Ball<D>) -> bool {
+        self.dist_sq(&b.center) <= b.radius * b.radius
+    }
+
+    /// Conservative test: `true` when the box *may* straddle the separator
+    /// surface (i.e. it is not provably on one side). Exact for
+    /// halfspaces; for spheres uses the box-to-center distance interval.
+    pub fn may_cross(&self, sep: &Separator<D>) -> bool {
+        match sep {
+            Separator::Halfspace(h) => {
+                // Interval of the linear functional over the box corners.
+                let mut lo = -h.offset;
+                let mut hi = -h.offset;
+                for i in 0..D {
+                    let a = h.normal[i] * self.lo[i];
+                    let b = h.normal[i] * self.hi[i];
+                    lo += a.min(b);
+                    hi += a.max(b);
+                }
+                lo <= 0.0 && hi >= 0.0
+            }
+            Separator::Sphere(s) => {
+                let dmin = self.dist_sq(&s.center).sqrt();
+                let dmax = (0..D)
+                    .map(|i| {
+                        let f = (s.center[i] - self.lo[i])
+                            .abs()
+                            .max((s.center[i] - self.hi[i]).abs());
+                        f * f
+                    })
+                    .sum::<f64>()
+                    .sqrt();
+                dmin <= s.radius && dmax >= s.radius
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sphere::Sphere;
+    use crate::Hyperplane;
+
+    #[test]
+    fn empty_box_semantics() {
+        let b = Aabb::<2>::empty();
+        assert!(b.is_empty());
+        assert_eq!(b.max_extent(), 0.0);
+        let b2 = b.union_point(&Point::from([1.0, 2.0]));
+        assert!(!b2.is_empty());
+        assert_eq!(b2.lo, b2.hi);
+    }
+
+    #[test]
+    fn of_points_bounds_everything() {
+        let pts = vec![
+            Point::<3>::from([0.0, 5.0, -1.0]),
+            Point::from([2.0, -3.0, 4.0]),
+            Point::from([1.0, 1.0, 1.0]),
+        ];
+        let b = Aabb::of_points(&pts);
+        for p in &pts {
+            assert!(b.contains(p));
+        }
+        assert_eq!(b.lo.coords(), &[0.0, -3.0, -1.0]);
+        assert_eq!(b.hi.coords(), &[2.0, 5.0, 4.0]);
+        assert_eq!(b.widest_axis(), 1);
+        assert_eq!(b.max_extent(), 8.0);
+    }
+
+    #[test]
+    fn dist_sq_inside_and_outside() {
+        let b = Aabb {
+            lo: Point::<2>::from([0.0, 0.0]),
+            hi: Point::from([1.0, 1.0]),
+        };
+        assert_eq!(b.dist_sq(&Point::from([0.5, 0.5])), 0.0);
+        assert_eq!(b.dist_sq(&Point::from([2.0, 0.5])), 1.0);
+        assert_eq!(b.dist_sq(&Point::from([2.0, 2.0])), 2.0);
+    }
+
+    #[test]
+    fn ball_intersection() {
+        let b = Aabb {
+            lo: Point::<2>::from([0.0, 0.0]),
+            hi: Point::from([1.0, 1.0]),
+        };
+        assert!(b.intersects_ball(&Ball::new(Point::from([2.0, 0.5]), 1.0)));
+        assert!(!b.intersects_ball(&Ball::new(Point::from([3.0, 0.5]), 1.0)));
+    }
+
+    #[test]
+    fn may_cross_halfspace_exact() {
+        let b = Aabb {
+            lo: Point::<2>::from([0.0, 0.0]),
+            hi: Point::from([1.0, 1.0]),
+        };
+        assert!(b.may_cross(&Hyperplane::axis_aligned(0, 0.5).into()));
+        assert!(!b.may_cross(&Hyperplane::axis_aligned(0, 2.0).into()));
+        assert!(!b.may_cross(&Hyperplane::axis_aligned(0, -1.0).into()));
+        // Boundary-touching counts as crossing (closed).
+        assert!(b.may_cross(&Hyperplane::axis_aligned(0, 1.0).into()));
+    }
+
+    #[test]
+    fn may_cross_sphere() {
+        let b = Aabb {
+            lo: Point::<2>::from([0.0, 0.0]),
+            hi: Point::from([1.0, 1.0]),
+        };
+        // Sphere surface passing through the box.
+        assert!(b.may_cross(&Sphere::new(Point::from([0.5, 0.5]), 0.4).into()));
+        // Tiny sphere buried inside: surface inside box — crosses.
+        assert!(b.may_cross(&Sphere::new(Point::from([0.5, 0.5]), 0.1).into()));
+        // Box fully inside a huge sphere: no crossing.
+        assert!(!b.may_cross(&Sphere::new(Point::from([0.5, 0.5]), 10.0).into()));
+        // Box fully outside a far sphere: no crossing.
+        assert!(!b.may_cross(&Sphere::new(Point::from([10.0, 10.0]), 1.0).into()));
+    }
+}

@@ -1,0 +1,146 @@
+//! Closed balls, the elements of neighborhood systems (Section 2 of the
+//! paper).
+
+use crate::point::Point;
+use crate::shape::Separator;
+
+/// A closed ball `{ x : |x - center| <= radius }`.
+///
+/// Radius zero is permitted: the `k`-neighborhood ball of a point that
+/// coincides with `k` duplicates degenerates to a point, and the marching
+/// predicates remain well defined.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Ball<const D: usize> {
+    /// Center.
+    pub center: Point<D>,
+    /// Non-negative radius.
+    pub radius: f64,
+}
+
+impl<const D: usize> Ball<D> {
+    /// Construct a ball.
+    ///
+    /// # Panics
+    /// Panics on non-finite or negative radius.
+    pub fn new(center: Point<D>, radius: f64) -> Self {
+        assert!(
+            radius.is_finite() && radius >= 0.0,
+            "ball radius must be finite and non-negative, got {radius}"
+        );
+        Ball { center, radius }
+    }
+
+    /// `true` when `p` lies in the closed ball.
+    pub fn contains(&self, p: &Point<D>) -> bool {
+        self.center.dist_sq(p) <= self.radius * self.radius
+    }
+
+    /// `true` when `p` lies in the open interior.
+    ///
+    /// The paper's `k`-neighborhood ball is "the largest ball whose
+    /// *interior* contains at most `k - 1` points", so the open predicate is
+    /// the one used when counting.
+    pub fn contains_interior(&self, p: &Point<D>) -> bool {
+        self.center.dist_sq(p) < self.radius * self.radius
+    }
+
+    /// `true` when this ball and `other` intersect (closed).
+    pub fn intersects(&self, other: &Ball<D>) -> bool {
+        let d = self.center.dist(&other.center);
+        d <= self.radius + other.radius
+    }
+
+    /// `true` when this ball crosses the separator surface.
+    pub fn crosses(&self, sep: &Separator<D>) -> bool {
+        sep.intersects_ball(&self.center, self.radius)
+    }
+
+    /// Marching predicate: ball meets the separator or its interior.
+    pub fn touches_interior_of(&self, sep: &Separator<D>) -> bool {
+        sep.ball_touches_interior(&self.center, self.radius)
+    }
+
+    /// Marching predicate: ball meets the separator or its exterior.
+    pub fn touches_exterior_of(&self, sep: &Separator<D>) -> bool {
+        sep.ball_touches_exterior(&self.center, self.radius)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sphere::Sphere;
+
+    #[test]
+    fn contains_open_vs_closed() {
+        let b = Ball::new(Point::<2>::origin(), 1.0);
+        let on = Point::from([1.0, 0.0]);
+        assert!(b.contains(&on));
+        assert!(!b.contains_interior(&on));
+        assert!(b.contains_interior(&Point::from([0.5, 0.0])));
+        assert!(!b.contains(&Point::from([1.5, 0.0])));
+    }
+
+    #[test]
+    fn zero_radius_ball_contains_only_center() {
+        let b = Ball::new(Point::<3>::splat(2.0), 0.0);
+        assert!(b.contains(&Point::splat(2.0)));
+        assert!(!b.contains_interior(&Point::splat(2.0)));
+        assert!(!b.contains(&Point::from([2.0, 2.0, 2.1])));
+    }
+
+    #[test]
+    fn ball_ball_intersection() {
+        let a = Ball::new(Point::<2>::origin(), 1.0);
+        let b = Ball::new(Point::from([1.5, 0.0]), 1.0);
+        let c = Ball::new(Point::from([3.0, 0.0]), 0.5);
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&c));
+        assert!(!a.intersects(&c));
+        // Tangency counts (closed balls).
+        let t = Ball::new(Point::from([2.0, 0.0]), 1.0);
+        assert!(a.intersects(&t));
+    }
+
+    #[test]
+    fn crossing_and_marching_agree_with_sphere() {
+        let sep: Separator<2> = Sphere::new(Point::origin(), 2.0).into();
+        let straddle = Ball::new(Point::from([2.0, 0.0]), 0.5);
+        assert!(straddle.crosses(&sep));
+        assert!(straddle.touches_interior_of(&sep));
+        assert!(straddle.touches_exterior_of(&sep));
+
+        let inside = Ball::new(Point::origin(), 0.5);
+        assert!(!inside.crosses(&sep));
+        assert!(inside.touches_interior_of(&sep));
+        assert!(!inside.touches_exterior_of(&sep));
+
+        let outside = Ball::new(Point::from([5.0, 0.0]), 0.5);
+        assert!(!outside.crosses(&sep));
+        assert!(!outside.touches_interior_of(&sep));
+        assert!(outside.touches_exterior_of(&sep));
+    }
+
+    #[test]
+    fn every_ball_reaches_at_least_one_side() {
+        let sep: Separator<2> = Sphere::new(Point::from([0.3, -0.7]), 1.3).into();
+        for (c, r) in [
+            (Point::from([0.0, 0.0]), 0.1),
+            (Point::from([4.0, 4.0]), 2.0),
+            (Point::from([0.3, -0.7]), 1.3),
+            (Point::from([0.3, 0.6]), 0.0),
+        ] {
+            let b = Ball::new(c, r);
+            assert!(
+                b.touches_interior_of(&sep) || b.touches_exterior_of(&sep),
+                "ball at {c:?} r={r} reaches no side"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn new_rejects_negative_radius() {
+        Ball::new(Point::<2>::origin(), -1.0);
+    }
+}

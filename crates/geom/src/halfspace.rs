@@ -1,0 +1,129 @@
+//! Hyperplanes in `R^D`, used both as degenerate separators (great circles
+//! through the stereographic north pole map back to hyperplanes) and as the
+//! Bentley-style cutting primitive the paper compares against.
+
+use crate::point::Point;
+use crate::shape::Side;
+
+/// An oriented hyperplane `{ x : normal . x = offset }` with unit `normal`.
+///
+/// The "interior" side is `normal . x < offset`; this orientation convention
+/// makes [`Hyperplane`] a drop-in generalized sphere (interior ↔ sphere
+/// interior).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Hyperplane<const D: usize> {
+    /// Unit normal.
+    pub normal: Point<D>,
+    /// Offset along the normal.
+    pub offset: f64,
+}
+
+impl<const D: usize> Hyperplane<D> {
+    /// Construct from a (not necessarily unit) normal and a point on the
+    /// plane. Returns `None` for a near-zero normal.
+    pub fn through_point(normal: Point<D>, point: &Point<D>, tol: f64) -> Option<Self> {
+        let n = normal.normalized(tol)?;
+        Some(Hyperplane {
+            normal: n,
+            offset: n.dot(point),
+        })
+    }
+
+    /// Axis-aligned hyperplane `x[axis] = value` with interior `x[axis] < value`.
+    pub fn axis_aligned(axis: usize, value: f64) -> Self {
+        Hyperplane {
+            normal: Point::basis(axis),
+            offset: value,
+        }
+    }
+
+    /// Signed distance: negative on the interior side, positive exterior.
+    pub fn signed_distance(&self, p: &Point<D>) -> f64 {
+        self.normal.dot(p) - self.offset
+    }
+
+    /// Classify a point with tolerance `tol`.
+    pub fn side_with_tol(&self, p: &Point<D>, tol: f64) -> Side {
+        let s = self.signed_distance(p);
+        if s < -tol {
+            Side::Interior
+        } else if s > tol {
+            Side::Exterior
+        } else {
+            Side::Surface
+        }
+    }
+
+    /// Classify with the crate default tolerance.
+    pub fn side(&self, p: &Point<D>) -> Side {
+        self.side_with_tol(p, crate::EPS)
+    }
+
+    /// `true` when the closed ball `B(p, r)` meets the plane.
+    pub fn intersects_ball(&self, p: &Point<D>, r: f64) -> bool {
+        self.signed_distance(p).abs() <= r
+    }
+
+    /// `true` when the closed ball meets the closed interior halfspace.
+    pub fn ball_touches_interior(&self, p: &Point<D>, r: f64) -> bool {
+        self.signed_distance(p) - r <= 0.0
+    }
+
+    /// `true` when the closed ball meets the closed exterior halfspace.
+    pub fn ball_touches_exterior(&self, p: &Point<D>, r: f64) -> bool {
+        self.signed_distance(p) + r >= 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_aligned_classification() {
+        let h = Hyperplane::<2>::axis_aligned(0, 1.0);
+        assert_eq!(h.side(&Point::from([0.0, 5.0])), Side::Interior);
+        assert_eq!(h.side(&Point::from([2.0, -5.0])), Side::Exterior);
+        assert_eq!(h.side(&Point::from([1.0, 0.0])), Side::Surface);
+    }
+
+    #[test]
+    fn through_point_normalizes() {
+        let h =
+            Hyperplane::<3>::through_point(Point::from([0.0, 0.0, 2.0]), &Point::splat(1.0), 1e-12)
+                .unwrap();
+        assert!((h.normal.norm() - 1.0).abs() < 1e-12);
+        assert!(h.signed_distance(&Point::splat(1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn through_point_rejects_zero_normal() {
+        assert!(
+            Hyperplane::<3>::through_point(Point::origin(), &Point::splat(1.0), 1e-12).is_none()
+        );
+    }
+
+    #[test]
+    fn ball_predicates() {
+        let h = Hyperplane::<2>::axis_aligned(1, 0.0);
+        // Ball strictly interior.
+        assert!(h.ball_touches_interior(&Point::from([0.0, -3.0]), 1.0));
+        assert!(!h.ball_touches_exterior(&Point::from([0.0, -3.0]), 1.0));
+        assert!(!h.intersects_ball(&Point::from([0.0, -3.0]), 1.0));
+        // Crossing ball reaches both sides.
+        assert!(h.intersects_ball(&Point::from([0.0, 0.5]), 1.0));
+        assert!(h.ball_touches_interior(&Point::from([0.0, 0.5]), 1.0));
+        assert!(h.ball_touches_exterior(&Point::from([0.0, 0.5]), 1.0));
+        // Tangent ball (closed predicate).
+        assert!(h.intersects_ball(&Point::from([0.0, 1.0]), 1.0));
+    }
+
+    #[test]
+    fn signed_distance_linear_in_normal_direction() {
+        let h = Hyperplane::<3>::axis_aligned(2, 2.0);
+        for t in [-1.0, 0.0, 2.0, 5.5] {
+            let p = Point::from([7.0, -3.0, t]);
+            assert!((h.signed_distance(&p) - (t - 2.0)).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! Small dense linear algebra.
+//!
+//! The separator machinery needs three solvers, all on systems whose size is
+//! bounded by the (constant) dimension:
+//!
+//! * `solve` — square systems, for circumspheres through `D+1` points;
+//! * `null_vector` — a nontrivial kernel vector of an under-determined
+//!   homogeneous system, for Radon points of `D+2` points;
+//! * [`Rotation`] — an orthogonal map taking a given unit vector to the
+//!   last coordinate axis, for the MTTV conformal normalization.
+//!
+//! Matrices here are tiny (at most `(D+1) x (D+2)` with `D <= 8`), so plain
+//! Gaussian elimination with partial pivoting is both adequate and fast; no
+//! blocking or SIMD is warranted.
+
+use crate::point::Point;
+
+/// Row-major dense matrix of `f64`.
+#[derive(Clone, Debug)]
+pub struct DMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DMatrix {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from a row-major closure.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m[(r, c)] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    fn idx(&self, r: usize, c: usize) -> usize {
+        debug_assert!(r < self.rows && c < self.cols);
+        r * self.cols + c
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for c in 0..self.cols {
+            let ia = self.idx(a, c);
+            let ib = self.idx(b, c);
+            self.data.swap(ia, ib);
+        }
+    }
+
+    /// Reduce `self` to row echelon form in place (partial pivoting).
+    /// Returns the pivot column of each pivot row, in order.
+    fn echelon(&mut self, tol: f64) -> Vec<usize> {
+        let mut pivots = Vec::new();
+        let mut row = 0;
+        for col in 0..self.cols {
+            if row == self.rows {
+                break;
+            }
+            // Find the largest pivot in this column at or below `row`.
+            let mut best = row;
+            for r in row + 1..self.rows {
+                if self[(r, col)].abs() > self[(best, col)].abs() {
+                    best = r;
+                }
+            }
+            if self[(best, col)].abs() <= tol {
+                continue; // free column
+            }
+            self.swap_rows(row, best);
+            let pivot = self[(row, col)];
+            for r in row + 1..self.rows {
+                let factor = self[(r, col)] / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                for c in col..self.cols {
+                    let v = self[(row, c)];
+                    self[(r, c)] -= factor * v;
+                }
+                self[(r, col)] = 0.0; // clear residual rounding
+            }
+            pivots.push(col);
+            row += 1;
+        }
+        pivots
+    }
+
+    /// Solve the square system `self * x = b` by Gaussian elimination with
+    /// partial pivoting. Returns `None` when the matrix is singular to
+    /// within `tol`.
+    ///
+    /// # Panics
+    /// Panics when the matrix is not square or `b.len() != rows`.
+    pub fn solve(&self, b: &[f64], tol: f64) -> Option<Vec<f64>> {
+        assert_eq!(self.rows, self.cols, "solve requires a square matrix");
+        assert_eq!(b.len(), self.rows, "rhs length mismatch");
+        let n = self.rows;
+        // Augmented matrix [A | b].
+        let mut aug = DMatrix::from_fn(n, n + 1, |r, c| if c < n { self[(r, c)] } else { b[r] });
+        let pivots = aug.echelon(tol);
+        if pivots.len() < n {
+            return None;
+        }
+        // Back substitution.
+        let mut x = vec![0.0; n];
+        for r in (0..n).rev() {
+            let mut acc = aug[(r, n)];
+            for c in r + 1..n {
+                acc -= aug[(r, c)] * x[c];
+            }
+            let diag = aug[(r, r)];
+            if diag.abs() <= tol {
+                return None;
+            }
+            x[r] = acc / diag;
+        }
+        Some(x)
+    }
+
+    /// A nontrivial vector in the kernel of `self` (homogeneous system
+    /// `self * x = 0`), normalized to unit length. Returns `None` when the
+    /// kernel is trivial to within `tol` (matrix has full column rank).
+    ///
+    /// Used for Radon points: the affine-dependence coefficients of `d + 2`
+    /// points in `R^d` form exactly such a kernel vector.
+    pub fn null_vector(&self, tol: f64) -> Option<Vec<f64>> {
+        let mut m = self.clone();
+        let pivots = m.echelon(tol);
+        if pivots.len() == self.cols {
+            return None;
+        }
+        // Choose the first free column and back-substitute with its
+        // variable fixed to 1.
+        let pivot_set: Vec<usize> = pivots.clone();
+        let free = (0..self.cols)
+            .find(|c| !pivot_set.contains(c))
+            .expect("rank < cols implies a free column");
+        let mut x = vec![0.0; self.cols];
+        x[free] = 1.0;
+        // Pivot rows are 0..pivots.len(), pivot of row r is pivot_set[r].
+        for r in (0..pivot_set.len()).rev() {
+            let pc = pivot_set[r];
+            let mut acc = 0.0;
+            for c in pc + 1..self.cols {
+                acc -= m[(r, c)] * x[c];
+            }
+            x[pc] = acc / m[(r, pc)];
+        }
+        let norm = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm <= tol {
+            return None;
+        }
+        for v in &mut x {
+            *v /= norm;
+        }
+        Some(x)
+    }
+
+    /// Rank to within `tol`.
+    pub fn rank(&self, tol: f64) -> usize {
+        self.clone().echelon(tol).len()
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for DMatrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[self.idx(r, c)]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for DMatrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        let i = self.idx(r, c);
+        &mut self.data[i]
+    }
+}
+
+/// An orthogonal map of `R^D` represented as a Householder reflection
+/// (or the identity), built to take a prescribed unit vector to the
+/// positive last coordinate axis `e_{D-1}`.
+///
+/// A single reflection suffices: reflecting across the bisector of `v` and
+/// `e_{D-1}` maps one to the other. Reflections are orthogonal, which is all
+/// the conformal-map argument requires (the paper needs *some* rotation `Q`
+/// with `Qz` on the axis; an orthogonal involution serves identically and is
+/// numerically exact to apply).
+#[derive(Clone, Debug)]
+pub struct Rotation<const D: usize> {
+    /// Householder unit vector, or `None` for the identity map.
+    u: Option<Point<D>>,
+}
+
+impl<const D: usize> Rotation<D> {
+    /// Identity map.
+    pub fn identity() -> Self {
+        Rotation { u: None }
+    }
+
+    /// Map taking unit vector `v` to `e_{D-1}` (the last axis).
+    ///
+    /// # Panics
+    /// Panics when `v` is not approximately unit length.
+    pub fn to_last_axis(v: &Point<D>) -> Self {
+        assert!(
+            (v.norm() - 1.0).abs() < 1e-6,
+            "to_last_axis requires a unit vector, got |v| = {}",
+            v.norm()
+        );
+        let axis = Point::<D>::basis(D - 1);
+        let diff = *v - axis;
+        match diff.normalized(1e-12) {
+            None => Rotation::identity(),
+            Some(u) => Rotation { u: Some(u) },
+        }
+    }
+
+    /// Apply the map.
+    pub fn apply(&self, p: &Point<D>) -> Point<D> {
+        match &self.u {
+            None => *p,
+            Some(u) => *p - *u * (2.0 * u.dot(p)),
+        }
+    }
+
+    /// Apply the inverse map. Householder reflections are involutions, so
+    /// this equals [`Rotation::apply`]; kept separate for call-site clarity.
+    pub fn apply_inverse(&self, p: &Point<D>) -> Point<D> {
+        self.apply(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_identity() {
+        let m = DMatrix::from_fn(3, 3, |r, c| if r == c { 1.0 } else { 0.0 });
+        let x = m.solve(&[1.0, 2.0, 3.0], 1e-12).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solve_general_system() {
+        // 2x + y = 5 ; x - y = 1  =>  x = 2, y = 1
+        let m = DMatrix::from_fn(2, 2, |r, c| [[2.0, 1.0], [1.0, -1.0]][r][c]);
+        let x = m.solve(&[5.0, 1.0], 1e-12).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_singular_returns_none() {
+        let m = DMatrix::from_fn(2, 2, |r, _| if r == 0 { 1.0 } else { 2.0 });
+        assert!(m.solve(&[1.0, 2.0], 1e-12).is_none());
+    }
+
+    #[test]
+    fn solve_needs_pivoting() {
+        // Leading zero forces a row swap.
+        let m = DMatrix::from_fn(2, 2, |r, c| [[0.0, 1.0], [1.0, 0.0]][r][c]);
+        let x = m.solve(&[3.0, 4.0], 1e-12).unwrap();
+        assert!((x[0] - 4.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn null_vector_of_wide_matrix() {
+        // x + y + z = 0 has a 2-dimensional kernel.
+        let m = DMatrix::from_fn(1, 3, |_, _| 1.0);
+        let v = m.null_vector(1e-12).unwrap();
+        let s: f64 = v.iter().sum();
+        assert!(s.abs() < 1e-9, "kernel vector must satisfy the system");
+        let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn null_vector_none_for_full_rank() {
+        let m = DMatrix::from_fn(3, 3, |r, c| if r == c { 1.0 } else { 0.0 });
+        assert!(m.null_vector(1e-12).is_none());
+    }
+
+    #[test]
+    fn null_vector_annihilates_random_wide_matrix() {
+        // Deterministic pseudo-random entries.
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed % 1000) as f64 / 500.0 - 1.0
+        };
+        let m = DMatrix::from_fn(4, 6, |_, _| next());
+        let v = m.null_vector(1e-10).unwrap();
+        for r in 0..4 {
+            let dot: f64 = (0..6).map(|c| m[(r, c)] * v[c]).sum();
+            assert!(dot.abs() < 1e-8, "row {r} residual {dot}");
+        }
+    }
+
+    #[test]
+    fn rank_detects_dependent_rows() {
+        let m = DMatrix::from_fn(3, 3, |r, c| (r * 3 + c) as f64); // rank 2
+        assert_eq!(m.rank(1e-9), 2);
+    }
+
+    #[test]
+    fn rotation_maps_vector_to_last_axis() {
+        let v = Point::<3>::from([1.0, 2.0, 2.0]) / 3.0; // unit
+        let rot = Rotation::to_last_axis(&v);
+        let img = rot.apply(&v);
+        assert!((img[0]).abs() < 1e-12);
+        assert!((img[1]).abs() < 1e-12);
+        assert!((img[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotation_preserves_norms_and_inverts() {
+        let v = Point::<4>::from([0.5, -0.5, 0.5, 0.5]);
+        let rot = Rotation::to_last_axis(&v);
+        let p = Point::<4>::from([0.3, 1.7, -2.0, 0.9]);
+        let q = rot.apply(&p);
+        assert!((q.norm() - p.norm()).abs() < 1e-12);
+        let back = rot.apply_inverse(&q);
+        assert!(back.dist(&p) < 1e-12);
+    }
+
+    #[test]
+    fn rotation_identity_when_already_on_axis() {
+        let v = Point::<3>::basis(2);
+        let rot = Rotation::to_last_axis(&v);
+        let p = Point::<3>::from([1.0, 2.0, 3.0]);
+        assert_eq!(rot.apply(&p), p);
+    }
+}

@@ -1,0 +1,347 @@
+//! Fixed-dimension points over `f64`.
+//!
+//! `Point<D>` doubles as a vector type; the distinction is not load-bearing
+//! for the algorithms in this workspace and keeping one type avoids
+//! conversion churn in hot loops.
+
+use std::ops::{Add, AddAssign, Div, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+/// A point (or vector) in `R^D`.
+///
+/// `Copy` and exactly `D * 8` bytes, so slices of points are cache-dense and
+/// safe to move across rayon tasks.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Point<const D: usize>(pub [f64; D]);
+
+impl<const D: usize> Default for Point<D> {
+    fn default() -> Self {
+        Self::origin()
+    }
+}
+
+impl<const D: usize> Point<D> {
+    /// The origin.
+    pub fn origin() -> Self {
+        Point([0.0; D])
+    }
+
+    /// Point with every coordinate equal to `v`.
+    pub fn splat(v: f64) -> Self {
+        Point([v; D])
+    }
+
+    /// The `i`-th standard basis vector.
+    ///
+    /// # Panics
+    /// Panics if `i >= D`.
+    pub fn basis(i: usize) -> Self {
+        assert!(i < D, "basis index {i} out of range for dimension {D}");
+        let mut c = [0.0; D];
+        c[i] = 1.0;
+        Point(c)
+    }
+
+    /// Coordinates as a slice.
+    pub fn coords(&self) -> &[f64; D] {
+        &self.0
+    }
+
+    /// Dot product.
+    pub fn dot(&self, other: &Self) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..D {
+            acc += self.0[i] * other.0[i];
+        }
+        acc
+    }
+
+    /// Squared Euclidean norm.
+    pub fn norm_sq(&self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Squared Euclidean distance to `other`.
+    ///
+    /// Preferred in hot loops: distance comparisons are monotone in the
+    /// square, and skipping `sqrt` matters for the all-pairs oracle.
+    pub fn dist_sq(&self, other: &Self) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..D {
+            let d = self.0[i] - other.0[i];
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn dist(&self, other: &Self) -> f64 {
+        self.dist_sq(other).sqrt()
+    }
+
+    /// Normalized copy, or `None` when the norm is below `tol`.
+    pub fn normalized(&self, tol: f64) -> Option<Self> {
+        let n = self.norm();
+        if n <= tol {
+            None
+        } else {
+            Some(*self / n)
+        }
+    }
+
+    /// Component-wise minimum.
+    pub fn min(&self, other: &Self) -> Self {
+        let mut c = [0.0; D];
+        for (i, v) in c.iter_mut().enumerate() {
+            *v = self.0[i].min(other.0[i]);
+        }
+        Point(c)
+    }
+
+    /// Component-wise maximum.
+    pub fn max(&self, other: &Self) -> Self {
+        let mut c = [0.0; D];
+        for (i, v) in c.iter_mut().enumerate() {
+            *v = self.0[i].max(other.0[i]);
+        }
+        Point(c)
+    }
+
+    /// Linear interpolation `self + t * (other - self)`.
+    pub fn lerp(&self, other: &Self, t: f64) -> Self {
+        let mut c = [0.0; D];
+        for (i, v) in c.iter_mut().enumerate() {
+            *v = self.0[i] + t * (other.0[i] - self.0[i]);
+        }
+        Point(c)
+    }
+
+    /// `true` when every coordinate is finite.
+    pub fn is_finite(&self) -> bool {
+        self.0.iter().all(|c| c.is_finite())
+    }
+
+    /// Centroid of a non-empty set of points.
+    ///
+    /// # Panics
+    /// Panics on an empty slice.
+    pub fn centroid(points: &[Self]) -> Self {
+        assert!(!points.is_empty(), "centroid of an empty point set");
+        let mut acc = Self::origin();
+        for p in points {
+            acc += *p;
+        }
+        acc / points.len() as f64
+    }
+
+    /// Lift to `R^{E}` with `E = D + 1`, appending coordinate `last`.
+    ///
+    /// Used by the stereographic machinery; `E` must equal `D + 1`
+    /// (checked at runtime because Rust cannot yet express `D + 1` in the
+    /// return type).
+    pub fn lift<const E: usize>(&self, last: f64) -> Point<E> {
+        assert_eq!(E, D + 1, "lift target dimension must be D + 1");
+        let mut c = [0.0; E];
+        c[..D].copy_from_slice(&self.0);
+        c[D] = last;
+        Point(c)
+    }
+
+    /// Drop the last coordinate, projecting to `R^{E}` with `E = D - 1`.
+    pub fn drop_last<const E: usize>(&self) -> Point<E> {
+        assert_eq!(E + 1, D, "drop_last target dimension must be D - 1");
+        let mut c = [0.0; E];
+        c.copy_from_slice(&self.0[..E]);
+        Point(c)
+    }
+
+    /// Last coordinate.
+    pub fn last(&self) -> f64 {
+        assert!(D > 0, "last coordinate of a zero-dimensional point");
+        self.0[D - 1]
+    }
+}
+
+impl<const D: usize> Index<usize> for Point<D> {
+    type Output = f64;
+    fn index(&self, i: usize) -> &f64 {
+        &self.0[i]
+    }
+}
+
+impl<const D: usize> IndexMut<usize> for Point<D> {
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.0[i]
+    }
+}
+
+impl<const D: usize> Add for Point<D> {
+    type Output = Self;
+    fn add(mut self, rhs: Self) -> Self {
+        for i in 0..D {
+            self.0[i] += rhs.0[i];
+        }
+        self
+    }
+}
+
+impl<const D: usize> AddAssign for Point<D> {
+    fn add_assign(&mut self, rhs: Self) {
+        for i in 0..D {
+            self.0[i] += rhs.0[i];
+        }
+    }
+}
+
+impl<const D: usize> Sub for Point<D> {
+    type Output = Self;
+    fn sub(mut self, rhs: Self) -> Self {
+        for i in 0..D {
+            self.0[i] -= rhs.0[i];
+        }
+        self
+    }
+}
+
+impl<const D: usize> SubAssign for Point<D> {
+    fn sub_assign(&mut self, rhs: Self) {
+        for i in 0..D {
+            self.0[i] -= rhs.0[i];
+        }
+    }
+}
+
+impl<const D: usize> Mul<f64> for Point<D> {
+    type Output = Self;
+    fn mul(mut self, s: f64) -> Self {
+        for c in &mut self.0 {
+            *c *= s;
+        }
+        self
+    }
+}
+
+impl<const D: usize> Div<f64> for Point<D> {
+    type Output = Self;
+    fn div(mut self, s: f64) -> Self {
+        for c in &mut self.0 {
+            *c /= s;
+        }
+        self
+    }
+}
+
+impl<const D: usize> Neg for Point<D> {
+    type Output = Self;
+    fn neg(mut self) -> Self {
+        for c in &mut self.0 {
+            *c = -*c;
+        }
+        self
+    }
+}
+
+impl<const D: usize> From<[f64; D]> for Point<D> {
+    fn from(c: [f64; D]) -> Self {
+        Point(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type P3 = Point<3>;
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let a = P3::from([1.0, 2.0, 3.0]);
+        let b = P3::from([-1.0, 0.5, 2.0]);
+        assert_eq!((a + b) - b, a);
+        assert_eq!(a * 2.0 / 2.0, a);
+        assert_eq!(-(-a), a);
+    }
+
+    #[test]
+    fn dot_and_norms() {
+        let a = P3::from([3.0, 4.0, 0.0]);
+        assert_eq!(a.norm_sq(), 25.0);
+        assert_eq!(a.norm(), 5.0);
+        let b = P3::from([0.0, 0.0, 2.0]);
+        assert_eq!(a.dot(&b), 0.0);
+    }
+
+    #[test]
+    fn distances_are_symmetric_and_consistent() {
+        let a = P3::from([1.0, 1.0, 1.0]);
+        let b = P3::from([2.0, 3.0, 1.0]);
+        assert!((a.dist(&b) - b.dist(&a)).abs() < 1e-15);
+        assert!((a.dist(&b).powi(2) - a.dist_sq(&b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn basis_vectors_are_orthonormal() {
+        for i in 0..3 {
+            for j in 0..3 {
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert_eq!(P3::basis(i).dot(&P3::basis(j)), expected);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "basis index")]
+    fn basis_rejects_out_of_range() {
+        P3::basis(3);
+    }
+
+    #[test]
+    fn normalized_unit_vector() {
+        let a = P3::from([0.0, 3.0, 4.0]);
+        let n = a.normalized(1e-12).unwrap();
+        assert!((n.norm() - 1.0).abs() < 1e-12);
+        assert!(P3::origin().normalized(1e-12).is_none());
+    }
+
+    #[test]
+    fn centroid_of_cube_corners() {
+        let pts: Vec<P3> = (0..8)
+            .map(|m| P3::from([(m & 1) as f64, ((m >> 1) & 1) as f64, ((m >> 2) & 1) as f64]))
+            .collect();
+        let c = P3::centroid(&pts);
+        for i in 0..3 {
+            assert!((c[i] - 0.5).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn lift_and_drop_roundtrip() {
+        let p = Point::<2>::from([1.5, -2.5]);
+        let q: Point<3> = p.lift(7.0);
+        assert_eq!(q.coords(), &[1.5, -2.5, 7.0]);
+        assert_eq!(q.last(), 7.0);
+        let back: Point<2> = q.drop_last();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = P3::from([0.0, 0.0, 0.0]);
+        let b = P3::from([2.0, 4.0, 6.0]);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        assert_eq!(a.lerp(&b, 0.5), P3::from([1.0, 2.0, 3.0]));
+    }
+
+    #[test]
+    fn min_max_componentwise() {
+        let a = P3::from([1.0, 5.0, -2.0]);
+        let b = P3::from([2.0, 3.0, -1.0]);
+        assert_eq!(a.min(&b), P3::from([1.0, 3.0, -2.0]));
+        assert_eq!(a.max(&b), P3::from([2.0, 5.0, -1.0]));
+    }
+}

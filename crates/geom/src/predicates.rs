@@ -1,0 +1,281 @@
+//! Determinant-based geometric predicates.
+//!
+//! Independent formulations of orientation and in-sphere tests, used to
+//! cross-validate the distance-based classification in [`crate::sphere`]
+//! and as a substrate for degenerate-input handling. Determinants are
+//! evaluated in `f64` with a relative error cutoff — adequate for the
+//! bounded, well-scaled inputs this workspace generates (the workload
+//! generators emit `O(1)` coordinates; the MTTV pipeline normalizes into a
+//! unit box before any delicate computation).
+
+use crate::matrix::DMatrix;
+use crate::point::Point;
+
+/// Orientation of `D + 1` points in `R^D`: the sign of the determinant of
+/// the edge matrix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Orientation {
+    /// Positive determinant.
+    Positive,
+    /// Negative determinant.
+    Negative,
+    /// Determinant within tolerance of zero (affinely degenerate).
+    Degenerate,
+}
+
+/// Determinant of a square [`DMatrix`] by LU elimination (partial
+/// pivoting).
+pub fn determinant(m: &DMatrix) -> f64 {
+    assert_eq!(m.rows(), m.cols(), "determinant of a non-square matrix");
+    let n = m.rows();
+    let mut a = m.clone();
+    let mut det = 1.0;
+    for col in 0..n {
+        // Pivot.
+        let mut best = col;
+        for r in col + 1..n {
+            if a[(r, col)].abs() > a[(best, col)].abs() {
+                best = r;
+            }
+        }
+        if a[(best, col)] == 0.0 {
+            return 0.0;
+        }
+        if best != col {
+            for c in 0..n {
+                let tmp = a[(col, c)];
+                a[(col, c)] = a[(best, c)];
+                a[(best, c)] = tmp;
+            }
+            det = -det;
+        }
+        det *= a[(col, col)];
+        for r in col + 1..n {
+            let f = a[(r, col)] / a[(col, col)];
+            for c in col..n {
+                let v = a[(col, c)];
+                a[(r, c)] -= f * v;
+            }
+        }
+    }
+    det
+}
+
+/// Orientation of the simplex `p[0], …, p[D]` in `R^D`.
+///
+/// # Panics
+/// Panics unless exactly `D + 1` points are given.
+pub fn orientation<const D: usize>(points: &[Point<D>], tol: f64) -> Orientation {
+    assert_eq!(points.len(), D + 1, "orientation needs D + 1 points");
+    let m = DMatrix::from_fn(D, D, |r, c| points[r + 1][c] - points[0][c]);
+    let det = determinant(&m);
+    // Relative cutoff against the magnitude of the entries.
+    let scale: f64 = points
+        .iter()
+        .flat_map(|p| p.coords().iter())
+        .fold(1.0f64, |a, &b| a.max(b.abs()));
+    let cutoff = tol * scale.powi(D as i32);
+    if det > cutoff {
+        Orientation::Positive
+    } else if det < -cutoff {
+        Orientation::Negative
+    } else {
+        Orientation::Degenerate
+    }
+}
+
+/// In-sphere test: is `q` inside the circumsphere of the `D + 1` points?
+///
+/// Uses the classical lifted determinant: the sign of
+/// `det [ p_i - q , |p_i - q|² ]` decides containment, independent of the
+/// explicit circumcenter. Returns `None` when the defining points are
+/// affinely degenerate (no unique circumsphere).
+pub fn in_circumsphere<const D: usize>(
+    points: &[Point<D>],
+    q: &Point<D>,
+    tol: f64,
+) -> Option<bool> {
+    assert_eq!(points.len(), D + 1, "in_circumsphere needs D + 1 points");
+    if orientation(points, tol) == Orientation::Degenerate {
+        return None;
+    }
+    let m = DMatrix::from_fn(D + 1, D + 1, |r, c| {
+        if c < D {
+            points[r][c] - q[c]
+        } else {
+            points[r].dist_sq(q)
+        }
+    });
+    let det = determinant(&m);
+    // Orient the sign: the lifted determinant's meaning flips with the
+    // orientation of the base simplex and with the parity of the row
+    // count (moving the lifted column across `D` coordinate columns
+    // contributes `(-1)^D`).
+    let base = DMatrix::from_fn(D, D, |r, c| points[r + 1][c] - points[0][c]);
+    let orient = determinant(&base);
+    let signed = if D.is_multiple_of(2) {
+        det * orient
+    } else {
+        -det * orient
+    };
+    Some(signed > 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sphere::Sphere;
+
+    #[test]
+    fn determinant_identity_and_swap() {
+        let id = DMatrix::from_fn(3, 3, |r, c| if r == c { 1.0 } else { 0.0 });
+        assert_eq!(determinant(&id), 1.0);
+        let swapped = DMatrix::from_fn(3, 3, |r, c| {
+            let rr = if r == 0 {
+                1
+            } else if r == 1 {
+                0
+            } else {
+                r
+            };
+            if rr == c {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        assert_eq!(determinant(&swapped), -1.0);
+    }
+
+    #[test]
+    fn determinant_known_value() {
+        // det [[2, 1], [1, 3]] = 5.
+        let m = DMatrix::from_fn(2, 2, |r, c| [[2.0, 1.0], [1.0, 3.0]][r][c]);
+        assert!((determinant(&m) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_singular() {
+        let m = DMatrix::from_fn(2, 2, |_, c| c as f64 + 1.0);
+        assert_eq!(determinant(&m), 0.0);
+    }
+
+    #[test]
+    fn orientation_2d() {
+        let ccw = [
+            Point::<2>::from([0.0, 0.0]),
+            Point::from([1.0, 0.0]),
+            Point::from([0.0, 1.0]),
+        ];
+        assert_eq!(orientation(&ccw, 1e-12), Orientation::Positive);
+        let cw = [ccw[0], ccw[2], ccw[1]];
+        assert_eq!(orientation(&cw, 1e-12), Orientation::Negative);
+        let line = [
+            Point::<2>::from([0.0, 0.0]),
+            Point::from([1.0, 1.0]),
+            Point::from([2.0, 2.0]),
+        ];
+        assert_eq!(orientation(&line, 1e-12), Orientation::Degenerate);
+    }
+
+    #[test]
+    fn in_circumsphere_agrees_with_explicit_sphere() {
+        let tri = [
+            Point::<2>::from([1.0, 0.0]),
+            Point::from([0.0, 1.0]),
+            Point::from([-1.0, 0.0]),
+        ];
+        let s = Sphere::circumsphere(&tri, 1e-12).unwrap();
+        for q in [
+            Point::from([0.0, 0.0]),
+            Point::from([0.5, 0.5]),
+            Point::from([2.0, 0.0]),
+            Point::from([0.9, 0.1]),
+            Point::from([-0.3, -0.8]),
+        ] {
+            let pred = in_circumsphere(&tri, &q, 1e-12).unwrap();
+            let explicit = s.signed_distance(&q) < 0.0;
+            assert_eq!(pred, explicit, "mismatch at {q:?}");
+        }
+    }
+
+    #[test]
+    fn in_circumsphere_3d_agrees() {
+        let tet = [
+            Point::<3>::from([1.0, 0.0, 0.0]),
+            Point::from([0.0, 1.0, 0.0]),
+            Point::from([0.0, 0.0, 1.0]),
+            Point::from([-1.0, 0.0, 0.0]),
+        ];
+        let s = Sphere::circumsphere(&tet, 1e-12).unwrap();
+        for q in [
+            Point::from([0.0, 0.0, 0.0]),
+            Point::from([0.9, 0.9, 0.9]),
+            Point::from([0.1, 0.1, -0.1]),
+        ] {
+            let pred = in_circumsphere(&tet, &q, 1e-12).unwrap();
+            assert_eq!(pred, s.signed_distance(&q) < 0.0, "at {q:?}");
+        }
+    }
+
+    #[test]
+    fn in_circumsphere_4d_agrees() {
+        // Cross-validate the parity-corrected sign in one more dimension.
+        let simplex = [
+            Point::<4>::from([1.0, 0.0, 0.0, 0.0]),
+            Point::from([0.0, 1.0, 0.0, 0.0]),
+            Point::from([0.0, 0.0, 1.0, 0.0]),
+            Point::from([0.0, 0.0, 0.0, 1.0]),
+            Point::from([-1.0, 0.0, 0.0, 0.0]),
+        ];
+        let s = Sphere::circumsphere(&simplex, 1e-12).unwrap();
+        for q in [
+            Point::from([0.0, 0.0, 0.0, 0.0]),
+            Point::from([0.9, 0.9, 0.0, 0.0]),
+            Point::from([0.2, -0.1, 0.1, 0.3]),
+        ] {
+            let pred = in_circumsphere(&simplex, &q, 1e-12).unwrap();
+            assert_eq!(pred, s.signed_distance(&q) < 0.0, "at {q:?}");
+        }
+    }
+
+    #[test]
+    fn in_circumsphere_random_cross_validation() {
+        // Many random triangles + probes against the explicit circumsphere.
+        let mut seed = 0x243F6A8885A308D3u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed % 2001) as f64 / 1000.0 - 1.0
+        };
+        for _ in 0..200 {
+            let tri = [
+                Point::<2>::from([next(), next()]),
+                Point::from([next(), next()]),
+                Point::from([next(), next()]),
+            ];
+            let Some(s) = Sphere::circumsphere(&tri, 1e-9) else {
+                continue;
+            };
+            let q = Point::from([next(), next()]);
+            let sd = s.signed_distance(&q);
+            if sd.abs() < 1e-6 {
+                continue; // too close to the surface for either method
+            }
+            if let Some(pred) = in_circumsphere(&tri, &q, 1e-9) {
+                assert_eq!(pred, sd < 0.0, "tri {tri:?} q {q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn in_circumsphere_degenerate_is_none() {
+        let line = [
+            Point::<2>::from([0.0, 0.0]),
+            Point::from([1.0, 0.0]),
+            Point::from([2.0, 0.0]),
+        ];
+        assert!(in_circumsphere(&line, &Point::from([0.5, 0.5]), 1e-9).is_none());
+    }
+}

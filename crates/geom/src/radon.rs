@@ -1,0 +1,224 @@
+//! Radon points.
+//!
+//! Radon's theorem: any `d + 2` points in `R^d` can be partitioned into two
+//! sets whose convex hulls intersect; a point in the intersection is a
+//! *Radon point*. Iterating Radon points yields the approximate centerpoints
+//! the MTTV separator pipeline needs (see [`crate::centerpoint`]).
+
+use crate::matrix::DMatrix;
+use crate::point::Point;
+
+/// A computed Radon point together with the witness partition.
+#[derive(Clone, Debug)]
+pub struct RadonPoint<const D: usize> {
+    /// The point common to both convex hulls.
+    pub point: Point<D>,
+    /// Indices (into the input) whose affine coefficient was positive.
+    pub positive: Vec<usize>,
+    /// Indices whose coefficient was negative.
+    pub negative: Vec<usize>,
+}
+
+/// Compute a Radon point of exactly `D + 2` points.
+///
+/// The affine dependence `Σ λ_i x_i = 0, Σ λ_i = 0` (a kernel vector of the
+/// `(D+1) × (D+2)` homogeneous system) is split by sign; the Radon point is
+/// the convex combination of the positive side with weights `λ_i / Σ⁺ λ`.
+///
+/// Returns `None` when the kernel computation degenerates numerically (for
+/// example, all points identical, making every kernel vector have a zero
+/// side). Duplicated points generally still succeed: any affine dependence
+/// with nonempty positive *and* negative parts yields a valid witness.
+///
+/// # Panics
+/// Panics unless `points.len() == D + 2`.
+pub fn radon_point<const D: usize>(points: &[Point<D>], tol: f64) -> Option<RadonPoint<D>> {
+    assert_eq!(
+        points.len(),
+        D + 2,
+        "radon_point needs exactly D + 2 = {} points, got {}",
+        D + 2,
+        points.len()
+    );
+    // Rows 0..D: coordinates; row D: the affine constraint Σ λ_i = 0.
+    let m = DMatrix::from_fn(D + 1, D + 2, |r, c| if r < D { points[c][r] } else { 1.0 });
+    let lambda = m.null_vector(tol)?;
+
+    let mut positive = Vec::new();
+    let mut negative = Vec::new();
+    let mut pos_sum = 0.0;
+    let mut acc = Point::<D>::origin();
+    for (i, &l) in lambda.iter().enumerate() {
+        if l > tol {
+            positive.push(i);
+            pos_sum += l;
+            acc += points[i] * l;
+        } else if l < -tol {
+            negative.push(i);
+        }
+    }
+    if positive.is_empty() || negative.is_empty() || pos_sum <= tol {
+        return None;
+    }
+    Some(RadonPoint {
+        point: acc / pos_sum,
+        positive,
+        negative,
+    })
+}
+
+/// Verify that `q` lies in the convex hull of `hull_points` by solving the
+/// convex-combination system exactly (small dense LP-free check: we solve
+/// the affine system and confirm non-negative weights). Intended for tests
+/// and debug assertions on tiny inputs.
+///
+/// Works only when `hull_points.len() <= D + 1` (a simplex); returns `false`
+/// for larger inputs rather than solving a general LP.
+pub fn in_simplex_hull<const D: usize>(q: &Point<D>, hull_points: &[Point<D>], tol: f64) -> bool {
+    let k = hull_points.len();
+    if k == 0 || k > D + 1 {
+        return false;
+    }
+    if k == 1 {
+        return q.dist(&hull_points[0]) <= tol;
+    }
+    // Solve Σ w_i x_i = q, Σ w_i = 1 in least-squares-free form: the system
+    // is (D+1) x k; we solve its normal equations via the square solver.
+    let a = DMatrix::from_fn(D + 1, k, |r, c| if r < D { hull_points[c][r] } else { 1.0 });
+    let mut rhs = vec![0.0; D + 1];
+    for r in 0..D {
+        rhs[r] = q[r];
+    }
+    rhs[D] = 1.0;
+    // Normal equations AᵀA w = Aᵀ rhs.
+    let ata = DMatrix::from_fn(k, k, |i, j| {
+        let mut s = 0.0;
+        for r in 0..D + 1 {
+            s += a[(r, i)] * a[(r, j)];
+        }
+        s
+    });
+    let atb: Vec<f64> = (0..k)
+        .map(|i| {
+            let mut s = 0.0;
+            for r in 0..D + 1 {
+                s += a[(r, i)] * rhs[r];
+            }
+            s
+        })
+        .collect();
+    let Some(w) = ata.solve(&atb, 1e-12) else {
+        return false;
+    };
+    // Residual check (normal equations can "solve" inconsistent systems).
+    for r in 0..D + 1 {
+        let mut s = 0.0;
+        for (c, &wc) in w.iter().enumerate() {
+            s += a[(r, c)] * wc;
+        }
+        if (s - rhs[r]).abs() > 1e-6 {
+            return false;
+        }
+    }
+    w.iter().all(|&wi| wi >= -tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn radon_point_of_square_plus_center_free() {
+        // Four corners of a square in R^2 (D+2 = 4 points).
+        let pts = [
+            Point::<2>::from([0.0, 0.0]),
+            Point::from([1.0, 0.0]),
+            Point::from([1.0, 1.0]),
+            Point::from([0.0, 1.0]),
+        ];
+        let r = radon_point(&pts, 1e-12).unwrap();
+        // The diagonals cross at the center.
+        assert!(r.point.dist(&Point::from([0.5, 0.5])) < 1e-9);
+        assert_eq!(r.positive.len() + r.negative.len(), 4);
+    }
+
+    #[test]
+    fn radon_point_in_both_hulls() {
+        let pts = [
+            Point::<2>::from([0.0, 0.0]),
+            Point::from([2.0, 0.1]),
+            Point::from([0.9, 1.7]),
+            Point::from([1.1, 0.6]),
+        ];
+        let r = radon_point(&pts, 1e-12).unwrap();
+        let pos: Vec<Point<2>> = r.positive.iter().map(|&i| pts[i]).collect();
+        let neg: Vec<Point<2>> = r.negative.iter().map(|&i| pts[i]).collect();
+        assert!(
+            in_simplex_hull(&r.point, &pos, 1e-7),
+            "not in positive hull"
+        );
+        assert!(
+            in_simplex_hull(&r.point, &neg, 1e-7),
+            "not in negative hull"
+        );
+    }
+
+    #[test]
+    fn radon_point_3d() {
+        let pts = [
+            Point::<3>::from([0.0, 0.0, 0.0]),
+            Point::from([1.0, 0.0, 0.0]),
+            Point::from([0.0, 1.0, 0.0]),
+            Point::from([0.0, 0.0, 1.0]),
+            Point::from([0.3, 0.3, 0.3]),
+        ];
+        let r = radon_point(&pts, 1e-12).unwrap();
+        let pos: Vec<Point<3>> = r.positive.iter().map(|&i| pts[i]).collect();
+        let neg: Vec<Point<3>> = r.negative.iter().map(|&i| pts[i]).collect();
+        assert!(in_simplex_hull(&r.point, &pos, 1e-7));
+        assert!(in_simplex_hull(&r.point, &neg, 1e-7));
+    }
+
+    #[test]
+    fn radon_point_degenerate_all_equal() {
+        let pts = [Point::<2>::splat(1.0); 4];
+        // All-equal points: either a valid witness (the point itself) or
+        // a clean None; never a bogus point elsewhere.
+        if let Some(r) = radon_point(&pts, 1e-12) {
+            assert!(r.point.dist(&Point::splat(1.0)) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn radon_point_collinear_points() {
+        // Collinear configurations still have affine dependencies.
+        let pts = [
+            Point::<2>::from([0.0, 0.0]),
+            Point::from([1.0, 1.0]),
+            Point::from([2.0, 2.0]),
+            Point::from([3.0, 3.0]),
+        ];
+        let r = radon_point(&pts, 1e-12).unwrap();
+        // Radon point must lie on the line y = x.
+        assert!((r.point[0] - r.point[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn in_simplex_hull_basic() {
+        let tri = [
+            Point::<2>::from([0.0, 0.0]),
+            Point::from([1.0, 0.0]),
+            Point::from([0.0, 1.0]),
+        ];
+        assert!(in_simplex_hull(&Point::from([0.25, 0.25]), &tri, 1e-9));
+        assert!(!in_simplex_hull(&Point::from([1.0, 1.0]), &tri, 1e-9));
+        assert!(in_simplex_hull(&Point::from([0.0, 0.0]), &tri, 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly D + 2")]
+    fn radon_point_wrong_count_panics() {
+        let pts = [Point::<2>::origin(); 3];
+        let _ = radon_point(&pts, 1e-12);
+    }
+}

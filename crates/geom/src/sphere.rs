@@ -1,0 +1,203 @@
+//! `(D-1)`-spheres in `R^D` and the circumsphere solver.
+
+use crate::matrix::DMatrix;
+use crate::point::Point;
+use crate::shape::Side;
+
+/// A `(D-1)`-sphere: the set `{ x : |x - center| = radius }`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Sphere<const D: usize> {
+    /// Center of the sphere.
+    pub center: Point<D>,
+    /// Radius (strictly positive for a valid separator).
+    pub radius: f64,
+}
+
+impl<const D: usize> Sphere<D> {
+    /// Construct a sphere.
+    ///
+    /// # Panics
+    /// Panics on non-finite or non-positive radius.
+    pub fn new(center: Point<D>, radius: f64) -> Self {
+        assert!(
+            radius.is_finite() && radius > 0.0,
+            "sphere radius must be finite and positive, got {radius}"
+        );
+        assert!(center.is_finite(), "sphere center must be finite");
+        Sphere { center, radius }
+    }
+
+    /// Signed distance of `p` to the sphere surface: negative inside,
+    /// zero on the surface, positive outside.
+    pub fn signed_distance(&self, p: &Point<D>) -> f64 {
+        self.center.dist(p) - self.radius
+    }
+
+    /// Classify a point against the sphere with tolerance `tol`.
+    pub fn side_with_tol(&self, p: &Point<D>, tol: f64) -> Side {
+        let s = self.signed_distance(p);
+        if s < -tol {
+            Side::Interior
+        } else if s > tol {
+            Side::Exterior
+        } else {
+            Side::Surface
+        }
+    }
+
+    /// Classify a point using the crate default tolerance.
+    pub fn side(&self, p: &Point<D>) -> Side {
+        self.side_with_tol(p, crate::EPS)
+    }
+
+    /// `true` when the closed ball `B(p, r)` meets the sphere surface,
+    /// i.e. `radius - r <= |p - center| <= radius + r`.
+    pub fn intersects_ball(&self, p: &Point<D>, r: f64) -> bool {
+        let d = self.center.dist(p);
+        d >= self.radius - r && d <= self.radius + r
+    }
+
+    /// `true` when the closed ball `B(p, r)` meets the *closed interior*
+    /// of the sphere (surface included). This is the "goes left" predicate
+    /// of the marching step (Section 6.2): a ball reaches the left child
+    /// when it intersects the separator or its interior.
+    pub fn ball_touches_interior(&self, p: &Point<D>, r: f64) -> bool {
+        self.center.dist(p) - r <= self.radius
+    }
+
+    /// `true` when the closed ball `B(p, r)` meets the *closed exterior*
+    /// (surface included) — the "goes right" predicate.
+    pub fn ball_touches_exterior(&self, p: &Point<D>, r: f64) -> bool {
+        self.center.dist(p) + r >= self.radius
+    }
+
+    /// Circumsphere through `D + 1` points, or `None` when the points are
+    /// affinely degenerate (to within `tol`) or the resulting sphere is not
+    /// representable (non-finite / non-positive radius).
+    ///
+    /// The classical linearization: `|x - c|^2 = R^2` for each point `x_i`
+    /// subtracts pairwise to the linear system
+    /// `2 (x_i - x_0) . c = |x_i|^2 - |x_0|^2`.
+    pub fn circumsphere(points: &[Point<D>], tol: f64) -> Option<Self> {
+        assert_eq!(
+            points.len(),
+            D + 1,
+            "circumsphere needs exactly D + 1 = {} points, got {}",
+            D + 1,
+            points.len()
+        );
+        let x0 = points[0];
+        let m = DMatrix::from_fn(D, D, |r, c| 2.0 * (points[r + 1][c] - x0[c]));
+        let b: Vec<f64> = (0..D)
+            .map(|r| points[r + 1].norm_sq() - x0.norm_sq())
+            .collect();
+        let sol = m.solve(&b, tol)?;
+        let mut center = Point::<D>::origin();
+        for i in 0..D {
+            center[i] = sol[i];
+        }
+        if !center.is_finite() {
+            return None;
+        }
+        let radius = center.dist(&x0);
+        if !radius.is_finite() || radius <= 0.0 {
+            return None;
+        }
+        Some(Sphere { center, radius })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signed_distance_signs() {
+        let s = Sphere::new(Point::<2>::origin(), 1.0);
+        assert!(s.signed_distance(&Point::from([0.5, 0.0])) < 0.0);
+        assert!(s.signed_distance(&Point::from([2.0, 0.0])) > 0.0);
+        assert!(s.signed_distance(&Point::from([0.0, 1.0])).abs() < 1e-15);
+    }
+
+    #[test]
+    fn side_classification() {
+        let s = Sphere::new(Point::<3>::origin(), 2.0);
+        assert_eq!(s.side(&Point::from([0.0, 0.0, 0.0])), Side::Interior);
+        assert_eq!(s.side(&Point::from([3.0, 0.0, 0.0])), Side::Exterior);
+        assert_eq!(s.side(&Point::from([2.0, 0.0, 0.0])), Side::Surface);
+    }
+
+    #[test]
+    fn ball_intersection_cases() {
+        let s = Sphere::new(Point::<2>::origin(), 5.0);
+        // Ball deep inside, not reaching the surface.
+        assert!(!s.intersects_ball(&Point::from([0.0, 0.0]), 1.0));
+        assert!(s.ball_touches_interior(&Point::from([0.0, 0.0]), 1.0));
+        assert!(!s.ball_touches_exterior(&Point::from([0.0, 0.0]), 1.0));
+        // Ball straddling the surface.
+        assert!(s.intersects_ball(&Point::from([5.0, 0.0]), 1.0));
+        assert!(s.ball_touches_interior(&Point::from([5.0, 0.0]), 1.0));
+        assert!(s.ball_touches_exterior(&Point::from([5.0, 0.0]), 1.0));
+        // Ball fully outside.
+        assert!(!s.intersects_ball(&Point::from([10.0, 0.0]), 1.0));
+        assert!(!s.ball_touches_interior(&Point::from([10.0, 0.0]), 1.0));
+        assert!(s.ball_touches_exterior(&Point::from([10.0, 0.0]), 1.0));
+        // Tangent from inside (boundary case, closed predicates).
+        assert!(s.intersects_ball(&Point::from([4.0, 0.0]), 1.0));
+    }
+
+    #[test]
+    fn reachability_covers_both_children_when_crossing() {
+        // Any ball must reach at least one side; a crossing ball reaches both.
+        let s = Sphere::new(Point::<2>::origin(), 1.0);
+        let crossing = (Point::from([1.0, 0.0]), 0.5);
+        assert!(s.ball_touches_interior(&crossing.0, crossing.1));
+        assert!(s.ball_touches_exterior(&crossing.0, crossing.1));
+    }
+
+    #[test]
+    fn circumsphere_unit_circle() {
+        let pts = [
+            Point::<2>::from([1.0, 0.0]),
+            Point::from([0.0, 1.0]),
+            Point::from([-1.0, 0.0]),
+        ];
+        let s = Sphere::circumsphere(&pts, 1e-12).unwrap();
+        assert!(s.center.norm() < 1e-12);
+        assert!((s.radius - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn circumsphere_3d_shifted() {
+        let c = Point::<3>::from([1.0, -2.0, 0.5]);
+        let r = 3.0;
+        let pts = [
+            c + Point::from([r, 0.0, 0.0]),
+            c + Point::from([0.0, r, 0.0]),
+            c + Point::from([0.0, 0.0, r]),
+            c + Point::from([-r, 0.0, 0.0]),
+        ];
+        let s = Sphere::circumsphere(&pts, 1e-12).unwrap();
+        assert!(s.center.dist(&c) < 1e-9);
+        assert!((s.radius - r).abs() < 1e-9);
+        for p in &pts {
+            assert!(s.signed_distance(p).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn circumsphere_degenerate_collinear() {
+        let pts = [
+            Point::<2>::from([0.0, 0.0]),
+            Point::from([1.0, 0.0]),
+            Point::from([2.0, 0.0]),
+        ];
+        assert!(Sphere::circumsphere(&pts, 1e-9).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "radius must be finite and positive")]
+    fn new_rejects_zero_radius() {
+        Sphere::new(Point::<2>::origin(), 0.0);
+    }
+}

@@ -1,0 +1,398 @@
+//! Stereographic lifts and the MTTV conformal normalization.
+//!
+//! The Miller–Teng–Thurston–Vavasis separator construction works on the unit
+//! sphere `S^D ⊂ R^{D+1}`:
+//!
+//! 1. lift the input points `p ∈ R^D` to `S^D` by the stereographic map Π;
+//! 2. compute a centerpoint `z` of the lifted points;
+//! 3. apply an orthogonal map `Q` taking `z/|z|` to the last axis, then the
+//!    conformal dilation `D_α` with `α = sqrt((1-|z|)/(1+|z|))`, after which
+//!    the origin of `R^{D+1}` is an approximate centerpoint of the images;
+//! 4. cut with a uniform random great circle `{x : g·x = 0}`.
+//!
+//! This module implements Π, Π⁻¹, `D_α`, and — crucially — the exact
+//! algebraic pull-back of the random great circle to a [`Separator`] in the
+//! original space. The pull-back of `{x : g·x = 0}` under
+//! `w(p) = Π(α·Π⁻¹(Q·Π(p)))` reduces (see the derivation in the code) to a
+//! single linear condition `m·Π(p) = b`, which unfolds to a sphere or — when
+//! the surface passes through the projection pole — a hyperplane in `R^D`.
+
+use crate::halfspace::Hyperplane;
+use crate::matrix::Rotation;
+use crate::point::Point;
+use crate::shape::Separator;
+use crate::sphere::Sphere;
+
+/// Stereographic lift `Π : R^D -> S^D ⊂ R^E`, `E = D + 1`:
+/// `Π(p) = (2p, |p|² - 1) / (|p|² + 1)`.
+///
+/// The image omits only the north pole `(0, …, 0, 1)`.
+pub fn lift<const D: usize, const E: usize>(p: &Point<D>) -> Point<E> {
+    assert_eq!(E, D + 1, "lift requires E = D + 1");
+    let n2 = p.norm_sq();
+    let denom = n2 + 1.0;
+    let mut c = [0.0; E];
+    for i in 0..D {
+        c[i] = 2.0 * p[i] / denom;
+    }
+    c[D] = (n2 - 1.0) / denom;
+    Point(c)
+}
+
+/// Inverse stereographic projection from the north pole:
+/// `Π⁻¹(x) = x̂ / (1 - x_{D+1})` for `x ∈ S^D`.
+///
+/// Returns `None` when `x` is within `tol` of the pole (image at infinity).
+pub fn unlift<const D: usize, const E: usize>(x: &Point<E>, tol: f64) -> Option<Point<D>> {
+    assert_eq!(E, D + 1, "unlift requires E = D + 1");
+    let denom = 1.0 - x[D];
+    if denom.abs() <= tol {
+        return None;
+    }
+    let mut c = [0.0; D];
+    for i in 0..D {
+        c[i] = x[i] / denom;
+    }
+    Some(Point(c))
+}
+
+/// The conformal normalization `w(p) = D_α(Q · Π(p))` of MTTV.
+///
+/// `E` must equal `D + 1`. Built from the centerpoint of the *lifted* input
+/// points; after `apply`, the origin of `R^E` is an approximate centerpoint
+/// of the images, so a uniform random great circle splits the point set with
+/// ratio at most `(D+1)/(D+2) + ε` in expectation over the sample.
+#[derive(Clone, Debug)]
+pub struct ConformalMap<const D: usize, const E: usize> {
+    rotation: Rotation<E>,
+    /// Dilation parameter `α = sqrt((1-θ)/(1+θ))`, `θ = |centerpoint|`.
+    alpha: f64,
+}
+
+impl<const D: usize, const E: usize> ConformalMap<D, E> {
+    /// Build the map from a centerpoint `z` of the lifted points
+    /// (`z` in the open unit ball of `R^E`).
+    ///
+    /// # Panics
+    /// Panics if `E != D + 1` or `|z| >= 1`.
+    pub fn from_centerpoint(z: &Point<E>) -> Self {
+        assert_eq!(E, D + 1, "ConformalMap requires E = D + 1");
+        let theta = z.norm();
+        assert!(
+            theta < 1.0,
+            "centerpoint must lie strictly inside the unit ball, |z| = {theta}"
+        );
+        let rotation = match z.normalized(1e-12) {
+            Some(dir) => Rotation::to_last_axis(&dir),
+            // Centerpoint at the origin: already normalized, no rotation
+            // and no dilation needed.
+            None => Rotation::identity(),
+        };
+        let alpha = ((1.0 - theta) / (1.0 + theta)).sqrt();
+        ConformalMap { rotation, alpha }
+    }
+
+    /// Identity normalization (useful in tests and for pre-centered data).
+    pub fn identity() -> Self {
+        assert_eq!(E, D + 1);
+        ConformalMap {
+            rotation: Rotation::identity(),
+            alpha: 1.0,
+        }
+    }
+
+    /// The dilation parameter α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Image `w(p) ∈ S^D` of an input point.
+    ///
+    /// Returns `None` in the measure-zero event that the rotated lift sits
+    /// exactly at the projection pole.
+    pub fn apply(&self, p: &Point<D>) -> Option<Point<E>> {
+        let x: Point<E> = lift(p);
+        let y = self.rotation.apply(&x);
+        let q: Point<D> = unlift(&y, 1e-300)?;
+        Some(lift(&(q * self.alpha)))
+    }
+
+    /// Pull the great circle `{x ∈ S^D : g·x = 0}` back to a separator
+    /// surface in the input space.
+    ///
+    /// Derivation: with `y = Q·Π(p)` and `q = α·Π⁻¹(y)`, membership
+    /// `g·Π(q) = 0` expands to `g_{E}(|q|²-1) + 2ĝ·q = 0`. On the sphere,
+    /// `|q|² = α²(1+y_E)/(1-y_E)`, which turns the condition into the linear
+    /// constraint `n·y = b` with `n = (2αĝ, (α²+1)g_E)` and
+    /// `b = g_E(1-α²)`. Substituting `y = Qx` gives `m·x = b` with
+    /// `m = Qᵀn`, and finally `x = Π(p)` unfolds to
+    /// `(m_E - b)|p|² + 2m̂·p - (m_E + b) = 0`:
+    /// a sphere when `|m_E - b|` is bounded away from zero, a hyperplane
+    /// otherwise.
+    ///
+    /// Returns `None` only when `g` is numerically degenerate (near-zero) or
+    /// the resulting surface is not representable (all coefficients ≈ 0).
+    pub fn pull_back_great_circle(&self, g: &Point<E>, tol: f64) -> Option<Separator<D>> {
+        assert_eq!(E, D + 1);
+        let g = g.normalized(tol)?;
+        let a2 = self.alpha * self.alpha;
+        // n = (2α·ĝ, (α²+1)·g_E)
+        let mut n = Point::<E>::origin();
+        for i in 0..D {
+            n[i] = 2.0 * self.alpha * g[i];
+        }
+        n[D] = (a2 + 1.0) * g[D];
+        let b = g[D] * (1.0 - a2);
+        // m = Qᵀ n  (Householder reflections are involutions).
+        let m = self.rotation.apply_inverse(&n);
+
+        let quad = m[D] - b; // coefficient of |p|²
+        let mut mhat = Point::<D>::origin();
+        for i in 0..D {
+            mhat[i] = m[i];
+        }
+        let lin_norm = mhat.norm();
+
+        if quad.abs() > tol * (1.0 + lin_norm) {
+            // Sphere: |p - c|² = |c|² + (m_E + b)/quad, c = -m̂/quad.
+            let center = -mhat / quad;
+            let r2 = center.norm_sq() + (m[D] + b) / quad;
+            if r2 <= 0.0 || !r2.is_finite() {
+                return None;
+            }
+            Some(Separator::Sphere(Sphere::new(center, r2.sqrt())))
+        } else {
+            // Hyperplane: 2m̂·p = m_E + b.
+            let normal = mhat.normalized(tol)?;
+            let offset = (m[D] + b) / (2.0 * lin_norm);
+            Some(Separator::Halfspace(Hyperplane { normal, offset }))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::Side;
+
+    fn assert_on_unit_sphere<const E: usize>(x: &Point<E>) {
+        assert!(
+            (x.norm() - 1.0).abs() < 1e-12,
+            "not on unit sphere: |x| = {}",
+            x.norm()
+        );
+    }
+
+    #[test]
+    fn lift_lands_on_unit_sphere() {
+        for p in [
+            Point::<2>::origin(),
+            Point::from([1.0, 0.0]),
+            Point::from([-3.0, 4.0]),
+            Point::from([100.0, -250.0]),
+        ] {
+            let x: Point<3> = lift(&p);
+            assert_on_unit_sphere(&x);
+        }
+    }
+
+    #[test]
+    fn lift_origin_hits_south_pole() {
+        let x: Point<3> = lift(&Point::<2>::origin());
+        assert_eq!(x.coords(), &[0.0, 0.0, -1.0]);
+    }
+
+    #[test]
+    fn lift_unlift_roundtrip() {
+        for p in [
+            Point::<3>::from([0.1, -0.2, 0.3]),
+            Point::from([5.0, 5.0, 5.0]),
+            Point::from([-0.001, 0.002, 0.0]),
+        ] {
+            let x: Point<4> = lift(&p);
+            let back: Point<3> = unlift(&x, 1e-12).unwrap();
+            assert!(back.dist(&p) < 1e-9, "roundtrip drift {}", back.dist(&p));
+        }
+    }
+
+    #[test]
+    fn unlift_rejects_north_pole() {
+        let pole = Point::<3>::from([0.0, 0.0, 1.0]);
+        assert!(unlift::<2, 3>(&pole, 1e-12).is_none());
+    }
+
+    #[test]
+    fn conformal_identity_when_centered() {
+        let map = ConformalMap::<2, 3>::from_centerpoint(&Point::origin());
+        assert!((map.alpha() - 1.0).abs() < 1e-12);
+        let p = Point::from([0.7, -0.3]);
+        let w = map.apply(&p).unwrap();
+        let direct: Point<3> = lift(&p);
+        assert!(w.dist(&direct) < 1e-12);
+    }
+
+    #[test]
+    fn conformal_image_stays_on_sphere() {
+        let z = Point::<3>::from([0.2, 0.1, -0.3]);
+        let map = ConformalMap::<2, 3>::from_centerpoint(&z);
+        for p in [
+            Point::from([0.0, 0.0]),
+            Point::from([2.0, -1.0]),
+            Point::from([-0.5, 0.25]),
+        ] {
+            let w = map.apply(&p).unwrap();
+            assert_on_unit_sphere(&w);
+        }
+    }
+
+    #[test]
+    fn pull_back_agrees_with_forward_classification() {
+        // The geometric side of the pulled-back separator must agree with
+        // the sign of g·w(p) up to one global flip.
+        let z = Point::<3>::from([0.15, -0.25, 0.1]);
+        let map = ConformalMap::<2, 3>::from_centerpoint(&z);
+        let g = Point::<3>::from([0.3, 0.9, 0.4]).normalized(1e-12).unwrap();
+        let sep = map.pull_back_great_circle(&g, 1e-12).unwrap();
+
+        let probes: Vec<Point<2>> = (0..40)
+            .map(|i| {
+                let t = i as f64 * 0.37;
+                Point::from([(t * 1.37).sin() * 2.0, (t * 0.71).cos() * 2.0])
+            })
+            .collect();
+
+        // Establish the global flip with the first decisive probe.
+        let mut flip: Option<bool> = None;
+        for p in &probes {
+            let w = map.apply(p).unwrap();
+            let fwd = g.dot(&w);
+            let side = sep.side(p);
+            if fwd.abs() < 1e-7 || side == Side::Surface {
+                continue;
+            }
+            let fwd_interior = fwd < 0.0;
+            let geo_interior = side == Side::Interior;
+            match flip {
+                None => flip = Some(fwd_interior != geo_interior),
+                Some(f) => assert_eq!(
+                    fwd_interior != geo_interior,
+                    f,
+                    "inconsistent classification at {p:?}"
+                ),
+            }
+        }
+        assert!(flip.is_some(), "no decisive probe found");
+    }
+
+    #[test]
+    fn pull_back_surface_points_have_zero_forward_value() {
+        // Points on the separator surface must map onto the great circle.
+        let z = Point::<3>::from([0.0, 0.3, 0.2]);
+        let map = ConformalMap::<2, 3>::from_centerpoint(&z);
+        let g = Point::<3>::from([1.0, -0.5, 0.25])
+            .normalized(1e-12)
+            .unwrap();
+        let sep = map.pull_back_great_circle(&g, 1e-12).unwrap();
+        if let Separator::Sphere(s) = sep {
+            // Walk the sphere surface and check g·w(p) ≈ 0.
+            for i in 0..16 {
+                let ang = i as f64 * std::f64::consts::TAU / 16.0;
+                let p = s.center + Point::from([ang.cos(), ang.sin()]) * s.radius;
+                let w = map.apply(&p).unwrap();
+                assert!(
+                    g.dot(&w).abs() < 1e-9,
+                    "surface point maps off the great circle: {}",
+                    g.dot(&w)
+                );
+            }
+        } else {
+            panic!("expected a spherical separator for this configuration");
+        }
+    }
+
+    #[test]
+    fn pull_back_vertical_circle_gives_hyperplane_without_dilation() {
+        // With the identity map, a great circle through both poles
+        // (g_E = 0) pulls back to a hyperplane through the origin.
+        let map = ConformalMap::<2, 3>::identity();
+        let g = Point::<3>::from([1.0, 0.0, 0.0]);
+        let sep = map.pull_back_great_circle(&g, 1e-12).unwrap();
+        match sep {
+            Separator::Halfspace(h) => {
+                assert!(h.offset.abs() < 1e-12);
+                assert!((h.normal[0].abs() - 1.0).abs() < 1e-12);
+            }
+            Separator::Sphere(_) => panic!("expected hyperplane"),
+        }
+    }
+
+    #[test]
+    fn pull_back_equator_gives_unit_sphere_without_dilation() {
+        // The equator {x_E = 0} is exactly the image of the unit sphere.
+        let map = ConformalMap::<2, 3>::identity();
+        let g = Point::<3>::from([0.0, 0.0, 1.0]);
+        let sep = map.pull_back_great_circle(&g, 1e-12).unwrap();
+        match sep {
+            Separator::Sphere(s) => {
+                assert!(s.center.norm() < 1e-12);
+                assert!((s.radius - 1.0).abs() < 1e-12);
+            }
+            Separator::Halfspace(_) => panic!("expected sphere"),
+        }
+    }
+
+    #[test]
+    fn conformal_map_dilation_algebra() {
+        // Two defining properties of the MTTV normalization built from a
+        // centerpoint z: (1) the dilation parameter satisfies
+        // α² = (1-θ)/(1+θ) with θ = |z|; (2) a sphere point that the
+        // rotation takes to the "equator" relative to z's axis is pushed
+        // to height (α²-1)/(α²+1) by the dilation — i.e. mass is pushed
+        // away from the pole exactly as the α-formula prescribes.
+        let z = Point::<3>::from([0.3, -0.2, 0.25]);
+        let map = ConformalMap::<2, 3>::from_centerpoint(&z);
+        let theta = z.norm();
+        let a2 = map.alpha() * map.alpha();
+        assert!((a2 - (1.0 - theta) / (1.0 + theta)).abs() < 1e-12);
+
+        // Build the pre-image of the equator point e_0: x = Q⁻¹(e_0),
+        // p = Π⁻¹(x). Then w(p) = D_α(e_0) must have last coordinate
+        // (α² - 1)/(α² + 1).
+        let dir = z.normalized(1e-12).unwrap();
+        let rot = crate::matrix::Rotation::to_last_axis(&dir);
+        let e0 = Point::<3>::basis(0);
+        let x = rot.apply_inverse(&e0);
+        let p: Point<2> = unlift(&x, 1e-12).unwrap();
+        let w = map.apply(&p).unwrap();
+        let expected = (a2 - 1.0) / (a2 + 1.0);
+        assert!(
+            (w.last() - expected).abs() < 1e-9,
+            "equator image height {} vs expected {expected}",
+            w.last()
+        );
+        assert!(expected < 0.0, "dilation pushes mass off the pole");
+    }
+
+    #[test]
+    fn pull_back_rejects_zero_normal() {
+        let map = ConformalMap::<2, 3>::identity();
+        assert!(map
+            .pull_back_great_circle(&Point::origin(), 1e-12)
+            .is_none());
+    }
+
+    #[test]
+    fn works_in_higher_dimensions() {
+        let z = Point::<5>::from([0.1, 0.0, -0.1, 0.05, 0.2]);
+        let map = ConformalMap::<4, 5>::from_centerpoint(&z);
+        let g = Point::<5>::from([0.2, -0.4, 0.6, 0.3, 0.55])
+            .normalized(1e-12)
+            .unwrap();
+        let sep = map.pull_back_great_circle(&g, 1e-12).unwrap();
+        // Consistency on a probe point.
+        let p = Point::<4>::from([0.3, 0.3, -0.2, 0.1]);
+        let w = map.apply(&p).unwrap();
+        // side and forward sign must be deterministic (smoke check).
+        let _ = (sep.side(&p), g.dot(&w));
+    }
+}

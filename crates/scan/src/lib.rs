@@ -1,0 +1,35 @@
+//! # sepdc-scan
+//!
+//! The paper's machine model is Blelloch's *parallel vector model*: a PRAM
+//! augmented with a unit-time SCAN (prefix sum) primitive. This crate is
+//! that substrate:
+//!
+//! * [`scan`] — inclusive/exclusive scans under any [`Monoid`], in serial
+//!   and blocked-parallel (rayon) forms that produce bit-identical results
+//!   for exact monoids (integer sums, min/max).
+//! * [`segmented`] — segmented scans over flag vectors, the workhorse of
+//!   nested data parallelism.
+//! * [`primitives`] — `pack`, `split`, `apply_permutation`, `distribute`:
+//!   the vector operations the paper's algorithms are phrased in.
+//! * [`cost`] — an analytic work/depth meter. The paper's theorems bound
+//!   *rounds of unit-time vector operations along the critical path*;
+//!   wall-clock on a multicore cannot observe that quantity directly, so
+//!   every algorithm in the workspace threads a [`cost::CostMeter`] that
+//!   counts exactly what the theorems count.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod primitives;
+pub mod scan;
+pub mod segmented;
+pub mod selection;
+pub mod sort;
+
+pub use cost::{CostMeter, CostProfile};
+pub use scan::{exclusive_scan, inclusive_scan, par_exclusive_scan, par_inclusive_scan, Monoid};
+
+/// Minimum slice length before the parallel scan implementations split
+/// work across rayon tasks; below this the serial code is faster and the
+/// parallel entry points simply delegate to it.
+pub const PAR_THRESHOLD: usize = 1 << 14;

@@ -1,0 +1,224 @@
+//! Vector primitives built on SCAN: pack, split, distribute, permute.
+//!
+//! These are the operations the paper's algorithms are phrased in — e.g.
+//! "partition `B` into interior and exterior" is one `split`, and the
+//! fast-correction candidate gathering is a `pack`. All are `O(n)` work and
+//! `O(1)` scan rounds in the vector model.
+
+use crate::scan::{exclusive_scan, par_exclusive_scan, AddUsize};
+use rayon::prelude::*;
+
+/// Keep the elements whose flag is set, preserving order (serial).
+pub fn pack<T: Copy>(xs: &[T], flags: &[bool]) -> Vec<T> {
+    assert_eq!(xs.len(), flags.len(), "pack: length mismatch");
+    xs.iter()
+        .zip(flags)
+        .filter(|(_, &f)| f)
+        .map(|(&x, _)| x)
+        .collect()
+}
+
+/// Parallel pack: exclusive scan of the flags gives each survivor its output
+/// slot; a parallel scatter writes them. Order-preserving, identical to
+/// [`pack`].
+pub fn par_pack<T: Copy + Send + Sync>(xs: &[T], flags: &[bool]) -> Vec<T> {
+    assert_eq!(xs.len(), flags.len(), "pack: length mismatch");
+    if xs.len() < crate::PAR_THRESHOLD {
+        return pack(xs, flags);
+    }
+    let ones: Vec<usize> = flags.par_iter().map(|&f| usize::from(f)).collect();
+    let (slots, total) = par_exclusive_scan(AddUsize, &ones);
+    let mut out = vec![None; total];
+    // Scatter: slots are unique for flagged positions, so disjoint writes.
+    // Expressed safely via chunk-local collection then a gather.
+    let pairs: Vec<(usize, T)> = xs
+        .par_iter()
+        .zip(flags.par_iter())
+        .zip(slots.par_iter())
+        .filter(|((_, &f), _)| f)
+        .map(|((&x, _), &s)| (s, x))
+        .collect();
+    for (s, x) in pairs {
+        out[s] = Some(x);
+    }
+    out.into_iter().map(|o| o.expect("slot filled")).collect()
+}
+
+/// Result of a two-way stable split.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Split {
+    /// Indices (into the input) routed to the "true" side, input order.
+    pub yes: Vec<usize>,
+    /// Indices routed to the "false" side, input order.
+    pub no: Vec<usize>,
+}
+
+/// Stable two-way split of indices `0..flags.len()` by flag value.
+///
+/// This is the vector-model `SPLIT` used at every divide step: one scan to
+/// rank the true side, one for the false side.
+pub fn split(flags: &[bool]) -> Split {
+    let mut yes = Vec::new();
+    let mut no = Vec::new();
+    for (i, &f) in flags.iter().enumerate() {
+        if f {
+            yes.push(i);
+        } else {
+            no.push(i);
+        }
+    }
+    Split { yes, no }
+}
+
+/// Parallel stable split (scan-based ranking). Identical output to
+/// [`split`].
+pub fn par_split(flags: &[bool]) -> Split {
+    if flags.len() < crate::PAR_THRESHOLD {
+        return split(flags);
+    }
+    let ones: Vec<usize> = flags.par_iter().map(|&f| usize::from(f)).collect();
+    let (yes_rank, yes_total) = par_exclusive_scan(AddUsize, &ones);
+    let zeros: Vec<usize> = flags.par_iter().map(|&f| usize::from(!f)).collect();
+    let (no_rank, no_total) = par_exclusive_scan(AddUsize, &zeros);
+    let mut yes = vec![0usize; yes_total];
+    let mut no = vec![0usize; no_total];
+    // Disjoint slot writes; do them serially (cheap) after parallel ranking.
+    for (i, &f) in flags.iter().enumerate() {
+        if f {
+            yes[yes_rank[i]] = i;
+        } else {
+            no[no_rank[i]] = i;
+        }
+    }
+    Split { yes, no }
+}
+
+/// Gather: `out[i] = xs[indices[i]]`.
+pub fn gather<T: Copy>(xs: &[T], indices: &[usize]) -> Vec<T> {
+    indices.iter().map(|&i| xs[i]).collect()
+}
+
+/// Parallel gather.
+pub fn par_gather<T: Copy + Send + Sync>(xs: &[T], indices: &[usize]) -> Vec<T> {
+    if indices.len() < crate::PAR_THRESHOLD {
+        return gather(xs, indices);
+    }
+    indices.par_iter().map(|&i| xs[i]).collect()
+}
+
+/// Apply a permutation: `out[perm[i]] = xs[i]`. `perm` must be a bijection
+/// on `0..n`.
+///
+/// # Panics
+/// Panics (in debug and release) when `perm` is not a permutation.
+pub fn apply_permutation<T: Copy>(xs: &[T], perm: &[usize]) -> Vec<T> {
+    assert_eq!(xs.len(), perm.len(), "permute: length mismatch");
+    let mut out = vec![None; xs.len()];
+    for (i, &p) in perm.iter().enumerate() {
+        assert!(out[p].is_none(), "apply_permutation: duplicate target {p}");
+        out[p] = Some(xs[i]);
+    }
+    out.into_iter()
+        .map(|o| o.expect("perm must be onto"))
+        .collect()
+}
+
+/// Distribute: expand each element `xs[i]` into `counts[i]` copies,
+/// concatenated in order. The vector-model `DISTRIBUTE` used when assigning
+/// `h` processors per marching ball.
+pub fn distribute<T: Copy>(xs: &[T], counts: &[usize]) -> Vec<T> {
+    assert_eq!(xs.len(), counts.len(), "distribute: length mismatch");
+    let (_, total) = exclusive_scan(AddUsize, counts);
+    let mut out = Vec::with_capacity(total);
+    for (&x, &c) in xs.iter().zip(counts) {
+        out.extend(std::iter::repeat_n(x, c));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_keeps_flagged_in_order() {
+        let xs = [10, 20, 30, 40];
+        let flags = [true, false, true, false];
+        assert_eq!(pack(&xs, &flags), vec![10, 30]);
+    }
+
+    #[test]
+    fn pack_all_and_none() {
+        let xs = [1, 2, 3];
+        assert_eq!(pack(&xs, &[true; 3]), vec![1, 2, 3]);
+        assert!(pack(&xs, &[false; 3]).is_empty());
+    }
+
+    #[test]
+    fn par_pack_matches_serial() {
+        let n = crate::PAR_THRESHOLD * 2 + 1;
+        let xs: Vec<u64> = (0..n as u64).collect();
+        let flags: Vec<bool> = (0..n).map(|i| i % 3 == 1).collect();
+        assert_eq!(par_pack(&xs, &flags), pack(&xs, &flags));
+    }
+
+    #[test]
+    fn split_is_stable() {
+        let flags = [true, false, false, true, true];
+        let s = split(&flags);
+        assert_eq!(s.yes, vec![0, 3, 4]);
+        assert_eq!(s.no, vec![1, 2]);
+    }
+
+    #[test]
+    fn par_split_matches_serial() {
+        let n = crate::PAR_THRESHOLD * 2 + 7;
+        let flags: Vec<bool> = (0..n).map(|i| (i * 7) % 5 < 2).collect();
+        assert_eq!(par_split(&flags), split(&flags));
+    }
+
+    #[test]
+    fn split_partitions_everything() {
+        let flags = [false, true, false];
+        let s = split(&flags);
+        assert_eq!(s.yes.len() + s.no.len(), flags.len());
+    }
+
+    #[test]
+    fn gather_basic() {
+        let xs = ['a', 'b', 'c', 'd'];
+        assert_eq!(gather(&xs, &[3, 0, 0]), vec!['d', 'a', 'a']);
+    }
+
+    #[test]
+    fn apply_permutation_roundtrip() {
+        let xs = [5, 6, 7, 8];
+        let perm = [2, 0, 3, 1];
+        let permuted = apply_permutation(&xs, &perm);
+        assert_eq!(permuted, vec![6, 8, 5, 7]);
+        // Inverse permutation restores.
+        let mut inv = vec![0; 4];
+        for (i, &p) in perm.iter().enumerate() {
+            inv[p] = i;
+        }
+        assert_eq!(apply_permutation(&permuted, &inv), xs.to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate target")]
+    fn apply_permutation_rejects_non_bijection() {
+        apply_permutation(&[1, 2], &[0, 0]);
+    }
+
+    #[test]
+    fn distribute_expands() {
+        let xs = ['x', 'y', 'z'];
+        assert_eq!(distribute(&xs, &[2, 0, 3]), vec!['x', 'x', 'z', 'z', 'z']);
+    }
+
+    #[test]
+    fn distribute_empty() {
+        let xs: [char; 0] = [];
+        assert!(distribute(&xs, &[]).is_empty());
+    }
+}

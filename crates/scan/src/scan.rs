@@ -1,0 +1,268 @@
+//! Scans (prefix operations) under arbitrary monoids.
+//!
+//! The parallel versions use the classical two-pass blocked algorithm:
+//! reduce each block, scan the block sums serially (block count is small),
+//! then re-scan each block seeded with its prefix. For associative *and
+//! exact* monoids (integers, min/max) the parallel result is bit-identical
+//! to the serial one; for floating-point addition the result is a valid
+//! re-association (tests compare with a tolerance).
+
+use rayon::prelude::*;
+
+/// An associative operation with identity, over `Copy` elements.
+///
+/// Implementors must satisfy associativity; the parallel scans re-associate
+/// freely.
+pub trait Monoid: Copy + Send + Sync {
+    /// Element type.
+    type Elem: Copy + Send + Sync;
+    /// Identity element.
+    fn identity(&self) -> Self::Elem;
+    /// Associative combine.
+    fn combine(&self, a: Self::Elem, b: Self::Elem) -> Self::Elem;
+}
+
+/// Addition monoid over `usize` — the SCAN of the paper.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AddUsize;
+
+impl Monoid for AddUsize {
+    type Elem = usize;
+    fn identity(&self) -> usize {
+        0
+    }
+    fn combine(&self, a: usize, b: usize) -> usize {
+        a + b
+    }
+}
+
+/// Addition monoid over `f64`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AddF64;
+
+impl Monoid for AddF64 {
+    type Elem = f64;
+    fn identity(&self) -> f64 {
+        0.0
+    }
+    fn combine(&self, a: f64, b: f64) -> f64 {
+        a + b
+    }
+}
+
+/// Maximum monoid over `f64` (identity `-inf`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MaxF64;
+
+impl Monoid for MaxF64 {
+    type Elem = f64;
+    fn identity(&self) -> f64 {
+        f64::NEG_INFINITY
+    }
+    fn combine(&self, a: f64, b: f64) -> f64 {
+        a.max(b)
+    }
+}
+
+/// Minimum monoid over `f64` (identity `+inf`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MinF64;
+
+impl Monoid for MinF64 {
+    type Elem = f64;
+    fn identity(&self) -> f64 {
+        f64::INFINITY
+    }
+    fn combine(&self, a: f64, b: f64) -> f64 {
+        a.min(b)
+    }
+}
+
+/// Logical AND monoid — used by the reachability check of Lemma 6.3
+/// ("are all nodes on the root path labeled 1?").
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AndBool;
+
+impl Monoid for AndBool {
+    type Elem = bool;
+    fn identity(&self) -> bool {
+        true
+    }
+    fn combine(&self, a: bool, b: bool) -> bool {
+        a && b
+    }
+}
+
+/// Inclusive scan: `out[i] = x_0 ⊕ … ⊕ x_i`.
+///
+/// ```
+/// use sepdc_scan::scan::AddUsize;
+/// use sepdc_scan::inclusive_scan;
+/// assert_eq!(inclusive_scan(AddUsize, &[1, 2, 3]), vec![1, 3, 6]);
+/// ```
+pub fn inclusive_scan<M: Monoid>(m: M, xs: &[M::Elem]) -> Vec<M::Elem> {
+    let mut out = Vec::with_capacity(xs.len());
+    let mut acc = m.identity();
+    for &x in xs {
+        acc = m.combine(acc, x);
+        out.push(acc);
+    }
+    out
+}
+
+/// Exclusive scan: `out[i] = x_0 ⊕ … ⊕ x_{i-1}`, `out[0] = identity`.
+/// Returns the scan vector and the total reduction.
+pub fn exclusive_scan<M: Monoid>(m: M, xs: &[M::Elem]) -> (Vec<M::Elem>, M::Elem) {
+    let mut out = Vec::with_capacity(xs.len());
+    let mut acc = m.identity();
+    for &x in xs {
+        out.push(acc);
+        acc = m.combine(acc, x);
+    }
+    (out, acc)
+}
+
+/// Block size used by the parallel scans.
+fn block_len(n: usize) -> usize {
+    let threads = rayon::current_num_threads().max(1);
+    // 4 blocks per thread for load balance, but never tiny blocks.
+    (n / (4 * threads)).max(4096).max(1)
+}
+
+/// Parallel inclusive scan (two-pass blocked).
+pub fn par_inclusive_scan<M: Monoid>(m: M, xs: &[M::Elem]) -> Vec<M::Elem> {
+    if xs.len() < crate::PAR_THRESHOLD {
+        return inclusive_scan(m, xs);
+    }
+    let bl = block_len(xs.len());
+    // Pass 1: per-block reductions.
+    let sums: Vec<M::Elem> = xs
+        .par_chunks(bl)
+        .map(|chunk| chunk.iter().fold(m.identity(), |a, &b| m.combine(a, b)))
+        .collect();
+    // Serial scan of the (few) block sums.
+    let (offsets, _) = exclusive_scan(m, &sums);
+    // Pass 2: per-block scan seeded with the block prefix.
+    let mut out = vec![m.identity(); xs.len()];
+    out.par_chunks_mut(bl)
+        .zip(xs.par_chunks(bl))
+        .zip(offsets.par_iter())
+        .for_each(|((o, chunk), &seed)| {
+            let mut acc = seed;
+            for (dst, &x) in o.iter_mut().zip(chunk) {
+                acc = m.combine(acc, x);
+                *dst = acc;
+            }
+        });
+    out
+}
+
+/// Parallel exclusive scan. Returns the scan vector and the total.
+pub fn par_exclusive_scan<M: Monoid>(m: M, xs: &[M::Elem]) -> (Vec<M::Elem>, M::Elem) {
+    if xs.len() < crate::PAR_THRESHOLD {
+        return exclusive_scan(m, xs);
+    }
+    let bl = block_len(xs.len());
+    let sums: Vec<M::Elem> = xs
+        .par_chunks(bl)
+        .map(|chunk| chunk.iter().fold(m.identity(), |a, &b| m.combine(a, b)))
+        .collect();
+    let (offsets, total) = exclusive_scan(m, &sums);
+    let mut out = vec![m.identity(); xs.len()];
+    out.par_chunks_mut(bl)
+        .zip(xs.par_chunks(bl))
+        .zip(offsets.par_iter())
+        .for_each(|((o, chunk), &seed)| {
+            let mut acc = seed;
+            for (dst, &x) in o.iter_mut().zip(chunk) {
+                *dst = acc;
+                acc = m.combine(acc, x);
+            }
+        });
+    (out, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inclusive_scan_usize() {
+        let xs = [1usize, 2, 3, 4];
+        assert_eq!(inclusive_scan(AddUsize, &xs), vec![1, 3, 6, 10]);
+    }
+
+    #[test]
+    fn exclusive_scan_usize() {
+        let xs = [1usize, 2, 3, 4];
+        let (scan, total) = exclusive_scan(AddUsize, &xs);
+        assert_eq!(scan, vec![0, 1, 3, 6]);
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn empty_scans() {
+        let xs: [usize; 0] = [];
+        assert!(inclusive_scan(AddUsize, &xs).is_empty());
+        let (scan, total) = exclusive_scan(AddUsize, &xs);
+        assert!(scan.is_empty());
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn max_scan() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0];
+        assert_eq!(inclusive_scan(MaxF64, &xs), vec![3.0, 3.0, 4.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn min_scan() {
+        let xs = [3.0, 1.0, 4.0, 0.5];
+        assert_eq!(inclusive_scan(MinF64, &xs), vec![3.0, 1.0, 1.0, 0.5]);
+    }
+
+    #[test]
+    fn and_scan_models_root_path_reachability() {
+        let labels = [true, true, false, true];
+        let scan = inclusive_scan(AndBool, &labels);
+        assert_eq!(scan, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn par_matches_serial_exact_monoid() {
+        let n = crate::PAR_THRESHOLD * 3 + 17;
+        let xs: Vec<usize> = (0..n).map(|i| (i * 2654435761) % 97).collect();
+        assert_eq!(
+            par_inclusive_scan(AddUsize, &xs),
+            inclusive_scan(AddUsize, &xs)
+        );
+        let (ps, pt) = par_exclusive_scan(AddUsize, &xs);
+        let (ss, st) = exclusive_scan(AddUsize, &xs);
+        assert_eq!(ps, ss);
+        assert_eq!(pt, st);
+    }
+
+    #[test]
+    fn par_small_input_delegates() {
+        let xs = [5usize, 6, 7];
+        assert_eq!(par_inclusive_scan(AddUsize, &xs), vec![5, 11, 18]);
+    }
+
+    #[test]
+    fn par_float_scan_close_to_serial() {
+        let n = crate::PAR_THRESHOLD * 2 + 5;
+        let xs: Vec<f64> = (0..n).map(|i| ((i % 13) as f64 - 6.0) * 0.125).collect();
+        let par = par_inclusive_scan(AddF64, &xs);
+        let ser = inclusive_scan(AddF64, &xs);
+        for (a, b) in par.iter().zip(&ser) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn par_max_scan_bit_identical() {
+        let n = crate::PAR_THRESHOLD * 2;
+        let xs: Vec<f64> = (0..n).map(|i| ((i * 31) % 1009) as f64).collect();
+        assert_eq!(par_inclusive_scan(MaxF64, &xs), inclusive_scan(MaxF64, &xs));
+    }
+}

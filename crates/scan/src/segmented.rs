@@ -1,0 +1,180 @@
+//! Segmented scans.
+//!
+//! A segmented scan runs an independent scan inside each segment of a
+//! vector, where segments are delimited by a flag vector (`true` marks the
+//! first element of a segment). Blelloch's construction shows a segmented
+//! scan is itself a scan under a lifted monoid, which is how the parallel
+//! version here works — so the segmented operations inherit the two-pass
+//! parallel implementation for free.
+
+use crate::scan::{inclusive_scan, par_inclusive_scan, Monoid};
+
+/// The lifted monoid for segmented scans: pairs `(flag, value)` where a set
+/// flag resets the accumulation.
+#[derive(Clone, Copy, Debug)]
+struct Segmented<M: Monoid>(M);
+
+impl<M: Monoid> Monoid for Segmented<M> {
+    type Elem = (bool, M::Elem);
+    fn identity(&self) -> Self::Elem {
+        (false, self.0.identity())
+    }
+    fn combine(&self, a: Self::Elem, b: Self::Elem) -> Self::Elem {
+        if b.0 {
+            b
+        } else {
+            (a.0, self.0.combine(a.1, b.1))
+        }
+    }
+}
+
+fn zip_flags<M: Monoid>(values: &[M::Elem], flags: &[bool]) -> Vec<(bool, M::Elem)> {
+    assert_eq!(
+        values.len(),
+        flags.len(),
+        "segmented scan: values and flags must have equal length"
+    );
+    flags.iter().copied().zip(values.iter().copied()).collect()
+}
+
+/// Inclusive segmented scan (serial).
+///
+/// `flags[i] == true` marks position `i` as the start of a new segment.
+/// Position 0 starts a segment regardless of its flag.
+pub fn seg_inclusive_scan<M: Monoid>(m: M, values: &[M::Elem], flags: &[bool]) -> Vec<M::Elem> {
+    let zipped = zip_flags::<M>(values, flags);
+    inclusive_scan(Segmented(m), &zipped)
+        .into_iter()
+        .map(|(_, v)| v)
+        .collect()
+}
+
+/// Inclusive segmented scan (parallel two-pass under the lifted monoid).
+pub fn par_seg_inclusive_scan<M: Monoid>(m: M, values: &[M::Elem], flags: &[bool]) -> Vec<M::Elem> {
+    let zipped = zip_flags::<M>(values, flags);
+    par_inclusive_scan(Segmented(m), &zipped)
+        .into_iter()
+        .map(|(_, v)| v)
+        .collect()
+}
+
+/// Exclusive segmented scan (serial): each segment starts from the
+/// identity; `out[i]` excludes `values[i]`.
+pub fn seg_exclusive_scan<M: Monoid>(m: M, values: &[M::Elem], flags: &[bool]) -> Vec<M::Elem> {
+    assert_eq!(values.len(), flags.len());
+    let mut out = Vec::with_capacity(values.len());
+    let mut acc = m.identity();
+    for (i, &v) in values.iter().enumerate() {
+        if i == 0 || flags[i] {
+            acc = m.identity();
+        }
+        out.push(acc);
+        acc = m.combine(acc, v);
+    }
+    out
+}
+
+/// Per-segment totals, in segment order.
+pub fn segment_totals<M: Monoid>(m: M, values: &[M::Elem], flags: &[bool]) -> Vec<M::Elem> {
+    assert_eq!(values.len(), flags.len());
+    let mut out = Vec::new();
+    let mut acc = m.identity();
+    let mut open = false;
+    for (i, &v) in values.iter().enumerate() {
+        if i == 0 || flags[i] {
+            if open {
+                out.push(acc);
+            }
+            acc = m.identity();
+            open = true;
+        }
+        acc = m.combine(acc, v);
+    }
+    if open {
+        out.push(acc);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::{AddUsize, MaxF64};
+
+    #[test]
+    fn seg_inclusive_basic() {
+        let values = [1usize, 2, 3, 4, 5];
+        let flags = [true, false, true, false, false];
+        assert_eq!(
+            seg_inclusive_scan(AddUsize, &values, &flags),
+            vec![1, 3, 3, 7, 12]
+        );
+    }
+
+    #[test]
+    fn seg_exclusive_basic() {
+        let values = [1usize, 2, 3, 4, 5];
+        let flags = [true, false, true, false, false];
+        assert_eq!(
+            seg_exclusive_scan(AddUsize, &values, &flags),
+            vec![0, 1, 0, 3, 7]
+        );
+    }
+
+    #[test]
+    fn first_position_starts_segment_without_flag() {
+        let values = [10usize, 20];
+        let flags = [false, false];
+        assert_eq!(seg_inclusive_scan(AddUsize, &values, &flags), vec![10, 30]);
+    }
+
+    #[test]
+    fn every_position_flagged_is_identity_scan() {
+        let values = [4usize, 5, 6];
+        let flags = [true, true, true];
+        assert_eq!(seg_inclusive_scan(AddUsize, &values, &flags), vec![4, 5, 6]);
+        assert_eq!(seg_exclusive_scan(AddUsize, &values, &flags), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn segment_totals_basic() {
+        let values = [1usize, 2, 3, 4, 5];
+        let flags = [true, false, true, false, false];
+        assert_eq!(segment_totals(AddUsize, &values, &flags), vec![3, 12]);
+    }
+
+    #[test]
+    fn segmented_max() {
+        let values = [1.0, 5.0, 2.0, 7.0, 3.0];
+        let flags = [true, false, false, true, false];
+        assert_eq!(
+            seg_inclusive_scan(MaxF64, &values, &flags),
+            vec![1.0, 5.0, 5.0, 7.0, 7.0]
+        );
+    }
+
+    #[test]
+    fn par_matches_serial_large() {
+        let n = crate::PAR_THRESHOLD * 2 + 3;
+        let values: Vec<usize> = (0..n).map(|i| i % 11).collect();
+        let flags: Vec<bool> = (0..n).map(|i| i % 37 == 0).collect();
+        assert_eq!(
+            par_seg_inclusive_scan(AddUsize, &values, &flags),
+            seg_inclusive_scan(AddUsize, &values, &flags)
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        let values: [usize; 0] = [];
+        let flags: [bool; 0] = [];
+        assert!(seg_inclusive_scan(AddUsize, &values, &flags).is_empty());
+        assert!(segment_totals(AddUsize, &values, &flags).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        let _ = seg_inclusive_scan(AddUsize, &[1usize, 2], &[true]);
+    }
+}

@@ -1,0 +1,226 @@
+//! Scan-based integer sorting and random permuting.
+//!
+//! The paper (§1) notes that without the SCAN primitive, "all the
+//! algorithms presented in the paper can be implemented on a CRCW PRAM
+//! with only an extra O(log log) factor … using more complicated
+//! constructions including random permuting, integer sorting, and
+//! selection". This module provides those constructions in the vector
+//! model: a stable LSD radix sort whose inner pass is exactly the
+//! two-scan `split` primitive, and a scan-friendly Fisher–Yates
+//! permutation generator.
+
+use crate::primitives::par_split;
+use crate::scan::{exclusive_scan, AddUsize};
+use rand::Rng;
+
+/// Stable sort of `(key, payload)` pairs by `u64` key, LSD radix with
+/// `RADIX_BITS`-bit digits. Each digit pass is a stable counting split —
+/// `O(1)` scan rounds per pass in the vector model, `O(64/RADIX_BITS)`
+/// passes total.
+pub fn radix_sort_pairs<T: Copy>(pairs: &mut Vec<(u64, T)>) {
+    const RADIX_BITS: u32 = 8;
+    const BUCKETS: usize = 1 << RADIX_BITS;
+    let n = pairs.len();
+    if n <= 1 {
+        return;
+    }
+    let max_key = pairs.iter().map(|p| p.0).max().unwrap_or(0);
+    let passes = if max_key == 0 {
+        1
+    } else {
+        (64 - max_key.leading_zeros()).div_ceil(RADIX_BITS)
+    };
+    let mut src = std::mem::take(pairs);
+    let mut dst: Vec<(u64, T)> = Vec::with_capacity(n);
+    for pass in 0..passes {
+        let shift = pass * RADIX_BITS;
+        // Counting split: histogram, exclusive scan for bucket offsets,
+        // stable scatter.
+        let mut counts = [0usize; BUCKETS];
+        for &(k, _) in &src {
+            counts[((k >> shift) & (BUCKETS as u64 - 1)) as usize] += 1;
+        }
+        let (offsets, _) = exclusive_scan(AddUsize, &counts);
+        let mut cursor = offsets;
+        dst.clear();
+        dst.resize_with(n, || src[0]); // overwritten below
+        for &(k, v) in &src {
+            let b = ((k >> shift) & (BUCKETS as u64 - 1)) as usize;
+            dst[cursor[b]] = (k, v);
+            cursor[b] += 1;
+        }
+        std::mem::swap(&mut src, &mut dst);
+    }
+    *pairs = src;
+}
+
+/// Sort a `u64` key vector, returning the stable sorting permutation
+/// (`perm[rank] = original index`).
+pub fn sort_indices(keys: &[u64]) -> Vec<u32> {
+    let mut pairs: Vec<(u64, u32)> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| (k, i as u32))
+        .collect();
+    radix_sort_pairs(&mut pairs);
+    pairs.into_iter().map(|(_, i)| i).collect()
+}
+
+/// Binary MSD split sort expressed purely with the `split` primitive —
+/// the textbook vector-model sort (one stable split per bit). Slower than
+/// the radix sort but a direct transcription of the model; kept for tests
+/// and the model-faithfulness argument.
+pub fn split_sort_u64(keys: &[u64]) -> Vec<u64> {
+    let mut order: Vec<u32> = (0..keys.len() as u32).collect();
+    let max_key = keys.iter().copied().max().unwrap_or(0);
+    let bits = if max_key == 0 {
+        1
+    } else {
+        64 - max_key.leading_zeros()
+    };
+    for bit in 0..bits {
+        let flags: Vec<bool> = order
+            .iter()
+            .map(|&i| (keys[i as usize] >> bit) & 1 == 0)
+            .collect();
+        let s = par_split(&flags);
+        let mut next = Vec::with_capacity(order.len());
+        next.extend(s.yes.iter().map(|&pos| order[pos]));
+        next.extend(s.no.iter().map(|&pos| order[pos]));
+        order = next;
+    }
+    order.into_iter().map(|i| keys[i as usize]).collect()
+}
+
+/// Uniformly random permutation of `0..n` (Fisher–Yates; the "random
+/// permuting" primitive of the paper's CRCW remark).
+pub fn random_permutation<R: Rng>(n: usize, rng: &mut R) -> Vec<u32> {
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn pseudo_keys(n: usize, seed: u64) -> Vec<u64> {
+        let mut s = seed | 1;
+        (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                s % 10_000
+            })
+            .collect()
+    }
+
+    #[test]
+    fn radix_sort_sorts() {
+        let keys = pseudo_keys(5000, 42);
+        let mut pairs: Vec<(u64, u32)> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (k, i as u32))
+            .collect();
+        radix_sort_pairs(&mut pairs);
+        let mut expected = keys.clone();
+        expected.sort_unstable();
+        let got: Vec<u64> = pairs.iter().map(|p| p.0).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn radix_sort_is_stable() {
+        // Equal keys keep input order of payloads.
+        let mut pairs: Vec<(u64, u32)> = vec![(5, 0), (1, 1), (5, 2), (1, 3), (5, 4)];
+        radix_sort_pairs(&mut pairs);
+        assert_eq!(pairs, vec![(1, 1), (1, 3), (5, 0), (5, 2), (5, 4)]);
+    }
+
+    #[test]
+    fn radix_sort_edge_cases() {
+        let mut empty: Vec<(u64, ())> = vec![];
+        radix_sort_pairs(&mut empty);
+        assert!(empty.is_empty());
+
+        let mut one = vec![(7u64, 'x')];
+        radix_sort_pairs(&mut one);
+        assert_eq!(one, vec![(7, 'x')]);
+
+        let mut zeros = vec![(0u64, 1), (0, 2), (0, 3)];
+        radix_sort_pairs(&mut zeros);
+        assert_eq!(zeros, vec![(0, 1), (0, 2), (0, 3)]);
+
+        // Large keys exercising all passes.
+        let mut big = vec![(u64::MAX, 0u8), (1, 1), (u64::MAX - 1, 2)];
+        radix_sort_pairs(&mut big);
+        assert_eq!(big[0], (1, 1));
+        assert_eq!(big[2], (u64::MAX, 0));
+    }
+
+    #[test]
+    fn sort_indices_is_stable_sorting_permutation() {
+        let keys = vec![3u64, 1, 3, 0, 1];
+        let idx = sort_indices(&keys);
+        assert_eq!(idx, vec![3, 1, 4, 0, 2]);
+        let mut prev = 0;
+        for &i in &idx {
+            assert!(keys[i as usize] >= prev);
+            prev = keys[i as usize];
+        }
+    }
+
+    #[test]
+    fn split_sort_matches_std_sort() {
+        let keys = pseudo_keys(2000, 7);
+        let got = split_sort_u64(&keys);
+        let mut expected = keys.clone();
+        expected.sort_unstable();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn split_sort_all_equal_and_empty() {
+        assert!(split_sort_u64(&[]).is_empty());
+        assert_eq!(split_sort_u64(&[9, 9, 9]), vec![9, 9, 9]);
+    }
+
+    #[test]
+    fn random_permutation_is_a_permutation() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let p = random_permutation(1000, &mut rng);
+        let mut seen = vec![false; 1000];
+        for &i in &p {
+            assert!(!seen[i as usize], "duplicate {i}");
+            seen[i as usize] = true;
+        }
+    }
+
+    #[test]
+    fn random_permutation_is_roughly_uniform() {
+        // Position of element 0 should spread; crude chi-square-free check.
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let n = 10;
+        let trials = 5000;
+        let mut pos_counts = vec![0usize; n];
+        for _ in 0..trials {
+            let p = random_permutation(n, &mut rng);
+            let pos = p.iter().position(|&x| x == 0).unwrap();
+            pos_counts[pos] += 1;
+        }
+        for &c in &pos_counts {
+            let expected = trials / n;
+            assert!(
+                c > expected / 2 && c < expected * 2,
+                "position count {c} far from uniform {expected}"
+            );
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Separator quality: split counts and intersection numbers (Section 2.1).
+
+use rayon::prelude::*;
+use sepdc_geom::ball::Ball;
+use sepdc_geom::point::Point;
+use sepdc_geom::shape::{Separator, Side};
+
+/// How a separator partitions a point set.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SplitCounts {
+    /// Points strictly inside.
+    pub interior: usize,
+    /// Points on the surface (within tolerance) — routed to the interior
+    /// subtree by the paper's convention.
+    pub surface: usize,
+    /// Points strictly outside.
+    pub exterior: usize,
+}
+
+impl SplitCounts {
+    /// Total number of points counted.
+    pub fn total(&self) -> usize {
+        self.interior + self.surface + self.exterior
+    }
+
+    /// Size of the left (interior ∪ surface) part.
+    pub fn left(&self) -> usize {
+        self.interior + self.surface
+    }
+
+    /// Size of the right (exterior) part.
+    pub fn right(&self) -> usize {
+        self.exterior
+    }
+
+    /// The achieved split ratio `max(left, right) / total`, or 1.0 for an
+    /// empty input.
+    pub fn ratio(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            return 1.0;
+        }
+        self.left().max(self.right()) as f64 / t as f64
+    }
+}
+
+/// Classify every point against `sep` (parallel for large inputs).
+pub fn split_counts<const D: usize>(
+    points: &[Point<D>],
+    sep: &Separator<D>,
+    tol: f64,
+) -> SplitCounts {
+    let fold = |acc: SplitCounts, side: Side| {
+        let mut acc = acc;
+        match side {
+            Side::Interior => acc.interior += 1,
+            Side::Surface => acc.surface += 1,
+            Side::Exterior => acc.exterior += 1,
+        }
+        acc
+    };
+    let merge = |a: SplitCounts, b: SplitCounts| SplitCounts {
+        interior: a.interior + b.interior,
+        surface: a.surface + b.surface,
+        exterior: a.exterior + b.exterior,
+    };
+    if points.len() < 1 << 14 {
+        points
+            .iter()
+            .map(|p| sep.side_with_tol(p, tol))
+            .fold(SplitCounts::default(), fold)
+    } else {
+        points
+            .par_iter()
+            .map(|p| sep.side_with_tol(p, tol))
+            .fold(SplitCounts::default, fold)
+            .reduce(SplitCounts::default, merge)
+    }
+}
+
+/// The paper's acceptance predicate: the separator `δ`-splits the points —
+/// both sides are at most `δ · n` — and neither side is empty.
+pub fn is_good_point_split(counts: &SplitCounts, delta: f64) -> bool {
+    let n = counts.total();
+    if n < 2 {
+        return false;
+    }
+    let cap = (delta * n as f64).ceil() as usize;
+    counts.left() <= cap && counts.right() <= cap && counts.left() > 0 && counts.right() > 0
+}
+
+/// The default split-ratio bound `δ = (d+1)/(d+2) + ε` of the paper.
+pub fn delta_default(d: usize, epsilon: f64) -> f64 {
+    (d as f64 + 1.0) / (d as f64 + 2.0) + epsilon
+}
+
+/// Intersection number `ι_B(S)`: how many balls cross the separator
+/// surface (Section 2.1). Parallel for large systems.
+pub fn intersection_number<const D: usize>(balls: &[Ball<D>], sep: &Separator<D>) -> usize {
+    if balls.len() < 1 << 14 {
+        balls.iter().filter(|b| b.crosses(sep)).count()
+    } else {
+        balls.par_iter().filter(|b| b.crosses(sep)).count()
+    }
+}
+
+/// Indices of the balls crossing the separator, in input order.
+pub fn crossing_indices<const D: usize>(balls: &[Ball<D>], sep: &Separator<D>) -> Vec<usize> {
+    balls
+        .iter()
+        .enumerate()
+        .filter(|(_, b)| b.crosses(sep))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sepdc_geom::sphere::Sphere;
+
+    fn line_points(n: usize) -> Vec<Point<2>> {
+        (0..n).map(|i| Point::from([i as f64, 0.0])).collect()
+    }
+
+    #[test]
+    fn split_counts_partition_everything() {
+        let pts = line_points(100);
+        let sep: Separator<2> = Sphere::new(Point::from([10.0, 0.0]), 5.5).into();
+        let c = split_counts(&pts, &sep, 1e-9);
+        assert_eq!(c.total(), 100);
+        // Points 5..=15 inside-ish: indices with |i - 10| < 5.5 → 5..=15.
+        assert_eq!(c.interior + c.surface, 11);
+        assert_eq!(c.exterior, 89);
+    }
+
+    #[test]
+    fn surface_points_counted_separately() {
+        let pts = vec![
+            Point::<2>::from([1.0, 0.0]),
+            Point::from([0.0, 0.0]),
+            Point::from([2.0, 0.0]),
+        ];
+        let sep: Separator<2> = Sphere::new(Point::origin(), 1.0).into();
+        let c = split_counts(&pts, &sep, 1e-9);
+        assert_eq!(c.surface, 1);
+        assert_eq!(c.interior, 1);
+        assert_eq!(c.exterior, 1);
+        assert_eq!(c.left(), 2);
+    }
+
+    #[test]
+    fn ratio_of_balanced_split() {
+        let c = SplitCounts {
+            interior: 50,
+            surface: 0,
+            exterior: 50,
+        };
+        assert!((c.ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn good_split_accepts_and_rejects() {
+        let balanced = SplitCounts {
+            interior: 40,
+            surface: 0,
+            exterior: 60,
+        };
+        assert!(is_good_point_split(&balanced, 0.75));
+        let skewed = SplitCounts {
+            interior: 95,
+            surface: 0,
+            exterior: 5,
+        };
+        assert!(!is_good_point_split(&skewed, 0.75));
+        let empty_side = SplitCounts {
+            interior: 100,
+            surface: 0,
+            exterior: 0,
+        };
+        assert!(!is_good_point_split(&empty_side, 1.0));
+    }
+
+    #[test]
+    fn good_split_requires_two_points() {
+        let c = SplitCounts {
+            interior: 1,
+            surface: 0,
+            exterior: 0,
+        };
+        assert!(!is_good_point_split(&c, 0.9));
+    }
+
+    #[test]
+    fn delta_default_formula() {
+        assert!((delta_default(2, 0.0) - 0.75).abs() < 1e-12);
+        assert!((delta_default(3, 0.05) - 0.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intersection_number_counts_crossers() {
+        let sep: Separator<2> = Sphere::new(Point::origin(), 10.0).into();
+        let balls = vec![
+            Ball::new(Point::from([0.0, 0.0]), 1.0),  // inside
+            Ball::new(Point::from([10.0, 0.0]), 1.0), // crossing
+            Ball::new(Point::from([20.0, 0.0]), 1.0), // outside
+            Ball::new(Point::from([9.5, 0.0]), 1.0),  // crossing
+        ];
+        assert_eq!(intersection_number(&balls, &sep), 2);
+        assert_eq!(crossing_indices(&balls, &sep), vec![1, 3]);
+    }
+
+    #[test]
+    fn parallel_path_matches_serial() {
+        let n = 40_000;
+        let pts: Vec<Point<2>> = (0..n)
+            .map(|i| Point::from([(i % 200) as f64, (i / 200) as f64]))
+            .collect();
+        let sep: Separator<2> = Sphere::new(Point::from([100.0, 100.0]), 60.0).into();
+        let par = split_counts(&pts, &sep, 1e-9);
+        let ser = pts.iter().map(|p| sep.side_with_tol(p, 1e-9)).fold(
+            SplitCounts::default(),
+            |mut acc, s| {
+                match s {
+                    Side::Interior => acc.interior += 1,
+                    Side::Surface => acc.surface += 1,
+                    Side::Exterior => acc.exterior += 1,
+                }
+                acc
+            },
+        );
+        assert_eq!(par, ser);
+    }
+}

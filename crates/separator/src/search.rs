@@ -1,0 +1,204 @@
+//! The retry loop around the unit-time candidate generator.
+//!
+//! Section 3.3 of the paper: *"Iteratively apply Unit Time Sphere Separator
+//! Algorithm until finding a good sphere separator S."* Each candidate
+//! succeeds with probability bounded below by a constant (≥ 1/2 in the
+//! paper's accounting), so the number of rounds is geometric; Theorem 3.1
+//! turns this into the `O(log n)` high-probability bound via a Bernoulli
+//! ("heads/tails") argument.
+//!
+//! Practical completeness: after `max_attempts` failed candidates the
+//! search falls back to a deterministic median hyperplane cut, which
+//! `δ`-splits every point multiset that is splittable at all. This keeps
+//! the implementation total without changing the probabilistic analysis
+//! (the fallback fires with probability `2^-max_attempts`).
+
+use crate::config::SeparatorConfig;
+use crate::hyperplane_cut::median_cut_widest;
+use crate::mttv::unit_time_candidate;
+use crate::quality::{is_good_point_split, split_counts, SplitCounts};
+use rand::Rng;
+use sepdc_geom::point::Point;
+use sepdc_geom::shape::Separator;
+
+/// How the good separator was obtained.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SearchOutcome {
+    /// A unit-time random candidate was accepted.
+    Random,
+    /// The deterministic median-cut fallback was used.
+    Fallback,
+}
+
+/// A good separator together with the search statistics the complexity
+/// analysis cares about.
+#[derive(Clone, Debug)]
+pub struct FoundSeparator<const D: usize> {
+    /// The accepted separator.
+    pub separator: Separator<D>,
+    /// How the split partitions the input points.
+    pub counts: SplitCounts,
+    /// Number of unit-time candidates drawn (the 'coin flips' of
+    /// Theorem 3.1), including the accepted one.
+    pub attempts: usize,
+    /// Random acceptance or deterministic fallback.
+    pub outcome: SearchOutcome,
+}
+
+/// Find a separator that `δ`-splits `points`, retrying unit-time candidates
+/// and falling back to a median cut.
+///
+/// Returns `None` only when the point set cannot be split at all (fewer
+/// than two points, or every point identical).
+///
+/// ```
+/// use rand::SeedableRng;
+/// use sepdc_separator::{find_good_separator, SeparatorConfig};
+/// use sepdc_geom::Point;
+///
+/// let points: Vec<Point<2>> = (0..100)
+///     .map(|i| Point::from([(i % 10) as f64, (i / 10) as f64]))
+///     .collect();
+/// let cfg = SeparatorConfig::default();
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let found = find_good_separator::<2, 3, _>(&points, &cfg, &mut rng).unwrap();
+/// assert!(found.counts.ratio() <= cfg.delta(2));
+/// ```
+pub fn find_good_separator<const D: usize, const E: usize, R: Rng>(
+    points: &[Point<D>],
+    cfg: &SeparatorConfig,
+    rng: &mut R,
+) -> Option<FoundSeparator<D>> {
+    if points.len() < 2 {
+        return None;
+    }
+    let delta = cfg.delta(D);
+    for attempt in 1..=cfg.max_attempts {
+        let Some(sep) = unit_time_candidate::<D, E, R>(points, cfg, rng) else {
+            continue;
+        };
+        let counts = split_counts(points, &sep, cfg.tol);
+        if is_good_point_split(&counts, delta) {
+            return Some(FoundSeparator {
+                separator: sep,
+                counts,
+                attempts: attempt,
+                outcome: SearchOutcome::Random,
+            });
+        }
+    }
+    // Deterministic fallback.
+    let sep = median_cut_widest(points)?;
+    let counts = split_counts(points, &sep, cfg.tol);
+    if counts.left() == 0 || counts.right() == 0 {
+        return None;
+    }
+    Some(FoundSeparator {
+        separator: sep,
+        counts,
+        attempts: cfg.max_attempts,
+        outcome: SearchOutcome::Fallback,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn uniform_square(n: usize, seed: u64) -> Vec<Point<2>> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::from([rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]))
+            .collect()
+    }
+
+    #[test]
+    fn finds_good_separator_quickly_on_uniform() {
+        let pts = uniform_square(5000, 1);
+        let cfg = SeparatorConfig::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let found = find_good_separator::<2, 3, _>(&pts, &cfg, &mut rng).unwrap();
+        assert_eq!(found.outcome, SearchOutcome::Random);
+        assert!(found.attempts <= 10, "needed {} attempts", found.attempts);
+        assert!(found.counts.ratio() <= cfg.delta(2));
+    }
+
+    #[test]
+    fn attempt_distribution_is_geometric_ish() {
+        // Mean attempts should be small; this is the empirical face of the
+        // Bernoulli argument in Theorem 3.1.
+        let pts = uniform_square(2000, 3);
+        let cfg = SeparatorConfig::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut total_attempts = 0;
+        let runs = 30;
+        for _ in 0..runs {
+            let f = find_good_separator::<2, 3, _>(&pts, &cfg, &mut rng).unwrap();
+            total_attempts += f.attempts;
+        }
+        let mean = total_attempts as f64 / runs as f64;
+        assert!(mean < 4.0, "mean attempts {mean} too high");
+    }
+
+    #[test]
+    fn two_points_are_split() {
+        let pts = vec![Point::<2>::from([0.0, 0.0]), Point::from([1.0, 0.0])];
+        let cfg = SeparatorConfig::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let found = find_good_separator::<2, 3, _>(&pts, &cfg, &mut rng).unwrap();
+        assert_eq!(found.counts.left(), 1);
+        assert_eq!(found.counts.right(), 1);
+    }
+
+    #[test]
+    fn identical_points_return_none() {
+        let pts = vec![Point::<2>::splat(1.0); 100];
+        let cfg = SeparatorConfig {
+            max_attempts: 4, // keep the test fast; fallback also fails
+            ..Default::default()
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        assert!(find_good_separator::<2, 3, _>(&pts, &cfg, &mut rng).is_none());
+    }
+
+    #[test]
+    fn single_point_returns_none() {
+        let pts = vec![Point::<2>::origin()];
+        let cfg = SeparatorConfig::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        assert!(find_good_separator::<2, 3, _>(&pts, &cfg, &mut rng).is_none());
+    }
+
+    #[test]
+    fn fallback_fires_when_candidates_disabled() {
+        // Zero attempts forces the median-cut fallback path.
+        let pts = uniform_square(500, 8);
+        let cfg = SeparatorConfig {
+            max_attempts: 0,
+            ..Default::default()
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let found = find_good_separator::<2, 3, _>(&pts, &cfg, &mut rng).unwrap();
+        assert_eq!(found.outcome, SearchOutcome::Fallback);
+        assert!(found.counts.left() > 0 && found.counts.right() > 0);
+    }
+
+    #[test]
+    fn works_in_3d() {
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let pts: Vec<Point<3>> = (0..2000)
+            .map(|_| {
+                Point::from([
+                    rng.gen_range(0.0..1.0),
+                    rng.gen_range(0.0..1.0),
+                    rng.gen_range(0.0..1.0),
+                ])
+            })
+            .collect();
+        let cfg = SeparatorConfig::default();
+        let found = find_good_separator::<3, 4, _>(&pts, &cfg, &mut rng).unwrap();
+        assert!(found.counts.ratio() <= cfg.delta(3) + 1e-12);
+    }
+}

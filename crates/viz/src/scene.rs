@@ -1,0 +1,259 @@
+//! World-to-screen mapping and high-level drawing of the workspace's 2D
+//! structures.
+
+use crate::svg::SvgDoc;
+use sepdc_core::{KnnGraph, PartitionTree};
+use sepdc_geom::ball::Ball;
+use sepdc_geom::point::Point;
+use sepdc_geom::shape::{Separator, Side};
+
+/// Default palette.
+pub mod colors {
+    /// Interior-side fill.
+    pub const INTERIOR: &str = "#4477aa";
+    /// Exterior-side fill.
+    pub const EXTERIOR: &str = "#ee6677";
+    /// Crossing elements.
+    pub const CROSSING: &str = "#ccbb44";
+    /// Separator stroke.
+    pub const SEPARATOR: &str = "#222222";
+    /// Graph edges.
+    pub const EDGE: &str = "#66666688";
+    /// Neutral points.
+    pub const POINT: &str = "#333333";
+}
+
+/// A drawing surface with a fitted world-to-screen transform.
+pub struct Scene {
+    doc: SvgDoc,
+    // World window.
+    wx: f64,
+    wy: f64,
+    scale: f64,
+    margin: f64,
+}
+
+impl Scene {
+    /// Create a scene sized `px × px` pixels fitted to the bounding box of
+    /// `points`, with 5% margin. Falls back to the unit box for empty or
+    /// degenerate input.
+    pub fn fit(points: &[Point<2>], px: f64) -> Self {
+        let (mut lo, mut hi) = (Point::<2>::splat(0.0), Point::<2>::splat(1.0));
+        if !points.is_empty() {
+            lo = points[0];
+            hi = points[0];
+            for p in points {
+                lo = lo.min(p);
+                hi = hi.max(p);
+            }
+        }
+        let extent = ((hi[0] - lo[0]).max(hi[1] - lo[1])).max(1e-9);
+        let margin = px * 0.05;
+        let scale = (px - 2.0 * margin) / extent;
+        Scene {
+            doc: SvgDoc::new(px, px),
+            wx: lo[0],
+            wy: lo[1],
+            scale,
+            margin,
+        }
+    }
+
+    /// World → screen.
+    pub fn to_screen(&self, p: &Point<2>) -> (f64, f64) {
+        (
+            self.margin + (p[0] - self.wx) * self.scale,
+            // SVG y grows downward; flip so the figure reads math-style.
+            self.doc.height() - self.margin - (p[1] - self.wy) * self.scale,
+        )
+    }
+
+    /// World length → screen length.
+    pub fn len(&self, world: f64) -> f64 {
+        world * self.scale
+    }
+
+    /// Draw a point marker.
+    pub fn point(&mut self, p: &Point<2>, radius_px: f64, fill: &str) {
+        let (x, y) = self.to_screen(p);
+        self.doc.circle(x, y, radius_px, fill, "none", 0.0);
+    }
+
+    /// Draw a ball outline (world-radius).
+    pub fn ball(&mut self, b: &Ball<2>, stroke: &str, sw: f64) {
+        let (x, y) = self.to_screen(&b.center);
+        let r = self.len(b.radius);
+        self.doc.circle(x, y, r, "none", stroke, sw);
+    }
+
+    /// Draw a separator: a circle for spheres, a clipped line for
+    /// hyperplanes.
+    pub fn separator(&mut self, sep: &Separator<2>, stroke: &str, sw: f64, opacity: f64) {
+        match sep {
+            Separator::Sphere(s) => {
+                let (x, y) = self.to_screen(&s.center);
+                self.doc
+                    .circle_opacity(x, y, self.len(s.radius), stroke, sw, opacity);
+            }
+            Separator::Halfspace(h) => {
+                // Parameterize the line n·x = offset; draw it long enough
+                // to cross the viewport.
+                let dir = Point::<2>::from([-h.normal[1], h.normal[0]]);
+                let base = h.normal * h.offset;
+                let span = (self.doc.width() + self.doc.height()) / self.scale;
+                let a = base + dir * span;
+                let b = base - dir * span;
+                let (x1, y1) = self.to_screen(&a);
+                let (x2, y2) = self.to_screen(&b);
+                self.doc.line(x1, y1, x2, y2, stroke, sw);
+            }
+        }
+    }
+
+    /// Paper Figure 1: a neighborhood system with a sphere separator —
+    /// balls colored by interior / exterior / crossing.
+    pub fn draw_neighborhood_split(&mut self, balls: &[Ball<2>], sep: &Separator<2>) {
+        for b in balls {
+            let color = if b.crosses(sep) {
+                colors::CROSSING
+            } else if matches!(sep.side(&b.center), Side::Interior | Side::Surface) {
+                colors::INTERIOR
+            } else {
+                colors::EXTERIOR
+            };
+            self.ball(b, color, 1.0);
+            self.point(&b.center.clone(), 1.5, color);
+        }
+        self.separator(sep, colors::SEPARATOR, 2.5, 1.0);
+    }
+
+    /// Overlay a partition tree: every internal separator, opacity fading
+    /// with depth.
+    pub fn draw_partition_tree(&mut self, tree: &PartitionTree<2>, max_depth: usize) {
+        fn rec(scene: &mut Scene, node: &PartitionTree<2>, depth: usize, max_depth: usize) {
+            if depth > max_depth {
+                return;
+            }
+            if let PartitionTree::Internal {
+                sep, left, right, ..
+            } = node
+            {
+                let opacity = 0.9 * (0.65f64).powi(depth as i32) + 0.08;
+                scene.separator(sep, colors::SEPARATOR, 1.2, opacity);
+                rec(scene, left, depth + 1, max_depth);
+                rec(scene, right, depth + 1, max_depth);
+            }
+        }
+        rec(self, tree, 0, max_depth);
+    }
+
+    /// Draw a k-NN graph: edges then vertices.
+    pub fn draw_graph(&mut self, points: &[Point<2>], graph: &KnnGraph) {
+        for &(a, b) in graph.edges() {
+            let (x1, y1) = self.to_screen(&points[a as usize]);
+            let (x2, y2) = self.to_screen(&points[b as usize]);
+            self.doc.line(x1, y1, x2, y2, colors::EDGE, 0.7);
+        }
+        for p in points {
+            self.point(p, 1.2, colors::POINT);
+        }
+    }
+
+    /// Add a caption in the top-left corner.
+    pub fn caption(&mut self, text: &str) {
+        let m = self.margin;
+        self.doc.text(m, m * 0.8, 14.0, "#000000", text);
+    }
+
+    /// Finish into SVG text.
+    pub fn finish(self) -> String {
+        self.doc.finish()
+    }
+
+    /// Write to a file.
+    pub fn save(self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        self.doc.save(path)
+    }
+}
+
+/// Convenience: render the paper's Figure 1 for an arbitrary ball system
+/// and separator, returning SVG text.
+pub fn draw_figure1(balls: &[Ball<2>], sep: &Separator<2>, px: f64) -> String {
+    let centers: Vec<Point<2>> = balls.iter().map(|b| b.center).collect();
+    let mut scene = Scene::fit(&centers, px);
+    scene.draw_neighborhood_split(balls, sep);
+    scene.caption("Figure 1: a sphere separator (interior / exterior / crossing)");
+    scene.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sepdc_geom::Sphere;
+
+    fn sample_balls() -> Vec<Ball<2>> {
+        (0..20)
+            .map(|i| {
+                let a = i as f64 * 0.314;
+                Ball::new(Point::from([a.cos() * (i % 5) as f64, a.sin() * 2.0]), 0.3)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn figure1_contains_all_three_classes() {
+        let balls = sample_balls();
+        let sep: Separator<2> = Sphere::new(Point::origin(), 2.0).into();
+        let svg = draw_figure1(&balls, &sep, 400.0);
+        assert!(svg.contains(colors::SEPARATOR));
+        // With this configuration all three classes appear.
+        assert!(svg.contains(colors::INTERIOR));
+        assert!(svg.contains(colors::EXTERIOR));
+        assert!(svg.contains(colors::CROSSING));
+        assert!(svg.contains("Figure 1"));
+    }
+
+    #[test]
+    fn to_screen_flips_y_and_respects_margins() {
+        let pts = vec![Point::<2>::from([0.0, 0.0]), Point::from([1.0, 1.0])];
+        let scene = Scene::fit(&pts, 100.0);
+        let (x0, y0) = scene.to_screen(&pts[0]);
+        let (x1, y1) = scene.to_screen(&pts[1]);
+        assert!(x1 > x0, "x grows right");
+        assert!(y1 < y0, "world y up = screen y down");
+        for v in [x0, y0, x1, y1] {
+            assert!((0.0..=100.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn degenerate_fit_does_not_blow_up() {
+        let pts = vec![Point::<2>::splat(3.0); 5];
+        let scene = Scene::fit(&pts, 100.0);
+        let (x, y) = scene.to_screen(&pts[0]);
+        assert!(x.is_finite() && y.is_finite());
+    }
+
+    #[test]
+    fn hyperplane_draws_a_line() {
+        let pts = vec![Point::<2>::from([0.0, 0.0]), Point::from([1.0, 1.0])];
+        let mut scene = Scene::fit(&pts, 200.0);
+        let sep: Separator<2> = sepdc_geom::Hyperplane::axis_aligned(0, 0.5).into();
+        scene.separator(&sep, "#000000", 1.0, 1.0);
+        assert!(scene.finish().contains("<line"));
+    }
+
+    #[test]
+    fn graph_rendering_has_edges_and_points() {
+        use sepdc_core::brute_force_knn;
+        let pts: Vec<Point<2>> = (0..10)
+            .map(|i| Point::from([i as f64, (i * i % 7) as f64]))
+            .collect();
+        let g = KnnGraph::from_knn(&brute_force_knn(&pts, 1));
+        let mut scene = Scene::fit(&pts, 300.0);
+        scene.draw_graph(&pts, &g);
+        let svg = scene.finish();
+        assert!(svg.matches("<line").count() >= g.num_edges());
+        assert!(svg.matches("<circle").count() >= pts.len());
+    }
+}

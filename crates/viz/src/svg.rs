@@ -1,0 +1,228 @@
+//! A minimal SVG document builder — just enough for the figures this
+//! workspace produces, with no external dependencies.
+
+use std::fmt::Write as _;
+
+/// An SVG document under construction. Coordinates are raw SVG user units;
+/// the [`crate::scene`] layer handles world-to-screen mapping.
+#[derive(Clone, Debug)]
+pub struct SvgDoc {
+    width: f64,
+    height: f64,
+    body: String,
+}
+
+/// Escape text content for XML.
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+/// Format a coordinate compactly (3 decimals, no trailing zeros kept —
+/// SVG files stay small even with thousands of points).
+fn fmt_coord(v: f64) -> String {
+    let s = format!("{v:.3}");
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    if s.is_empty() || s == "-" || s == "-0" {
+        "0".to_string()
+    } else {
+        s.to_string()
+    }
+}
+
+impl SvgDoc {
+    /// New document of the given pixel size (white background).
+    pub fn new(width: f64, height: f64) -> Self {
+        assert!(
+            width > 0.0 && height > 0.0,
+            "document size must be positive"
+        );
+        let mut doc = SvgDoc {
+            width,
+            height,
+            body: String::new(),
+        };
+        doc.rect(0.0, 0.0, width, height, "#ffffff", "none", 0.0);
+        doc
+    }
+
+    /// Document width.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Document height.
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Filled/stroked rectangle.
+    #[allow(clippy::too_many_arguments)]
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str, stroke: &str, sw: f64) {
+        writeln!(
+            self.body,
+            r#"<rect x="{}" y="{}" width="{}" height="{}" fill="{}" stroke="{}" stroke-width="{}"/>"#,
+            fmt_coord(x),
+            fmt_coord(y),
+            fmt_coord(w),
+            fmt_coord(h),
+            escape(fill),
+            escape(stroke),
+            fmt_coord(sw)
+        )
+        .unwrap();
+    }
+
+    /// Circle with fill and stroke.
+    pub fn circle(&mut self, cx: f64, cy: f64, r: f64, fill: &str, stroke: &str, sw: f64) {
+        writeln!(
+            self.body,
+            r#"<circle cx="{}" cy="{}" r="{}" fill="{}" stroke="{}" stroke-width="{}"/>"#,
+            fmt_coord(cx),
+            fmt_coord(cy),
+            fmt_coord(r.max(0.0)),
+            escape(fill),
+            escape(stroke),
+            fmt_coord(sw)
+        )
+        .unwrap();
+    }
+
+    /// Circle with an opacity attribute (for depth-faded separators).
+    pub fn circle_opacity(
+        &mut self,
+        cx: f64,
+        cy: f64,
+        r: f64,
+        stroke: &str,
+        sw: f64,
+        opacity: f64,
+    ) {
+        writeln!(
+            self.body,
+            r#"<circle cx="{}" cy="{}" r="{}" fill="none" stroke="{}" stroke-width="{}" opacity="{}"/>"#,
+            fmt_coord(cx),
+            fmt_coord(cy),
+            fmt_coord(r.max(0.0)),
+            escape(stroke),
+            fmt_coord(sw),
+            fmt_coord(opacity.clamp(0.0, 1.0))
+        )
+        .unwrap();
+    }
+
+    /// Line segment.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, sw: f64) {
+        writeln!(
+            self.body,
+            r#"<line x1="{}" y1="{}" x2="{}" y2="{}" stroke="{}" stroke-width="{}"/>"#,
+            fmt_coord(x1),
+            fmt_coord(y1),
+            fmt_coord(x2),
+            fmt_coord(y2),
+            escape(stroke),
+            fmt_coord(sw)
+        )
+        .unwrap();
+    }
+
+    /// Text label.
+    pub fn text(&mut self, x: f64, y: f64, size: f64, fill: &str, content: &str) {
+        writeln!(
+            self.body,
+            r#"<text x="{}" y="{}" font-size="{}" font-family="sans-serif" fill="{}">{}</text>"#,
+            fmt_coord(x),
+            fmt_coord(y),
+            fmt_coord(size),
+            escape(fill),
+            escape(content)
+        )
+        .unwrap();
+    }
+
+    /// Serialize the document.
+    pub fn finish(&self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" viewBox=\"0 0 {w} {h}\">\n{body}</svg>\n",
+            w = fmt_coord(self.width),
+            h = fmt_coord(self.height),
+            body = self.body
+        )
+    }
+
+    /// Write to a file.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        if let Some(dir) = path.as_ref().parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        std::fs::write(path, self.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_structure() {
+        let mut d = SvgDoc::new(100.0, 50.0);
+        d.circle(10.0, 20.0, 5.0, "red", "black", 1.0);
+        let out = d.finish();
+        assert!(out.starts_with("<svg"));
+        assert!(out.trim_end().ends_with("</svg>"));
+        assert!(out.contains(r#"viewBox="0 0 100 50""#));
+        assert!(out.contains("<circle"));
+    }
+
+    #[test]
+    fn escaping() {
+        let mut d = SvgDoc::new(10.0, 10.0);
+        d.text(0.0, 0.0, 10.0, "black", "a<b & \"c\"");
+        let out = d.finish();
+        assert!(out.contains("a&lt;b &amp; &quot;c&quot;"));
+        assert!(!out.contains("a<b"));
+    }
+
+    #[test]
+    fn coordinates_are_compact() {
+        assert_eq!(fmt_coord(1.0), "1");
+        assert_eq!(fmt_coord(1.25), "1.25");
+        assert_eq!(fmt_coord(0.12345), "0.123");
+        assert_eq!(fmt_coord(-0.0004), "0");
+        assert_eq!(fmt_coord(-3.1000), "-3.1");
+    }
+
+    #[test]
+    fn negative_radius_clamped() {
+        let mut d = SvgDoc::new(10.0, 10.0);
+        d.circle(0.0, 0.0, -5.0, "none", "black", 1.0);
+        assert!(d.finish().contains(r#"r="0""#));
+    }
+
+    #[test]
+    fn opacity_clamped() {
+        let mut d = SvgDoc::new(10.0, 10.0);
+        d.circle_opacity(0.0, 0.0, 1.0, "black", 1.0, 7.0);
+        assert!(d.finish().contains(r#"opacity="1""#));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_size_rejected() {
+        SvgDoc::new(0.0, 10.0);
+    }
+
+    #[test]
+    fn save_creates_parents() {
+        let dir = std::env::temp_dir().join("sepdc_viz_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/out.svg");
+        SvgDoc::new(10.0, 10.0).save(&path).unwrap();
+        assert!(path.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

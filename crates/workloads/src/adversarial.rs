@@ -1,0 +1,215 @@
+//! Adversarial inputs.
+//!
+//! These are the configurations the paper's introduction argues about: for
+//! hyperplane-based divide and conquer there are inputs where every
+//! balanced cut of a fixed orientation is crossed by `Ω(n)` neighborhood
+//! balls, while sphere separators still achieve `O(n^((d-1)/d))`.
+
+use crate::distributions::{normal, uniform_cube};
+use rand::Rng;
+use sepdc_geom::Point;
+
+/// Two parallel dense slabs: `n/2` matched pairs of points, one at last
+/// coordinate `0` and one at `gap`, sharing the other coordinates (uniform
+/// in the unit cube). `gap` defaults to `0.5 / n`, far below the expected
+/// in-slab spacing, so every point's nearest neighbor is its partner in the
+/// other slab.
+///
+/// Consequence: every k-NN ball crosses the slab midplane, so a balanced
+/// hyperplane cut perpendicular to the last axis — the cut Bentley's fixed-
+/// orientation translation produces on this axis — is crossed by **all**
+/// `n` balls. This is the `Ω(n)` lower-bound exhibit of EXP-3.
+pub fn two_slabs<const D: usize, R: Rng>(n: usize, rng: &mut R) -> Vec<Point<D>> {
+    assert!(D >= 2, "two_slabs needs dimension >= 2");
+    let pairs = (n / 2).max(1);
+    // Stratified first coordinate: cell i gets x in [i/pairs, (i+0.4)/pairs),
+    // so in-slab spacing is at least 0.6/pairs; the inter-slab gap of
+    // 0.1/pairs is strictly smaller, making the partner the unique nearest
+    // neighbor of every point.
+    let cell = 1.0 / pairs as f64;
+    let gap = 0.1 * cell;
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n / 2 {
+        let mut base = [0.0; D];
+        base[0] = (i as f64 + rng.gen_range(0.0..0.4)) * cell;
+        for v in base.iter_mut().take(D - 1).skip(1) {
+            *v = rng.gen_range(0.0..1.0);
+        }
+        let mut low = base;
+        low[D - 1] = 0.0;
+        let mut high = base;
+        high[D - 1] = gap;
+        out.push(Point(low));
+        out.push(Point(high));
+    }
+    // Odd n: one unpaired point in the lower slab.
+    while out.len() < n {
+        let mut base = [0.0; D];
+        base[0] = -2.0 * cell; // clear of all pairs
+        out.push(Point(base));
+    }
+    out
+}
+
+/// Points along the first coordinate axis with perpendicular Gaussian noise
+/// of scale `noise` — nearly one-dimensional data, a degeneracy stress for
+/// the geometric machinery.
+pub fn noisy_line<const D: usize, R: Rng>(n: usize, noise: f64, rng: &mut R) -> Vec<Point<D>> {
+    (0..n)
+        .map(|i| {
+            let mut c = [0.0; D];
+            c[0] = i as f64 / n.max(1) as f64;
+            for v in c.iter_mut().skip(1) {
+                *v = noise * normal(rng);
+            }
+            Point(c)
+        })
+        .collect()
+}
+
+/// A "kissing" cluster: greedily packed points on the unit sphere around a
+/// center, pairwise distance at least `1 + margin`, plus the center itself.
+///
+/// Each ring point's nearest neighbor is at distance ≥ 1 (the center), so
+/// its 1-neighborhood ball has radius ≥ 1 and contains the center: the ply
+/// at the center approaches the kissing number `τ_D` — the tight case of
+/// the Density Lemma (Lemma 2.1), measured by EXP-9.
+pub fn kissing_cluster<const D: usize, R: Rng>(center: Point<D>, rng: &mut R) -> Vec<Point<D>> {
+    let margin = 1e-3;
+    let min_dist_sq = (1.0 + margin) * (1.0 + margin);
+    let mut ring: Vec<Point<D>> = Vec::new();
+    let mut failures = 0;
+    // Greedy random packing; stop after enough consecutive failures that
+    // the configuration is effectively saturated.
+    while failures < 4000 {
+        let mut c = [0.0; D];
+        for v in &mut c {
+            *v = normal(rng);
+        }
+        let Some(u) = Point(c).normalized(1e-9) else {
+            continue;
+        };
+        let candidate = center + u;
+        if ring.iter().all(|q| q.dist_sq(&candidate) >= min_dist_sq) {
+            ring.push(candidate);
+            failures = 0;
+        } else {
+            failures += 1;
+        }
+    }
+    ring.push(center);
+    ring
+}
+
+/// `count` kissing clusters with centers spread far apart (spacing 10), plus
+/// uniform filler to reach `n` points total.
+pub fn kissing_field<const D: usize, R: Rng>(n: usize, count: usize, rng: &mut R) -> Vec<Point<D>> {
+    let mut out = Vec::new();
+    for i in 0..count {
+        let mut c = [0.0; D];
+        c[0] = 10.0 * i as f64;
+        out.extend(kissing_cluster(Point(c), rng));
+        if out.len() >= n {
+            out.truncate(n);
+            return out;
+        }
+    }
+    // Filler, far from all clusters.
+    let filler = uniform_cube::<D, R>(n - out.len(), rng);
+    out.extend(filler.into_iter().map(|p| {
+        let mut q = p;
+        q[0] -= 50.0; // well away from cluster line
+        q
+    }));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+
+    #[test]
+    fn two_slabs_pair_structure() {
+        let pts = two_slabs::<2, _>(100, &mut rng(1));
+        assert_eq!(pts.len(), 100);
+        let gap = 0.1 / 50.0;
+        for pair in pts.chunks(2) {
+            if pair.len() == 2 {
+                assert_eq!(pair[0][0], pair[1][0], "pairs share x");
+                assert_eq!(pair[0][1], 0.0);
+                assert_eq!(pair[1][1], gap);
+            }
+        }
+    }
+
+    #[test]
+    fn two_slabs_nearest_neighbor_is_partner() {
+        let pts = two_slabs::<2, _>(200, &mut rng(2));
+        // Check a handful of points: nearest neighbor is the pair partner.
+        for i in (0..20).step_by(2) {
+            let p = pts[i];
+            let mut best = (f64::INFINITY, usize::MAX);
+            for (j, q) in pts.iter().enumerate() {
+                if j != i {
+                    let d = p.dist_sq(q);
+                    if d < best.0 {
+                        best = (d, j);
+                    }
+                }
+            }
+            assert_eq!(best.1, i + 1, "partner is not nearest for {i}");
+        }
+    }
+
+    #[test]
+    fn two_slabs_odd_count() {
+        let pts = two_slabs::<3, _>(101, &mut rng(3));
+        assert_eq!(pts.len(), 101);
+    }
+
+    #[test]
+    fn noisy_line_monotone_first_coordinate() {
+        let pts = noisy_line::<2, _>(50, 0.001, &mut rng(4));
+        for w in pts.windows(2) {
+            assert!(w[0][0] < w[1][0]);
+        }
+    }
+
+    #[test]
+    fn kissing_cluster_2d_reaches_kissing_number() {
+        let ring = kissing_cluster::<2, _>(Point::origin(), &mut rng(5));
+        // Ring (excluding center) can hold at most τ_2 = 6 points at
+        // pairwise distance > 1 on the unit circle; greedy packing should
+        // reach at least 4.
+        let ring_only = ring.len() - 1;
+        assert!((4..=6).contains(&ring_only), "ring size {ring_only}");
+        // Pairwise separation constraint holds.
+        for (i, p) in ring.iter().enumerate() {
+            for q in ring.iter().skip(i + 1) {
+                if *p != ring[ring.len() - 1] && *q != ring[ring.len() - 1] {
+                    assert!(p.dist(q) >= 1.0, "ring points too close");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kissing_cluster_3d_bounded_by_kissing_number() {
+        let ring = kissing_cluster::<3, _>(Point::origin(), &mut rng(6));
+        let ring_only = ring.len() - 1;
+        assert!(
+            ring_only <= 12,
+            "packed {ring_only} > τ_3 = 12 points, impossible"
+        );
+        assert!(ring_only >= 6, "greedy packing too sparse: {ring_only}");
+    }
+
+    #[test]
+    fn kissing_field_count_and_determinism() {
+        let a = kissing_field::<2, _>(60, 3, &mut rng(7));
+        let b = kissing_field::<2, _>(60, 3, &mut rng(7));
+        assert_eq!(a.len(), 60);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,231 @@
+//! Benign point distributions.
+
+use rand::Rng;
+use sepdc_geom::Point;
+
+/// Standard normal via the Marsaglia polar method.
+pub fn normal<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let x: f64 = rng.gen_range(-1.0..1.0);
+        let y: f64 = rng.gen_range(-1.0..1.0);
+        let s = x * x + y * y;
+        if s > 0.0 && s < 1.0 {
+            return x * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// `n` points uniform in the unit cube `[0, 1)^D`.
+pub fn uniform_cube<const D: usize, R: Rng>(n: usize, rng: &mut R) -> Vec<Point<D>> {
+    (0..n)
+        .map(|_| {
+            let mut c = [0.0; D];
+            for v in &mut c {
+                *v = rng.gen_range(0.0..1.0);
+            }
+            Point(c)
+        })
+        .collect()
+}
+
+/// `n` points uniform in the unit ball (rejection sampling).
+pub fn uniform_ball<const D: usize, R: Rng>(n: usize, rng: &mut R) -> Vec<Point<D>> {
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let mut c = [0.0; D];
+        for v in &mut c {
+            *v = rng.gen_range(-1.0..1.0);
+        }
+        let p = Point(c);
+        if p.norm_sq() <= 1.0 {
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// `n` points uniform on the unit sphere surface (normalized Gaussians).
+///
+/// Hyperplane-adversarial: any flat cut near the center crosses a band
+/// containing `Θ(√n)`–`Θ(n)` neighborhood balls depending on `D`, while the
+/// set is perfectly sphere-separable.
+pub fn sphere_shell<const D: usize, R: Rng>(n: usize, rng: &mut R) -> Vec<Point<D>> {
+    (0..n)
+        .map(|_| loop {
+            let mut c = [0.0; D];
+            for v in &mut c {
+                *v = normal(rng);
+            }
+            if let Some(u) = Point(c).normalized(1e-9) {
+                break u;
+            }
+        })
+        .collect()
+}
+
+/// `n` points in `clusters` Gaussian blobs with standard deviation `sigma`,
+/// centers uniform in the unit cube.
+pub fn gaussian_clusters<const D: usize, R: Rng>(
+    n: usize,
+    clusters: usize,
+    sigma: f64,
+    rng: &mut R,
+) -> Vec<Point<D>> {
+    assert!(clusters > 0, "need at least one cluster");
+    let centers: Vec<Point<D>> = uniform_cube(clusters, rng);
+    (0..n)
+        .map(|i| {
+            let c = centers[i % clusters];
+            let mut p = c;
+            for j in 0..D {
+                p[j] += sigma * normal(rng);
+            }
+            p
+        })
+        .collect()
+}
+
+/// `n` points on an integer grid, each jittered by `jitter` (fraction of
+/// the unit cell). The grid side is `ceil(n^(1/D))`; exactly `n` points are
+/// returned in row-major order.
+pub fn jittered_grid<const D: usize, R: Rng>(n: usize, jitter: f64, rng: &mut R) -> Vec<Point<D>> {
+    let side = (n as f64).powf(1.0 / D as f64).ceil() as usize;
+    let side = side.max(1);
+    let mut out = Vec::with_capacity(n);
+    'outer: for idx in 0.. {
+        // Decompose idx into D grid coordinates.
+        let mut rem = idx;
+        let mut c = [0.0; D];
+        for v in c.iter_mut() {
+            *v = (rem % side) as f64;
+            rem /= side;
+        }
+        if rem > 0 {
+            break 'outer; // exhausted the grid (only when side^D < n)
+        }
+        for v in &mut c {
+            *v += jitter * rng.gen_range(-0.5..0.5);
+        }
+        out.push(Point(c));
+        if out.len() == n {
+            break;
+        }
+    }
+    // If the grid was too small (can't happen with ceil, but stay total),
+    // pad with uniform points in the grid's bounding box.
+    while out.len() < n {
+        let mut c = [0.0; D];
+        for v in &mut c {
+            *v = rng.gen_range(0.0..side as f64);
+        }
+        out.push(Point(c));
+    }
+    out
+}
+
+/// `n` points uniform in a thin annulus (`r_inner..r_outer`) — between the
+/// shell and the ball in difficulty.
+pub fn annulus<const D: usize, R: Rng>(
+    n: usize,
+    r_inner: f64,
+    r_outer: f64,
+    rng: &mut R,
+) -> Vec<Point<D>> {
+    assert!(0.0 <= r_inner && r_inner < r_outer);
+    let shell = sphere_shell::<D, R>(n, rng);
+    shell
+        .into_iter()
+        .map(|u| {
+            // Radius with correct density in D dimensions.
+            let t: f64 = rng.gen_range(0.0..1.0);
+            let rd = (r_inner.powi(D as i32)
+                + t * (r_outer.powi(D as i32) - r_inner.powi(D as i32)))
+            .powf(1.0 / D as f64);
+            u * rd
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+
+    #[test]
+    fn uniform_cube_in_bounds() {
+        let pts = uniform_cube::<3, _>(500, &mut rng(1));
+        for p in pts {
+            for i in 0..3 {
+                assert!((0.0..1.0).contains(&p[i]));
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_ball_in_ball() {
+        let pts = uniform_ball::<4, _>(300, &mut rng(2));
+        for p in pts {
+            assert!(p.norm_sq() <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn sphere_shell_on_sphere() {
+        let pts = sphere_shell::<3, _>(300, &mut rng(3));
+        for p in pts {
+            assert!((p.norm() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn clusters_are_clustered() {
+        let pts = gaussian_clusters::<2, _>(800, 4, 0.01, &mut rng(4));
+        // Mean nearest-neighbor distance should be far below the uniform
+        // expectation for 800 points in the unit square (~0.018).
+        let mut total = 0.0;
+        for (i, p) in pts.iter().enumerate().take(100) {
+            let mut best = f64::INFINITY;
+            for (j, q) in pts.iter().enumerate() {
+                if i != j {
+                    best = best.min(p.dist_sq(q));
+                }
+            }
+            total += best.sqrt();
+        }
+        assert!(total / 100.0 < 0.02, "clusters look uniform");
+    }
+
+    #[test]
+    fn grid_has_expected_extent() {
+        let pts = jittered_grid::<2, _>(100, 0.0, &mut rng(5));
+        assert_eq!(pts.len(), 100);
+        // 10x10 grid: max coordinate 9.
+        let max = pts
+            .iter()
+            .map(|p| p[0].max(p[1]))
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(max, 9.0);
+    }
+
+    #[test]
+    fn grid_nonsquare_count() {
+        let pts = jittered_grid::<2, _>(7, 0.0, &mut rng(6));
+        assert_eq!(pts.len(), 7);
+    }
+
+    #[test]
+    fn annulus_radii_in_range() {
+        let pts = annulus::<2, _>(400, 0.8, 1.0, &mut rng(7));
+        for p in pts {
+            let r = p.norm();
+            assert!((0.8 - 1e-9..=1.0 + 1e-9).contains(&r), "radius {r}");
+        }
+    }
+
+    #[test]
+    fn normal_mean_near_zero() {
+        let mut r = rng(8);
+        let mean: f64 = (0..10_000).map(|_| normal(&mut r)).sum::<f64>() / 10_000.0;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+    }
+}

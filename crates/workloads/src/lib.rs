@@ -1,0 +1,128 @@
+//! # sepdc-workloads
+//!
+//! Reproducible point-set generators for the experiments.
+//!
+//! Every generator takes an explicit seed and returns the same points on
+//! every platform (ChaCha-based streams). Besides the benign distributions
+//! (uniform, Gaussian clusters, jittered grids), this crate provides the
+//! *adversarial* inputs that motivate the paper:
+//!
+//! * [`adversarial::two_slabs`] — `Θ(n)` k-NN edges cross every balanced
+//!   axis-aligned hyperplane cut, while a sphere separator still crosses
+//!   only `O(√n)` neighborhood balls;
+//! * [`distributions::sphere_shell`] — points on a `(d-1)`-sphere, where
+//!   flat cuts through the center are maximally bad;
+//! * [`adversarial::kissing_cluster`] — high-ply stress for the Density
+//!   Lemma experiment.
+
+#![warn(missing_docs)]
+
+pub mod adversarial;
+pub mod distributions;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The RNG used by all generators (fast, seedable, portable).
+pub type WorkloadRng = ChaCha8Rng;
+
+/// Build the workload RNG for a given seed.
+pub fn rng(seed: u64) -> WorkloadRng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// A named workload for experiment tables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workload {
+    /// Uniform in the unit cube.
+    UniformCube,
+    /// Uniform in the unit ball.
+    UniformBall,
+    /// On the unit sphere surface (hyperplane-adversarial).
+    SphereShell,
+    /// Gaussian clusters.
+    Clusters,
+    /// Jittered integer grid.
+    Grid,
+    /// Two parallel dense slabs (hyperplane-adversarial).
+    TwoSlabs,
+    /// Points along a noisy line (degenerate-ish).
+    NoisyLine,
+}
+
+impl Workload {
+    /// All workloads, for sweeps.
+    pub const ALL: [Workload; 7] = [
+        Workload::UniformCube,
+        Workload::UniformBall,
+        Workload::SphereShell,
+        Workload::Clusters,
+        Workload::Grid,
+        Workload::TwoSlabs,
+        Workload::NoisyLine,
+    ];
+
+    /// Short name for table rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Workload::UniformCube => "uniform-cube",
+            Workload::UniformBall => "uniform-ball",
+            Workload::SphereShell => "sphere-shell",
+            Workload::Clusters => "clusters",
+            Workload::Grid => "grid",
+            Workload::TwoSlabs => "two-slabs",
+            Workload::NoisyLine => "noisy-line",
+        }
+    }
+
+    /// Generate `n` points in dimension `D`.
+    pub fn generate<const D: usize>(&self, n: usize, seed: u64) -> Vec<sepdc_geom::Point<D>> {
+        let mut r = rng(seed);
+        match self {
+            Workload::UniformCube => distributions::uniform_cube(n, &mut r),
+            Workload::UniformBall => distributions::uniform_ball(n, &mut r),
+            Workload::SphereShell => distributions::sphere_shell(n, &mut r),
+            Workload::Clusters => distributions::gaussian_clusters(n, 8, 0.02, &mut r),
+            Workload::Grid => distributions::jittered_grid(n, 0.1, &mut r),
+            Workload::TwoSlabs => adversarial::two_slabs(n, &mut r),
+            Workload::NoisyLine => adversarial::noisy_line(n, 0.01, &mut r),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        for w in Workload::ALL {
+            let a = w.generate::<2>(100, 7);
+            let b = w.generate::<2>(100, 7);
+            assert_eq!(a, b, "{} not deterministic", w.name());
+        }
+    }
+
+    #[test]
+    fn generators_emit_requested_count() {
+        for w in Workload::ALL {
+            assert_eq!(w.generate::<3>(257, 1).len(), 257, "{}", w.name());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Workload::UniformCube.generate::<2>(50, 1);
+        let b = Workload::UniformCube.generate::<2>(50, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn all_points_finite() {
+        for w in Workload::ALL {
+            for p in w.generate::<4>(200, 3) {
+                assert!(p.is_finite(), "{} produced non-finite point", w.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Algorithm shootout: every all-k-NN algorithm in the workspace on the
+//! same inputs — results verified identical, wall time and work/depth
+//! profiles side by side.
+//!
+//! ```sh
+//! cargo run --release --example algorithm_shootout
+//! ```
+
+use sepdc::core::{
+    brute_force_knn, kdtree_all_knn, parallel_knn, simple_parallel_knn, KnnDcConfig,
+};
+use sepdc::workloads::Workload;
+use std::time::Instant;
+
+fn main() {
+    let k = 2;
+    let cfg = KnnDcConfig::new(k).with_seed(11);
+
+    for (w, n) in [
+        (Workload::UniformCube, 30_000usize),
+        (Workload::Clusters, 30_000),
+        (Workload::TwoSlabs, 30_000),
+    ] {
+        println!("== {} (n = {n}, k = {k}, d = 2) ==", w.name());
+        let points = w.generate::<2>(n, 77);
+
+        let t = Instant::now();
+        let oracle = brute_force_knn(&points, k);
+        println!("  brute-force      {:>9.2?}   (O(n²) oracle)", t.elapsed());
+
+        let t = Instant::now();
+        let kd = kdtree_all_knn(&points, k);
+        println!(
+            "  kd-tree          {:>9.2?}   (sequential-work baseline)",
+            t.elapsed()
+        );
+        kd.same_distances(&oracle, 1e-9).expect("kdtree correct");
+
+        let t = Instant::now();
+        let simple = simple_parallel_knn::<2, 3>(&points, &cfg);
+        println!(
+            "  simple-parallel  {:>9.2?}   depth {} rounds (§5, O(log² n)), \
+             max crossing fraction {:.3}",
+            t.elapsed(),
+            simple.cost.depth,
+            simple.stats.max_crossing_fraction
+        );
+        simple
+            .knn
+            .same_distances(&oracle, 1e-9)
+            .expect("§5 correct");
+
+        let t = Instant::now();
+        let par = parallel_knn::<2, 3>(&points, &cfg);
+        println!(
+            "  parallel-nn      {:>9.2?}   depth {} rounds (§6, O(log n)), \
+             {} fast / {} punts",
+            t.elapsed(),
+            par.cost.depth,
+            par.stats.fast_corrections,
+            par.stats.punts_threshold + par.stats.punts_marching
+        );
+        par.knn.same_distances(&oracle, 1e-9).expect("§6 correct");
+
+        println!(
+            "  work: simple {:.1}·n log n, parallel {:.1}·n log n\n",
+            simple.cost.work as f64 / (n as f64 * (n as f64).log2()),
+            par.cost.work as f64 / (n as f64 * (n as f64).log2()),
+        );
+    }
+    println!("all algorithms agree with the brute-force oracle ✓");
+}

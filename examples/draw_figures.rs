@@ -1,0 +1,93 @@
+//! Regenerate the paper's figure (and companions) as SVG files under
+//! `figures/`.
+//!
+//! The paper contains exactly one figure — *"Figure 1: A sphere
+//! separator"* — a neighborhood system split by a sphere, with balls in
+//! the interior, exterior, and crossing set. This example reproduces it
+//! from a real 1-neighborhood system and an actually-computed MTTV
+//! separator, then renders three companion figures: the §6 partition tree,
+//! the k-NN graph, and the hyperplane-vs-sphere adversarial comparison.
+//!
+//! ```sh
+//! cargo run --release --example draw_figures
+//! ```
+
+use rand::SeedableRng;
+use sepdc::core::{parallel_knn, KnnDcConfig, KnnGraph, NeighborhoodSystem};
+use sepdc::geom::{Hyperplane, Separator};
+use sepdc::separator::{find_good_separator, SeparatorConfig};
+use sepdc::workloads::Workload;
+use sepdc_viz::scene::{colors, draw_figure1};
+use sepdc_viz::Scene;
+
+fn main() -> std::io::Result<()> {
+    let out = std::path::Path::new("figures");
+    std::fs::create_dir_all(out)?;
+
+    // --- Figure 1: a sphere separator over a 1-neighborhood system. ---
+    let pts = Workload::UniformCube.generate::<2>(300, 2024);
+    let knn_out = parallel_knn::<2, 3>(&pts, &KnnDcConfig::new(1).with_seed(7));
+    let system = NeighborhoodSystem::from_knn(&pts, &knn_out.knn);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+    let found = find_good_separator::<2, 3, _>(&pts, &SeparatorConfig::default(), &mut rng)
+        .expect("splittable");
+    let svg = draw_figure1(system.balls(), &found.separator, 640.0);
+    std::fs::write(out.join("figure1_sphere_separator.svg"), svg)?;
+    println!(
+        "figure1_sphere_separator.svg: ι = {} crossing balls, split ratio {:.3}",
+        system.intersection_number(&found.separator),
+        found.counts.ratio()
+    );
+
+    // --- Partition tree of the §6 recursion. ---
+    let pts2 = Workload::Clusters.generate::<2>(1500, 9);
+    let out2 = parallel_knn::<2, 3>(&pts2, &KnnDcConfig::new(1).with_seed(4));
+    let mut scene = Scene::fit(&pts2, 640.0);
+    for p in &pts2 {
+        scene.point(p, 1.2, colors::POINT);
+    }
+    scene.draw_partition_tree(&out2.tree, 5);
+    scene.caption("Section 6 partition tree (separators fade with depth)");
+    scene.save(out.join("partition_tree.svg"))?;
+    println!(
+        "partition_tree.svg: height {}, {} leaves",
+        out2.tree.height(),
+        out2.tree.leaves()
+    );
+
+    // --- The k-NN graph (Definition 1.1). ---
+    let graph = KnnGraph::from_knn(&out2.knn);
+    let mut scene = Scene::fit(&pts2, 640.0);
+    scene.draw_graph(&pts2, &graph);
+    scene.caption("the 1-nearest-neighbor graph (Definition 1.1)");
+    scene.save(out.join("knn_graph.svg"))?;
+    println!(
+        "knn_graph.svg: {} edges, {} components",
+        graph.num_edges(),
+        graph.connected_components()
+    );
+
+    // --- Hyperplane vs sphere on the adversarial input. ---
+    let slabs = Workload::TwoSlabs.generate::<2>(300, 5);
+    let sout = parallel_knn::<2, 3>(&slabs, &KnnDcConfig::new(1).with_seed(6));
+    let ssys = NeighborhoodSystem::from_knn(&slabs, &sout.knn);
+    // The bad cut: between the slabs.
+    let gap = 0.1 / 150.0;
+    let bad: Separator<2> = Hyperplane::axis_aligned(1, gap / 2.0).into();
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+    let good = find_good_separator::<2, 3, _>(&slabs, &SeparatorConfig::default(), &mut rng)
+        .expect("splittable");
+    let mut scene = Scene::fit(&slabs, 640.0);
+    scene.draw_neighborhood_split(ssys.balls(), &good.separator);
+    scene.separator(&bad, colors::EXTERIOR, 2.0, 0.9);
+    scene.caption("two-slabs: every ball crosses the red median plane; the sphere crosses ~0");
+    scene.save(out.join("hyperplane_vs_sphere.svg"))?;
+    println!(
+        "hyperplane_vs_sphere.svg: hyperplane ι = {}, sphere ι = {}",
+        ssys.intersection_number(&bad),
+        ssys.intersection_number(&good.separator)
+    );
+
+    println!("\nall figures written to figures/");
+    Ok(())
+}

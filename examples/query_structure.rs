@@ -1,0 +1,81 @@
+//! Neighborhood query structure demo (Section 3): build the separator-based
+//! search structure over a k-ply neighborhood system and answer
+//! point-location queries — "which neighborhoods contain this point?" —
+//! in `O(log n + m₀)` time with `O(n)` space.
+//!
+//! ```sh
+//! cargo run --release --example query_structure
+//! ```
+
+use sepdc::core::{brute_force_knn, NeighborhoodSystem, QueryTree, QueryTreeConfig};
+use sepdc::workloads::Workload;
+
+fn main() {
+    let k = 2;
+    println!("Section 3 search structure over k-neighborhood systems (k = {k})\n");
+    println!(
+        "{:>8} {:>7} {:>9} {:>8} {:>12} {:>11} {:>10}",
+        "n", "height", "h/log2 n", "leaves", "stored/n", "avg query", "max query"
+    );
+
+    for exp in [10usize, 11, 12, 13, 14] {
+        let n = 1 << exp;
+        let points = Workload::Clusters.generate::<2>(n, exp as u64);
+        let knn = brute_force_knn(&points, k);
+        let system = NeighborhoodSystem::from_knn(&points, &knn);
+
+        let cfg = QueryTreeConfig::default();
+        let tree = QueryTree::build::<3>(system.balls(), cfg, 7);
+        let stats = tree.stats();
+
+        // Query with fresh probe points (not just the centers).
+        let probes = Workload::UniformCube.generate::<2>(2000, 999 + exp as u64);
+        let mut total_cost = 0usize;
+        let mut max_cost = 0usize;
+        let mut total_hits = 0usize;
+        for p in &probes {
+            let c = tree.query_cost(p);
+            total_cost += c;
+            max_cost = max_cost.max(c);
+            total_hits += tree.covering(p).len();
+        }
+
+        println!(
+            "{:>8} {:>7} {:>9.2} {:>8} {:>12.2} {:>11.1} {:>10}",
+            n,
+            stats.height,
+            stats.height as f64 / (n as f64).log2(),
+            stats.leaves,
+            stats.stored_balls as f64 / n as f64,
+            total_cost as f64 / probes.len() as f64,
+            max_cost
+        );
+        let _ = total_hits;
+    }
+
+    println!(
+        "\nLemma 3.1 predicts: height = O(log n) (flat h/log2 n column),\n\
+         stored/n = O(1) (linear space), query cost = O(log n + m₀)."
+    );
+
+    // Spot-check correctness against a linear scan.
+    let points = Workload::Clusters.generate::<2>(2048, 5);
+    let knn = brute_force_knn(&points, k);
+    let system = NeighborhoodSystem::from_knn(&points, &knn);
+    let tree = QueryTree::build::<3>(system.balls(), QueryTreeConfig::default(), 3);
+    let probes = Workload::UniformCube.generate::<2>(500, 77);
+    for p in &probes {
+        let mut fast = tree.covering(p);
+        fast.sort_unstable();
+        let mut slow: Vec<u32> = system
+            .balls()
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.contains(p))
+            .map(|(i, _)| i as u32)
+            .collect();
+        slow.sort_unstable();
+        assert_eq!(fast, slow, "query mismatch at {p:?}");
+    }
+    println!("correctness spot-check vs linear scan on 500 probes ✓");
+}

@@ -1,0 +1,65 @@
+//! Quickstart: build the k-nearest-neighbor graph of a point cloud with the
+//! paper's `O(log n)`-depth sphere-separator algorithm, and sanity-check it
+//! against the brute-force oracle.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use sepdc::core::{brute_force_knn, parallel_knn, KnnDcConfig, KnnGraph};
+use sepdc::workloads::Workload;
+
+fn main() {
+    let n = 20_000;
+    let k = 3;
+    println!("generating {n} uniform points in the unit square…");
+    let points = Workload::UniformCube.generate::<2>(n, 42);
+
+    // The paper's Section 6 algorithm. The two const parameters are the
+    // dimension D and its stereographic lift dimension E = D + 1.
+    let cfg = KnnDcConfig::new(k).with_seed(7);
+    let t0 = std::time::Instant::now();
+    let out = parallel_knn::<2, 3>(&points, &cfg);
+    let elapsed = t0.elapsed();
+
+    println!("parallel_knn finished in {elapsed:.2?}");
+    println!(
+        "  cost profile: work = {}, critical-path depth = {} rounds \
+         (log2 n = {:.1})",
+        out.cost.work,
+        out.cost.depth,
+        (n as f64).log2()
+    );
+    println!(
+        "  corrections: {} fast, {} punts ({} threshold, {} marching)",
+        out.stats.fast_corrections,
+        out.stats.punts_threshold + out.stats.punts_marching,
+        out.stats.punts_threshold,
+        out.stats.punts_marching
+    );
+    println!(
+        "  partition tree: height {} over {} leaves",
+        out.stats.height,
+        out.tree.leaves()
+    );
+
+    // Symmetrize into the k-NN graph (Definition 1.1).
+    let graph = KnnGraph::from_knn(&out.knn);
+    println!(
+        "k-NN graph: {} vertices, {} edges, max degree {}, {} component(s)",
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.max_degree(),
+        graph.connected_components()
+    );
+
+    // Verify on a subsample against the O(n²) oracle (full oracle on 20k
+    // points is fine too, just slower).
+    let sample: Vec<_> = points.iter().copied().take(2_000).collect();
+    let fast = parallel_knn::<2, 3>(&sample, &cfg);
+    let oracle = brute_force_knn(&sample, k);
+    fast.knn
+        .same_distances(&oracle, 1e-9)
+        .expect("parallel result must match the oracle");
+    println!("verified against the brute-force oracle on 2k points ✓");
+}

@@ -1,0 +1,31 @@
+//! # sepdc — Separator Based Parallel Divide and Conquer
+//!
+//! Facade crate re-exporting the whole workspace: a reproduction of
+//! Frieze, Miller & Teng, *Separator Based Parallel Divide and Conquer in
+//! Computational Geometry* (SPAA 1992).
+//!
+//! ```
+//! use sepdc::prelude::*;
+//! ```
+//!
+//! See the individual crates for details:
+//! * [`geom`] — d-dimensional geometry substrate.
+//! * [`scan`] — parallel vector model (SCAN) primitives and cost model.
+//! * [`separator`] — MTTV random sphere separators.
+//! * [`core`] — neighborhood query structures and k-NN graph algorithms.
+//! * [`workloads`] — reproducible point-set generators.
+//! * [`viz`] — SVG rendering (regenerates the paper's Figure 1).
+
+#![warn(missing_docs)]
+
+pub use sepdc_core as core;
+pub use sepdc_geom as geom;
+pub use sepdc_scan as scan;
+pub use sepdc_separator as separator;
+pub use sepdc_viz as viz;
+pub use sepdc_workloads as workloads;
+
+/// Convenient glob-import surface for examples and downstream users.
+pub mod prelude {
+    pub use sepdc_geom::{Ball, Hyperplane, Point, Separator, Side, Sphere};
+}

@@ -1,0 +1,86 @@
+//! Dimension sweep: the whole pipeline is generic over `D`; exercise it
+//! from 1 to 5 dimensions end to end (the paper treats `d` as an arbitrary
+//! fixed constant).
+
+use sepdc::core::{
+    brute_force_knn, kdtree_all_knn, parallel_knn, simple_parallel_knn, validate_knn, KnnDcConfig,
+    NeighborhoodSystem, QueryTree, QueryTreeConfig,
+};
+use sepdc::workloads::Workload;
+
+fn check_dim<const D: usize, const E: usize>(n: usize, k: usize, seed: u64) {
+    let pts = Workload::UniformCube.generate::<D>(n, seed);
+    let cfg = KnnDcConfig::new(k).with_seed(seed);
+    let oracle = brute_force_knn(&pts, k);
+
+    let par = parallel_knn::<D, E>(&pts, &cfg);
+    par.knn
+        .same_distances(&oracle, 1e-9)
+        .unwrap_or_else(|e| panic!("parallel d={D}: {e}"));
+    validate_knn(&pts, &par.knn).unwrap_or_else(|e| panic!("validate d={D}: {e}"));
+
+    let simple = simple_parallel_knn::<D, E>(&pts, &cfg);
+    simple
+        .knn
+        .same_distances(&oracle, 1e-9)
+        .unwrap_or_else(|e| panic!("simple d={D}: {e}"));
+
+    kdtree_all_knn(&pts, k)
+        .same_distances(&oracle, 1e-9)
+        .unwrap_or_else(|e| panic!("kdtree d={D}: {e}"));
+
+    // Query structure over the neighborhood system.
+    let sys = NeighborhoodSystem::from_knn(&pts, &par.knn);
+    let tree = QueryTree::build::<E>(sys.balls(), QueryTreeConfig::default(), seed);
+    for p in pts.iter().take(40) {
+        let mut fast = tree.covering(p);
+        fast.sort_unstable();
+        let mut slow: Vec<u32> = sys
+            .balls()
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.contains(p))
+            .map(|(i, _)| i as u32)
+            .collect();
+        slow.sort_unstable();
+        assert_eq!(fast, slow, "query mismatch d={D}");
+    }
+}
+
+#[test]
+fn dimension_1() {
+    check_dim::<1, 2>(300, 2, 11);
+}
+
+#[test]
+fn dimension_2() {
+    check_dim::<2, 3>(300, 2, 12);
+}
+
+#[test]
+fn dimension_3() {
+    check_dim::<3, 4>(300, 2, 13);
+}
+
+#[test]
+fn dimension_4() {
+    check_dim::<4, 5>(250, 2, 14);
+}
+
+#[test]
+fn dimension_5() {
+    check_dim::<5, 6>(200, 1, 15);
+}
+
+#[test]
+fn batch_query_matches_pointwise() {
+    let pts = Workload::Clusters.generate::<2>(600, 21);
+    let knn = brute_force_knn(&pts, 2);
+    let sys = NeighborhoodSystem::from_knn(&pts, &knn);
+    let tree = QueryTree::build::<3>(sys.balls(), QueryTreeConfig::default(), 3);
+    let probes = Workload::UniformCube.generate::<2>(200, 31);
+    let batch = tree.batch_covering_interior(&probes);
+    for (p, got) in probes.iter().zip(&batch) {
+        assert_eq!(*got, tree.covering_interior(p));
+    }
+}

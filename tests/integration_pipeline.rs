@@ -1,0 +1,208 @@
+//! End-to-end integration: workloads → k-NN algorithms → neighborhood
+//! systems → query structures → graphs, with every cross-module invariant
+//! checked against the brute-force oracle.
+
+use sepdc::core::{
+    brute_force_knn, kdtree_all_knn, parallel_knn, simple_parallel_knn, KnnDcConfig, KnnGraph,
+    NeighborhoodSystem, QueryTree, QueryTreeConfig,
+};
+use sepdc::workloads::Workload;
+
+/// Every algorithm agrees with the oracle across workloads (2D).
+#[test]
+fn all_algorithms_agree_across_workloads_2d() {
+    let n = 500;
+    let k = 2;
+    let cfg = KnnDcConfig::new(k).with_seed(1);
+    for w in Workload::ALL {
+        let pts = w.generate::<2>(n, 7);
+        let oracle = brute_force_knn(&pts, k);
+        kdtree_all_knn(&pts, k)
+            .same_distances(&oracle, 1e-9)
+            .unwrap_or_else(|e| panic!("kdtree on {}: {e}", w.name()));
+        simple_parallel_knn::<2, 3>(&pts, &cfg)
+            .knn
+            .same_distances(&oracle, 1e-9)
+            .unwrap_or_else(|e| panic!("simple on {}: {e}", w.name()));
+        parallel_knn::<2, 3>(&pts, &cfg)
+            .knn
+            .same_distances(&oracle, 1e-9)
+            .unwrap_or_else(|e| panic!("parallel on {}: {e}", w.name()));
+    }
+}
+
+/// Same in 3D and 4D on a subset of workloads.
+#[test]
+fn all_algorithms_agree_higher_dims() {
+    let cfg = KnnDcConfig::new(3).with_seed(2);
+    for w in [
+        Workload::UniformCube,
+        Workload::Clusters,
+        Workload::TwoSlabs,
+    ] {
+        let pts3 = w.generate::<3>(400, 11);
+        let oracle3 = brute_force_knn(&pts3, 3);
+        parallel_knn::<3, 4>(&pts3, &cfg)
+            .knn
+            .same_distances(&oracle3, 1e-9)
+            .unwrap_or_else(|e| panic!("parallel 3d on {}: {e}", w.name()));
+        simple_parallel_knn::<3, 4>(&pts3, &cfg)
+            .knn
+            .same_distances(&oracle3, 1e-9)
+            .unwrap_or_else(|e| panic!("simple 3d on {}: {e}", w.name()));
+
+        let pts4 = w.generate::<4>(300, 13);
+        let oracle4 = brute_force_knn(&pts4, 3);
+        parallel_knn::<4, 5>(&pts4, &cfg)
+            .knn
+            .same_distances(&oracle4, 1e-9)
+            .unwrap_or_else(|e| panic!("parallel 4d on {}: {e}", w.name()));
+    }
+}
+
+/// Pipeline: k-NN → neighborhood system → query structure answers match a
+/// linear scan; the system satisfies the k-neighborhood property and the
+/// Density Lemma ply bound.
+#[test]
+fn knn_to_neighborhood_to_query_pipeline() {
+    let n = 800;
+    let k = 2;
+    let pts = Workload::Clusters.generate::<2>(n, 21);
+    let cfg = KnnDcConfig::new(k).with_seed(3);
+    let out = parallel_knn::<2, 3>(&pts, &cfg);
+
+    let system = NeighborhoodSystem::from_knn(&pts, &out.knn);
+    system
+        .check_k_neighborhood(k)
+        .unwrap_or_else(|i| panic!("ball {i} violates the k-neighborhood property"));
+    let ply = system.max_ply_at_centers();
+    assert!(
+        ply <= sepdc::geom::kissing_number(2) * k + k,
+        "ply {ply} violates the Density Lemma bound"
+    );
+
+    let tree = QueryTree::build::<3>(system.balls(), QueryTreeConfig::default(), 9);
+    let probes = Workload::UniformCube.generate::<2>(300, 99);
+    for p in &probes {
+        let mut fast = tree.covering(p);
+        fast.sort_unstable();
+        let mut slow: Vec<u32> = system
+            .balls()
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.contains(p))
+            .map(|(i, _)| i as u32)
+            .collect();
+        slow.sort_unstable();
+        assert_eq!(fast, slow);
+    }
+}
+
+/// The k-NN graph built from any algorithm's result is identical (as a
+/// distance structure, graphs may differ on ties — so compare invariants).
+#[test]
+fn graph_invariants_across_algorithms() {
+    let pts = Workload::UniformCube.generate::<2>(600, 31);
+    let k = 3;
+    let cfg = KnnDcConfig::new(k).with_seed(4);
+    let g_oracle = KnnGraph::from_knn(&brute_force_knn(&pts, k));
+    let g_par = KnnGraph::from_knn(&parallel_knn::<2, 3>(&pts, &cfg).knn);
+
+    assert_eq!(g_oracle.num_vertices(), g_par.num_vertices());
+    // Tie-freedom w.h.p. for random points: edge sets match exactly.
+    assert_eq!(g_oracle.edges(), g_par.edges());
+    // Minimum degree k (each vertex has k out-neighbors).
+    for v in 0..600 {
+        assert!(g_par.degree(v) >= k);
+    }
+}
+
+/// Partition tree structure: every point in exactly one leaf; leaves no
+/// larger than the resolved base case; height logarithmic.
+#[test]
+fn partition_tree_structure() {
+    let n = 3000;
+    let pts = Workload::UniformBall.generate::<2>(n, 41);
+    let cfg = KnnDcConfig::new(1).with_seed(5);
+    let out = parallel_knn::<2, 3>(&pts, &cfg);
+    let mut ids = Vec::new();
+    out.tree.collect_point_ids(&mut ids);
+    ids.sort_unstable();
+    assert_eq!(ids, (0..n as u32).collect::<Vec<_>>());
+    assert!(out.tree.height() <= 4 * (n as f64).log2() as usize);
+    assert_eq!(out.tree.leaves(), out.stats.base_leaves);
+}
+
+/// Seed determinism across the whole pipeline.
+#[test]
+fn whole_pipeline_deterministic() {
+    let pts = Workload::SphereShell.generate::<3>(500, 51);
+    let cfg = KnnDcConfig::new(2).with_seed(77);
+    let a = parallel_knn::<3, 4>(&pts, &cfg);
+    let b = parallel_knn::<3, 4>(&pts, &cfg);
+    a.knn.same_distances(&b.knn, 0.0).unwrap();
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.cost, b.cost);
+    let ga = KnnGraph::from_knn(&a.knn);
+    let gb = KnnGraph::from_knn(&b.knn);
+    assert_eq!(ga.edges(), gb.edges());
+}
+
+/// Stress: pathological inputs end-to-end.
+#[test]
+fn pathological_inputs_end_to_end() {
+    let cfg = KnnDcConfig::new(2).with_seed(6);
+
+    // All identical.
+    let same = vec![sepdc::geom::Point::<2>::splat(4.0); 150];
+    let out = parallel_knn::<2, 3>(&same, &cfg);
+    out.knn
+        .same_distances(&brute_force_knn(&same, 2), 0.0)
+        .unwrap();
+
+    // Heavy duplication plus spread.
+    let mut pts = Workload::UniformCube.generate::<2>(200, 61);
+    let dup = pts[3];
+    pts.extend(std::iter::repeat_n(dup, 100));
+    let out = parallel_knn::<2, 3>(&pts, &cfg);
+    out.knn
+        .same_distances(&brute_force_knn(&pts, 2), 1e-12)
+        .unwrap();
+
+    // Collinear points.
+    let line: Vec<sepdc::geom::Point<2>> = (0..300)
+        .map(|i| sepdc::geom::Point::from([i as f64, 0.0]))
+        .collect();
+    let out = parallel_knn::<2, 3>(&line, &cfg);
+    out.knn
+        .same_distances(&brute_force_knn(&line, 2), 1e-12)
+        .unwrap();
+
+    // Huge coordinates.
+    let big: Vec<sepdc::geom::Point<2>> = Workload::UniformCube
+        .generate::<2>(300, 71)
+        .into_iter()
+        .map(|p| sepdc::geom::Point::from([p[0] * 1e8 + 3e12, p[1] * 1e8 - 9e11]))
+        .collect();
+    let out = parallel_knn::<2, 3>(&big, &cfg);
+    out.knn
+        .same_distances(&brute_force_knn(&big, 2), 1.0) // abs tol on squared dists at this scale
+        .unwrap();
+}
+
+/// n ≤ k edge cases across the public API.
+#[test]
+fn tiny_inputs_all_entry_points() {
+    let cfg = KnnDcConfig::new(5).with_seed(8);
+    for n in [0usize, 1, 2, 4, 6] {
+        let pts = Workload::UniformCube.generate::<2>(n, 81);
+        let par = parallel_knn::<2, 3>(&pts, &cfg);
+        let oracle = brute_force_knn(&pts, 5.min(pts.len().max(1)));
+        // With k possibly > n-1, lists are short but must agree in length
+        // and distances.
+        assert_eq!(par.knn.len(), oracle.len());
+        for i in 0..n {
+            assert_eq!(par.knn.neighbors(i).len(), pts.len() - 1.min(pts.len()));
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests for the Section 6 correction machinery: marching
+//! soundness against real partition trees, punting-tree sanity, and the
+//! public validators.
+
+use proptest::prelude::*;
+use sepdc::core::punting::{sample_rd, ZeroLog};
+use sepdc::core::{march_balls, parallel_knn, validate_knn, KnnDcConfig};
+use sepdc::geom::{Ball, Point};
+use sepdc::workloads::Workload;
+
+fn coarse_coord() -> impl Strategy<Value = f64> {
+    (-8i32..8).prop_map(|x| x as f64 * 0.5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Lemma 6.3 soundness: every point inside a queried ball appears
+    /// among the candidates its march collects, for the *actual* partition
+    /// trees produced by the §6 recursion.
+    #[test]
+    fn marching_candidates_cover_ball_contents(
+        seed in 0u64..500,
+        bx in coarse_coord(),
+        by in coarse_coord(),
+        r in 0.05f64..3.0,
+    ) {
+        let pts = Workload::UniformCube.generate::<2>(400, seed);
+        let out = parallel_knn::<2, 3>(&pts, &KnnDcConfig::new(1).with_seed(seed));
+        let ball = Ball::new(Point::from([bx * 0.1 + 0.5, by * 0.1 + 0.5]), r);
+        let m = march_balls(&out.tree, std::slice::from_ref(&ball), usize::MAX);
+        prop_assert!(!m.aborted);
+        for (i, p) in pts.iter().enumerate() {
+            if ball.contains(p) {
+                prop_assert!(
+                    m.candidates[0].contains(&(i as u32)),
+                    "point {i} inside ball missing from candidates"
+                );
+            }
+        }
+        // Work accounting is consistent.
+        prop_assert!(m.total_steps >= m.levels as u64);
+        prop_assert!(m.max_active_per_level >= 1);
+    }
+
+    /// The §6 output always passes the full independent validator
+    /// (structure + distances + radius maximality), across workloads.
+    #[test]
+    fn parallel_output_validates(seed in 0u64..200, wi in 0usize..7, k in 1usize..4) {
+        let w = Workload::ALL[wi];
+        let pts = w.generate::<2>(250, seed);
+        let out = parallel_knn::<2, 3>(&pts, &KnnDcConfig::new(k).with_seed(seed));
+        prop_assert!(
+            validate_knn(&pts, &out.knn).is_ok(),
+            "{:?} on {}", validate_knn(&pts, &out.knn), w.name()
+        );
+    }
+
+    /// Punting trees: RD is bounded by the worst case (all punts) and is
+    /// monotone-ish in expectation with n — sanity envelope for Lemma 4.1.
+    #[test]
+    fn punting_rd_within_envelope(seed in 0u64..1000, e in 3u32..12) {
+        let n = 1usize << e;
+        let mut rng = rand::SeedableRng::seed_from_u64(seed);
+        let rng: &mut rand_chacha::ChaCha8Rng = &mut rng;
+        let rd = sample_rd(n, &ZeroLog, rng);
+        // Worst case: sum of log2 at each level = e + (e-1) + … + 1.
+        let worst = (e * (e + 1) / 2) as f64;
+        prop_assert!(rd >= 0.0 && rd <= worst + 1e-9, "rd {rd} worst {worst}");
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the geometry substrate.
+
+use proptest::prelude::*;
+use sepdc::geom::ball::Ball;
+use sepdc::geom::matrix::Rotation;
+use sepdc::geom::point::Point;
+use sepdc::geom::radon::{in_simplex_hull, radon_point};
+use sepdc::geom::shape::{Separator, Side};
+use sepdc::geom::sphere::Sphere;
+use sepdc::geom::stereo::{lift, unlift, ConformalMap};
+
+fn coord() -> impl Strategy<Value = f64> {
+    // Bounded, finite coordinates; degenerate configs arise naturally.
+    (-50.0f64..50.0).prop_map(|x| (x * 16.0).round() / 16.0)
+}
+
+fn point2() -> impl Strategy<Value = Point<2>> {
+    [coord(), coord()].prop_map(Point::from)
+}
+
+fn point3() -> impl Strategy<Value = Point<3>> {
+    [coord(), coord(), coord()].prop_map(Point::from)
+}
+
+proptest! {
+    #[test]
+    fn lift_is_on_unit_sphere_and_invertible(p in point3()) {
+        let x: Point<4> = lift(&p);
+        prop_assert!((x.norm() - 1.0).abs() < 1e-9);
+        let back: Point<3> = unlift(&x, 1e-14).unwrap();
+        prop_assert!(back.dist(&p) < 1e-6 * (1.0 + p.norm()));
+    }
+
+    #[test]
+    fn rotation_is_isometric(p in point3(), q in point3()) {
+        let v = Point::<3>::from([0.6, 0.8, 0.0]);
+        let rot = Rotation::to_last_axis(&v);
+        let (rp, rq) = (rot.apply(&p), rot.apply(&q));
+        prop_assert!((rp.dist(&rq) - p.dist(&q)).abs() < 1e-9);
+        prop_assert!(rot.apply_inverse(&rp).dist(&p) < 1e-9);
+    }
+
+    #[test]
+    fn sphere_side_matches_signed_distance(c in point2(), r in 0.1f64..20.0, p in point2()) {
+        let s = Sphere::new(c, r);
+        let sd = s.signed_distance(&p);
+        match s.side(&p) {
+            Side::Interior => prop_assert!(sd < 0.0),
+            Side::Exterior => prop_assert!(sd > 0.0),
+            Side::Surface => prop_assert!(sd.abs() <= 1e-9),
+        }
+    }
+
+    #[test]
+    fn ball_reaches_at_least_one_side(
+        c in point2(), r in 0.1f64..10.0,
+        bc in point2(), br in 0.0f64..10.0,
+    ) {
+        let sep: Separator<2> = Sphere::new(c, r).into();
+        let b = Ball::new(bc, br);
+        prop_assert!(b.touches_interior_of(&sep) || b.touches_exterior_of(&sep));
+        // Crossing implies touching both sides.
+        if b.crosses(&sep) {
+            prop_assert!(b.touches_interior_of(&sep) && b.touches_exterior_of(&sep));
+        }
+    }
+
+    #[test]
+    fn circumsphere_passes_through_inputs(
+        a in point2(), b in point2(), c in point2(),
+    ) {
+        if let Some(s) = Sphere::circumsphere(&[a, b, c], 1e-9) {
+            for p in [a, b, c] {
+                let rel = s.signed_distance(&p).abs() / (1.0 + s.radius);
+                prop_assert!(rel < 1e-5, "rel err {rel}");
+            }
+        }
+    }
+
+    #[test]
+    fn radon_point_lies_in_both_hulls(
+        a in point2(), b in point2(), c in point2(), d in point2(),
+    ) {
+        if let Some(r) = radon_point(&[a, b, c, d], 1e-9) {
+            let pts = [a, b, c, d];
+            let pos: Vec<Point<2>> = r.positive.iter().map(|&i| pts[i]).collect();
+            let neg: Vec<Point<2>> = r.negative.iter().map(|&i| pts[i]).collect();
+            // Hull membership check only valid for simplex-sized sets.
+            if pos.len() <= 3 {
+                prop_assert!(in_simplex_hull(&r.point, &pos, 1e-4));
+            }
+            if neg.len() <= 3 {
+                prop_assert!(in_simplex_hull(&r.point, &neg, 1e-4));
+            }
+        }
+    }
+
+    #[test]
+    fn conformal_pullback_consistent_with_forward_map(
+        zc in [(-0.5f64..0.5), (-0.5f64..0.5), (-0.5f64..0.5)],
+        g in [(-1.0f64..1.0), (-1.0f64..1.0), (-1.0f64..1.0)],
+        probe in point2(),
+    ) {
+        let z = Point::<3>::from(zc);
+        prop_assume!(z.norm() < 0.9);
+        let gv = Point::<3>::from(g);
+        prop_assume!(gv.norm() > 0.1);
+        let map = ConformalMap::<2, 3>::from_centerpoint(&z);
+        if let Some(sep) = map.pull_back_great_circle(&gv, 1e-12) {
+            let w = map.apply(&probe).unwrap();
+            let fwd = gv.normalized(1e-12).unwrap().dot(&w);
+            let sd = sep.signed_distance(&probe);
+            // Away from the surface, forward sign and geometric side must
+            // be consistent up to a global flip — verified via a second
+            // probe. Here check only the degenerate-free invariant: points
+            // with fwd == 0 are on the surface.
+            if fwd.abs() < 1e-12 {
+                prop_assert!(sd.abs() < 1e-5 * (1.0 + probe.norm_sq()));
+            }
+        }
+    }
+
+    #[test]
+    fn separator_split_is_a_partition(
+        pts in proptest::collection::vec(point2(), 1..60),
+        c in point2(),
+        r in 0.1f64..10.0,
+    ) {
+        let sep: Separator<2> = Sphere::new(c, r).into();
+        let counts = sepdc::separator::split_counts(&pts, &sep, 1e-9);
+        prop_assert_eq!(counts.total(), pts.len());
+        prop_assert_eq!(counts.left() + counts.right(), pts.len());
+    }
+}

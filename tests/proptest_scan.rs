@@ -1,0 +1,155 @@
+//! Property-based tests for the parallel vector model primitives.
+
+use proptest::prelude::*;
+use sepdc::scan::primitives::{
+    apply_permutation, distribute, gather, pack, par_pack, par_split, split,
+};
+use sepdc::scan::scan::{AddF64, AddUsize, MaxF64};
+use sepdc::scan::segmented::{seg_exclusive_scan, seg_inclusive_scan, segment_totals};
+use sepdc::scan::{exclusive_scan, inclusive_scan, par_exclusive_scan, par_inclusive_scan};
+
+proptest! {
+    #[test]
+    fn inclusive_scan_matches_running_fold(xs in proptest::collection::vec(0usize..1000, 0..300)) {
+        let scan = inclusive_scan(AddUsize, &xs);
+        let mut acc = 0;
+        for (i, &x) in xs.iter().enumerate() {
+            acc += x;
+            prop_assert_eq!(scan[i], acc);
+        }
+    }
+
+    #[test]
+    fn exclusive_plus_element_equals_inclusive(xs in proptest::collection::vec(0usize..1000, 0..300)) {
+        let inc = inclusive_scan(AddUsize, &xs);
+        let (exc, total) = exclusive_scan(AddUsize, &xs);
+        for i in 0..xs.len() {
+            prop_assert_eq!(exc[i] + xs[i], inc[i]);
+        }
+        prop_assert_eq!(total, xs.iter().sum::<usize>());
+    }
+
+    #[test]
+    fn par_scans_match_serial(xs in proptest::collection::vec(0usize..100, 0..50_000)) {
+        prop_assert_eq!(par_inclusive_scan(AddUsize, &xs), inclusive_scan(AddUsize, &xs));
+        let (ps, pt) = par_exclusive_scan(AddUsize, &xs);
+        let (ss, st) = exclusive_scan(AddUsize, &xs);
+        prop_assert_eq!(ps, ss);
+        prop_assert_eq!(pt, st);
+    }
+
+    #[test]
+    fn max_scan_is_monotone_and_dominates(xs in proptest::collection::vec(-100.0f64..100.0, 1..200)) {
+        let scan = inclusive_scan(MaxF64, &xs);
+        for i in 0..xs.len() {
+            prop_assert!(scan[i] >= xs[i]);
+            if i > 0 {
+                prop_assert!(scan[i] >= scan[i - 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn pack_equals_filter(
+        xs in proptest::collection::vec(0u64..1000, 0..300),
+        seed in 0u64..1000,
+    ) {
+        let flags: Vec<bool> = (0..xs.len()).map(|i| (i as u64 * 7 + seed).is_multiple_of(3)).collect();
+        let packed = pack(&xs, &flags);
+        let expected: Vec<u64> = xs.iter().zip(&flags).filter(|(_, &f)| f).map(|(&x, _)| x).collect();
+        prop_assert_eq!(&packed, &expected);
+        prop_assert_eq!(par_pack(&xs, &flags), expected);
+    }
+
+    #[test]
+    fn split_is_stable_partition(flags in proptest::collection::vec(any::<bool>(), 0..400)) {
+        let s = split(&flags);
+        prop_assert_eq!(s.yes.len() + s.no.len(), flags.len());
+        // Stability: indices strictly increasing on both sides.
+        for w in s.yes.windows(2) { prop_assert!(w[0] < w[1]); }
+        for w in s.no.windows(2) { prop_assert!(w[0] < w[1]); }
+        // Correct routing.
+        for &i in &s.yes { prop_assert!(flags[i]); }
+        for &i in &s.no { prop_assert!(!flags[i]); }
+        prop_assert_eq!(par_split(&flags), s);
+    }
+
+    #[test]
+    fn permutation_roundtrip(n in 0usize..200, seed in 0u64..1000) {
+        // Deterministic pseudo-random permutation.
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut state = seed.wrapping_add(1);
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            perm.swap(i, j);
+        }
+        let xs: Vec<u64> = (0..n as u64).collect();
+        let permuted = apply_permutation(&xs, &perm);
+        let mut inv = vec![0usize; n];
+        for (i, &p) in perm.iter().enumerate() { inv[p] = i; }
+        prop_assert_eq!(apply_permutation(&permuted, &inv), xs);
+    }
+
+    #[test]
+    fn gather_distribute_consistency(
+        xs in proptest::collection::vec(0u32..100, 1..50),
+        counts in proptest::collection::vec(0usize..5, 1..50),
+    ) {
+        let counts = &counts[..counts.len().min(xs.len())];
+        let xs = &xs[..counts.len()];
+        let expanded = distribute(xs, counts);
+        prop_assert_eq!(expanded.len(), counts.iter().sum::<usize>());
+        // distribute == gather with repeated indices.
+        let mut idx = Vec::new();
+        for (i, &c) in counts.iter().enumerate() {
+            idx.extend(std::iter::repeat_n(i, c));
+        }
+        prop_assert_eq!(expanded, gather(xs, &idx));
+    }
+
+    #[test]
+    fn segmented_scan_equals_per_segment_scan(
+        values in proptest::collection::vec(0usize..100, 1..200),
+        flag_seed in 0u64..100,
+    ) {
+        let flags: Vec<bool> = (0..values.len())
+            .map(|i| i == 0 || (i as u64 * 13 + flag_seed).is_multiple_of(5))
+            .collect();
+        let seg = seg_inclusive_scan(AddUsize, &values, &flags);
+        // Reference: split into segments, scan each.
+        let mut expected = Vec::new();
+        let mut acc = 0;
+        for (i, &v) in values.iter().enumerate() {
+            if flags[i] { acc = 0; }
+            acc += v;
+            expected.push(acc);
+        }
+        prop_assert_eq!(seg, expected);
+
+        // Exclusive variant: seg_exc[i] + v[i] == seg_inc[i].
+        let exc = seg_exclusive_scan(AddUsize, &values, &flags);
+        let inc = seg_inclusive_scan(AddUsize, &values, &flags);
+        for i in 0..values.len() {
+            prop_assert_eq!(exc[i] + values[i], inc[i]);
+        }
+
+        // Totals equal the last inclusive value of each segment.
+        let totals = segment_totals(AddUsize, &values, &flags);
+        let mut expected_totals = Vec::new();
+        for i in 0..values.len() {
+            let is_last = i + 1 == values.len() || flags[i + 1];
+            if is_last { expected_totals.push(inc[i]); }
+        }
+        prop_assert_eq!(totals, expected_totals);
+    }
+
+    #[test]
+    fn float_scan_reassociation_is_bounded(xs in proptest::collection::vec(-1.0f64..1.0, 0..50_000)) {
+        let par = par_inclusive_scan(AddF64, &xs);
+        let ser = inclusive_scan(AddF64, &xs);
+        for (a, b) in par.iter().zip(&ser) {
+            prop_assert!((a - b).abs() < 1e-7);
+        }
+    }
+}

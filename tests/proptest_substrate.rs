@@ -1,0 +1,115 @@
+//! Property tests for the substrate added around the core reproduction:
+//! bounding boxes, determinant predicates, scan-based sorting and
+//! selection.
+
+use proptest::prelude::*;
+use sepdc::geom::aabb::Aabb;
+use sepdc::geom::predicates::{in_circumsphere, orientation, Orientation};
+use sepdc::geom::{Ball, Point, Sphere};
+use sepdc::scan::selection::{k_smallest, select_rank, select_rank_fr};
+use sepdc::scan::sort::{radix_sort_pairs, sort_indices, split_sort_u64};
+
+fn coord() -> impl Strategy<Value = f64> {
+    (-16i32..16).prop_map(|x| x as f64 * 0.25)
+}
+
+fn point2() -> impl Strategy<Value = Point<2>> {
+    [coord(), coord()].prop_map(Point::from)
+}
+
+proptest! {
+    #[test]
+    fn aabb_contains_its_points_and_distances_vanish_inside(
+        pts in proptest::collection::vec(point2(), 1..50),
+        probe in point2(),
+    ) {
+        let b = Aabb::of_points(&pts);
+        for p in &pts {
+            prop_assert!(b.contains(p));
+            prop_assert_eq!(b.dist_sq(p), 0.0);
+        }
+        // dist_sq is zero exactly on containment.
+        prop_assert_eq!(b.contains(&probe), b.dist_sq(&probe) == 0.0);
+        // A ball centered at the probe with radius ≥ dist reaches the box.
+        let d = b.dist_sq(&probe).sqrt();
+        prop_assert!(b.intersects_ball(&Ball::new(probe, d + 1e-9)));
+    }
+
+    #[test]
+    fn aabb_may_cross_is_conservative_for_spheres(
+        pts in proptest::collection::vec(point2(), 2..40),
+        c in point2(),
+        r in 0.1f64..8.0,
+    ) {
+        // Soundness: if any two input points are on opposite sides of the
+        // sphere, the bounding box must be flagged as possibly crossing.
+        let b = Aabb::of_points(&pts);
+        let s = Sphere::new(c, r);
+        let any_in = pts.iter().any(|p| s.signed_distance(p) < 0.0);
+        let any_out = pts.iter().any(|p| s.signed_distance(p) > 0.0);
+        if any_in && any_out {
+            prop_assert!(b.may_cross(&s.into()));
+        }
+    }
+
+    #[test]
+    fn orientation_is_antisymmetric(a in point2(), b in point2(), c in point2()) {
+        let o1 = orientation(&[a, b, c], 1e-12);
+        let o2 = orientation(&[a, c, b], 1e-12);
+        match (o1, o2) {
+            (Orientation::Positive, x) => prop_assert_eq!(x, Orientation::Negative),
+            (Orientation::Negative, x) => prop_assert_eq!(x, Orientation::Positive),
+            (Orientation::Degenerate, x) => prop_assert_eq!(x, Orientation::Degenerate),
+        }
+    }
+
+    #[test]
+    fn in_circumsphere_matches_explicit_circumsphere(
+        a in point2(), b in point2(), c in point2(), q in point2(),
+    ) {
+        if let (Some(s), Some(pred)) = (
+            Sphere::circumsphere(&[a, b, c], 1e-9),
+            in_circumsphere(&[a, b, c], &q, 1e-9),
+        ) {
+            let sd = s.signed_distance(&q);
+            // Skip near-surface cases where either method may round.
+            prop_assume!(sd.abs() > 1e-6 * (1.0 + s.radius));
+            prop_assert_eq!(pred, sd < 0.0);
+        }
+    }
+
+    #[test]
+    fn radix_and_split_sorts_agree_with_std(keys in proptest::collection::vec(0u64..1_000_000, 0..400)) {
+        let mut expected = keys.clone();
+        expected.sort_unstable();
+        prop_assert_eq!(split_sort_u64(&keys), expected.clone());
+        let mut pairs: Vec<(u64, u32)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u32)).collect();
+        radix_sort_pairs(&mut pairs);
+        let got: Vec<u64> = pairs.iter().map(|p| p.0).collect();
+        prop_assert_eq!(got, expected);
+        // sort_indices is a permutation achieving sorted order.
+        let idx = sort_indices(&keys);
+        let mut seen = vec![false; keys.len()];
+        for &i in &idx {
+            prop_assert!(!seen[i as usize]);
+            seen[i as usize] = true;
+        }
+    }
+
+    #[test]
+    fn selections_agree_with_sorting(
+        xs in proptest::collection::vec(-1000.0f64..1000.0, 1..500),
+        rank_frac in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let rank = ((xs.len() - 1) as f64 * rank_frac) as usize;
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut rng = rand::SeedableRng::seed_from_u64(seed);
+        let rng: &mut rand_chacha::ChaCha8Rng = &mut rng;
+        prop_assert_eq!(select_rank(&xs, rank, rng).value, sorted[rank]);
+        prop_assert_eq!(select_rank_fr(&xs, rank, rng).value, sorted[rank]);
+        let k = rank + 1;
+        prop_assert_eq!(k_smallest(&xs, k, rng), sorted[..k].to_vec());
+    }
+}
