@@ -1,10 +1,8 @@
 //! Small table/series printing and fitting utilities shared by all
 //! experiments.
 
-use serde::Serialize;
-
 /// One printed row: label plus formatted cells.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Row {
     /// Row label (first column).
     pub label: String,
@@ -13,7 +11,7 @@ pub struct Row {
 }
 
 /// A fixed-column table that prints aligned and can serialize to JSON.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Table {
     /// Table title (printed as a heading).
     pub title: String,
@@ -120,9 +118,55 @@ impl Table {
             .collect::<Vec<_>>()
             .join("_");
         let path = std::path::Path::new(dir).join(format!("{slug}.json"));
-        let json = serde_json::to_string_pretty(self).expect("table serializes");
-        std::fs::write(path, json)
+        std::fs::write(path, self.to_json())
     }
+
+    /// Hand-rolled pretty JSON (the build is offline; no serde).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"title\": {},\n", json_str(&self.title)));
+        s.push_str(&format!(
+            "  \"headers\": {},\n",
+            json_str_array(&self.headers)
+        ));
+        s.push_str("  \"rows\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{ \"label\": {}, \"cells\": {} }}{}\n",
+                json_str(&r.label),
+                json_str_array(&r.cells),
+                if i + 1 < self.rows.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str(&format!("  \"notes\": {}\n", json_str_array(&self.notes)));
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// Escape and quote one JSON string.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_str_array(items: &[String]) -> String {
+    let inner: Vec<String> = items.iter().map(|s| json_str(s)).collect();
+    format!("[{}]", inner.join(", "))
 }
 
 /// Least-squares fit of `y = c · x^e` via log-log regression; returns the

@@ -3,12 +3,12 @@
 //! The divide-and-conquer algorithms write neighbor lists from parallel
 //! recursive calls. The index sets touched by sibling calls are disjoint,
 //! so there is never real contention — but Rust cannot see that statically
-//! across arbitrary index partitions, so each list sits behind a cheap
-//! `parking_lot::Mutex` (one word, uncontended acquire ≈ one CAS). The
+//! across arbitrary index partitions, so each list sits behind a
+//! `std::sync::Mutex` (cheap uncontended acquire). The
 //! finished store converts into a plain [`KnnResult`].
 
 use crate::knn::{KnnResult, Neighbor};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Sharded neighbor lists; `Sync` handle passed to parallel recursions.
 pub(crate) struct SharedLists {
@@ -32,13 +32,13 @@ impl SharedLists {
     /// Replace the list of point `i` (base-case solve).
     pub(crate) fn set_list(&self, i: usize, mut list: Vec<Neighbor>) {
         list.truncate(self.k);
-        *self.lists[i].lock() = list;
+        *self.lists[i].lock().unwrap() = list;
     }
 
     /// Squared k-neighborhood radius of point `i`
     /// (`INFINITY` when fewer than `k` neighbors are known).
     pub(crate) fn radius_sq(&self, i: usize) -> f64 {
-        let l = self.lists[i].lock();
+        let l = self.lists[i].lock().unwrap();
         if l.len() < self.k {
             f64::INFINITY
         } else {
@@ -49,7 +49,7 @@ impl SharedLists {
     /// Offer a candidate; same semantics as [`KnnResult::merge_candidate`].
     pub(crate) fn merge_candidate(&self, i: usize, j: u32, dist_sq: f64) -> bool {
         debug_assert_ne!(i as u32, j);
-        let mut list = self.lists[i].lock();
+        let mut list = self.lists[i].lock().unwrap();
         if list.len() == self.k {
             let tail = list[self.k - 1];
             if dist_sq > tail.dist_sq || (dist_sq == tail.dist_sq && j >= tail.idx) {
@@ -73,7 +73,7 @@ impl SharedLists {
         let n = self.lists.len();
         let mut out = KnnResult::new(n, self.k);
         for (i, m) in self.lists.into_iter().enumerate() {
-            out.set_list(i, m.into_inner());
+            out.set_list(i, m.into_inner().unwrap());
         }
         out
     }

@@ -1,0 +1,442 @@
+//! Parallel iterators over indexed sources.
+//!
+//! Everything is modeled as an *indexed* source: an iterator knows its
+//! length and can produce the item at index `i` (or `None` when a `filter`
+//! removed it). Terminal operations partition the index space into
+//! contiguous chunks, run each chunk on a scoped worker thread (within the
+//! global thread budget of [`crate::pool`]), and combine per-chunk
+//! accumulators in chunk order — so order-sensitive terminals like
+//! `collect` match their sequential counterparts exactly.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// An indexed parallel iterator.
+///
+/// `pi_get` contract: terminal drivers call it **at most once per index**.
+/// Implementations with mutable items (`par_chunks_mut`) rely on this to
+/// hand out disjoint `&mut` borrows soundly.
+pub trait ParallelIterator: Sized + Send + Sync {
+    /// Item type.
+    type Item: Send;
+
+    /// Number of indices (before filtering).
+    fn pi_len(&self) -> usize;
+
+    /// The item at `index`, or `None` when filtered out.
+    fn pi_get(&self, index: usize) -> Option<Self::Item>;
+
+    /// Map each item through `f`.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Send + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Keep only items satisfying `p`.
+    fn filter<P>(self, p: P) -> Filter<Self, P>
+    where
+        P: Fn(&Self::Item) -> bool + Send + Sync,
+    {
+        Filter { base: self, p }
+    }
+
+    /// Pair up with another indexed iterator (lengths are truncated to the
+    /// shorter side; both sides must be unfiltered, as in rayon, where
+    /// `zip` exists only on indexed iterators).
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    /// Attach the global index to each item.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Per-chunk fold; combine the chunk accumulators with
+    /// [`Fold::reduce`].
+    fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> Fold<Self, ID, F>
+    where
+        T: Send,
+        ID: Fn() -> T + Send + Sync,
+        F: Fn(T, Self::Item) -> T + Send + Sync,
+    {
+        Fold {
+            base: self,
+            identity,
+            fold_op,
+        }
+    }
+
+    /// Apply `f` to every item.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        drive(
+            &self,
+            || (),
+            |(), _, x| {
+                f(x);
+                true
+            },
+        );
+    }
+
+    /// Number of items (after filtering).
+    fn count(self) -> usize {
+        drive(
+            &self,
+            || 0usize,
+            |acc, _, _| {
+                *acc += 1;
+                true
+            },
+        )
+        .into_iter()
+        .sum()
+    }
+
+    /// Largest item.
+    fn max(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        drive(
+            &self,
+            || None,
+            |acc: &mut Option<Self::Item>, _, x| {
+                match acc {
+                    Some(m) if *m >= x => {}
+                    _ => *acc = Some(x),
+                }
+                true
+            },
+        )
+        .into_iter()
+        .flatten()
+        .max()
+    }
+
+    /// First `Some` produced by `f`, from any chunk (not necessarily the
+    /// earliest index — rayon's `_any` semantics).
+    fn find_map_any<R, F>(self, f: F) -> Option<R>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> Option<R> + Send + Sync,
+    {
+        drive(
+            &self,
+            || None,
+            |acc: &mut Option<R>, _, x| match f(x) {
+                Some(r) => {
+                    *acc = Some(r);
+                    false
+                }
+                None => true,
+            },
+        )
+        .into_iter()
+        .flatten()
+        .next()
+    }
+
+    /// Collect into a container (order-preserving).
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+}
+
+/// Containers buildable from a parallel iterator.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Build from the iterator, preserving index order.
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self {
+        let chunks = drive(&iter, Vec::new, |acc: &mut Vec<T>, _, x| {
+            acc.push(x);
+            true
+        });
+        let mut out = Vec::with_capacity(chunks.iter().map(Vec::len).sum());
+        for c in chunks {
+            out.extend(c);
+        }
+        out
+    }
+}
+
+/// Values convertible into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// The iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type.
+    type Item: Send;
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `par_iter()` on `&self` — blanket-implemented for any `C` where `&C`
+/// converts into a parallel iterator (slices, vectors).
+pub trait IntoParallelRefIterator<'a> {
+    /// The iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type.
+    type Item: Send + 'a;
+    /// Borrowing conversion.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoParallelIterator,
+{
+    type Iter = <&'a C as IntoParallelIterator>::Iter;
+    type Item = <&'a C as IntoParallelIterator>::Item;
+    fn par_iter(&'a self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+// ---- sources ----
+
+/// Shared-slice source.
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+    fn pi_len(&self) -> usize {
+        self.slice.len()
+    }
+    fn pi_get(&self, index: usize) -> Option<&'a T> {
+        Some(&self.slice[index])
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+/// `usize` range source.
+pub struct RangeIter {
+    start: usize,
+    len: usize,
+}
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+    fn pi_len(&self) -> usize {
+        self.len
+    }
+    fn pi_get(&self, index: usize) -> Option<usize> {
+        Some(self.start + index)
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = RangeIter;
+    type Item = usize;
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter {
+            start: self.start,
+            len: self.end.saturating_sub(self.start),
+        }
+    }
+}
+
+// ---- adapters ----
+
+/// See [`ParallelIterator::map`].
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Send + Sync,
+{
+    type Item = R;
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+    fn pi_get(&self, index: usize) -> Option<R> {
+        self.base.pi_get(index).map(&self.f)
+    }
+}
+
+/// See [`ParallelIterator::filter`].
+pub struct Filter<I, P> {
+    base: I,
+    p: P,
+}
+
+impl<I, P> ParallelIterator for Filter<I, P>
+where
+    I: ParallelIterator,
+    P: Fn(&I::Item) -> bool + Send + Sync,
+{
+    type Item = I::Item;
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+    fn pi_get(&self, index: usize) -> Option<I::Item> {
+        self.base.pi_get(index).filter(|x| (self.p)(x))
+    }
+}
+
+/// See [`ParallelIterator::zip`].
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+    fn pi_len(&self) -> usize {
+        self.a.pi_len().min(self.b.pi_len())
+    }
+    fn pi_get(&self, index: usize) -> Option<(A::Item, B::Item)> {
+        Some((self.a.pi_get(index)?, self.b.pi_get(index)?))
+    }
+}
+
+/// See [`ParallelIterator::enumerate`].
+pub struct Enumerate<I> {
+    base: I,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+    fn pi_get(&self, index: usize) -> Option<(usize, I::Item)> {
+        self.base.pi_get(index).map(|x| (index, x))
+    }
+}
+
+/// Pending per-chunk fold; finish with [`Fold::reduce`].
+pub struct Fold<I, ID, F> {
+    base: I,
+    identity: ID,
+    fold_op: F,
+}
+
+impl<I, T, ID, F> Fold<I, ID, F>
+where
+    I: ParallelIterator,
+    T: Send,
+    ID: Fn() -> T + Send + Sync,
+    F: Fn(T, I::Item) -> T + Send + Sync,
+{
+    /// Combine the per-chunk accumulators.
+    pub fn reduce<ID2, R>(self, reduce_identity: ID2, reduce_op: R) -> T
+    where
+        ID2: Fn() -> T + Send + Sync,
+        R: Fn(T, T) -> T + Send + Sync,
+    {
+        let Fold {
+            base,
+            identity,
+            fold_op,
+        } = self;
+        let chunks = drive(
+            &base,
+            || Some(identity()),
+            |acc: &mut Option<T>, _, x| {
+                let cur = acc.take().expect("fold accumulator present");
+                *acc = Some(fold_op(cur, x));
+                true
+            },
+        );
+        chunks
+            .into_iter()
+            .flatten()
+            .fold(reduce_identity(), reduce_op)
+    }
+}
+
+// ---- driver ----
+
+/// Run `step` over every index of `iter`, in parallel chunks. Returns the
+/// per-chunk accumulators in chunk order. `step` returning `false` stops
+/// all chunks (early exit for searches).
+pub(crate) fn drive<I, A, M, S>(iter: &I, make: M, step: S) -> Vec<A>
+where
+    I: ParallelIterator,
+    A: Send,
+    M: Fn() -> A + Send + Sync,
+    S: Fn(&mut A, usize, I::Item) -> bool + Send + Sync,
+{
+    let n = iter.pi_len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let stop = AtomicBool::new(false);
+    let run = |range: Range<usize>| -> A {
+        let mut acc = make();
+        for i in range {
+            if stop.load(Ordering::Relaxed) {
+                break;
+            }
+            if let Some(x) = iter.pi_get(i) {
+                if !step(&mut acc, i, x) {
+                    stop.store(true, Ordering::Relaxed);
+                    break;
+                }
+            }
+        }
+        acc
+    };
+
+    let want = crate::pool::current_num_threads().min(n).saturating_sub(1);
+    let extra = crate::pool::reserve_up_to(want);
+    if extra == 0 {
+        return vec![run(0..n)];
+    }
+    let parts = extra + 1;
+    let chunk = n.div_ceil(parts);
+    let out = std::thread::scope(|s| {
+        let handles: Vec<_> = (1..parts)
+            .map(|p| {
+                let range = (p * chunk).min(n)..((p + 1) * chunk).min(n);
+                s.spawn(|| run(range))
+            })
+            .collect();
+        let mut accs = vec![run(0..chunk.min(n))];
+        let mut panic_payload: Option<Box<dyn std::any::Any + Send>> = None;
+        for h in handles {
+            match h.join() {
+                Ok(a) => accs.push(a),
+                Err(p) => panic_payload = Some(p),
+            }
+        }
+        (accs, panic_payload)
+    });
+    crate::pool::release(extra);
+    let (accs, panic_payload) = out;
+    if let Some(p) = panic_payload {
+        std::panic::resume_unwind(p);
+    }
+    accs
+}

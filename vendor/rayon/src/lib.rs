@@ -1,0 +1,166 @@
+//! Offline drop-in subset of the `rayon` API.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the rayon surface it actually uses: [`join`], [`current_num_threads`],
+//! [`ThreadPoolBuilder`]/[`ThreadPool::install`], and the parallel
+//! iterators of [`prelude`] (`par_iter`, `into_par_iter` on ranges,
+//! `par_chunks`, `par_chunks_mut`, with `map`/`filter`/`zip`/`enumerate`/
+//! `fold`/`reduce`/`collect`/`count`/`max`/`for_each`/`find_map_any`).
+//!
+//! Parallelism is real (scoped OS threads) but deliberately simple: a
+//! global *extra-thread budget* of `current_num_threads() - 1` bounds the
+//! total number of live worker threads, and every parallel construct falls
+//! back to sequential execution when the budget is exhausted. With
+//! `RAYON_NUM_THREADS=1` everything runs strictly sequentially, which the
+//! determinism tests rely on.
+
+pub mod iter;
+pub mod slice;
+
+mod pool;
+
+pub use pool::{current_num_threads, ThreadPool, ThreadPoolBuilder, ThreadPoolBuildError};
+
+/// Run two closures, potentially in parallel, and return both results.
+///
+/// Spawns `oper_b` on a scoped worker thread when the global thread budget
+/// allows it; otherwise runs both sequentially on the calling thread.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if !pool::try_reserve() {
+        return (oper_a(), oper_b());
+    }
+    let out = std::thread::scope(|s| {
+        let hb = s.spawn(oper_b);
+        let ra = oper_a();
+        (ra, hb.join())
+    });
+    pool::release(1);
+    match out {
+        (ra, Ok(rb)) => (ra, rb),
+        (_, Err(payload)) => std::panic::resume_unwind(payload),
+    }
+}
+
+/// Everything call sites normally import from `rayon::prelude`.
+pub mod prelude {
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+    pub use crate::slice::{ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = super::join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn join_nests_deeply_without_exploding() {
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = super::join(|| fib(n - 1), || fib(n - 2));
+            a + b
+        }
+        assert_eq!(fib(20), 6765);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn join_propagates_panics() {
+        super::join(|| (), || panic!("boom"));
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        assert_eq!(pool.install(super::current_num_threads), 3);
+    }
+
+    #[test]
+    fn map_collect_matches_sequential() {
+        let xs: Vec<u64> = (0..100_000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled.len(), xs.len());
+        assert!(doubled.iter().enumerate().all(|(i, &d)| d == 2 * i as u64));
+    }
+
+    #[test]
+    fn filter_count_and_order_preserving_collect() {
+        let xs: Vec<u32> = (0..50_000).collect();
+        assert_eq!(xs.par_iter().filter(|&&x| x % 3 == 0).count(), 16_667);
+        let kept: Vec<u32> = xs.par_iter().filter(|&&x| x % 999 == 0).map(|&x| x).collect();
+        let seq: Vec<u32> = xs.iter().filter(|&&x| x % 999 == 0).copied().collect();
+        assert_eq!(kept, seq, "parallel collect must preserve order");
+    }
+
+    #[test]
+    fn zip_enumerate_fold_reduce() {
+        let a: Vec<u64> = (0..10_000).collect();
+        let b: Vec<u64> = (0..10_000).rev().collect();
+        let dot = a
+            .par_iter()
+            .zip(b.par_iter())
+            .map(|(&x, &y)| x * y)
+            .fold(|| 0u64, |acc, v| acc + v)
+            .reduce(|| 0u64, |x, y| x + y);
+        let seq: u64 = a.iter().zip(&b).map(|(&x, &y)| x * y).sum();
+        assert_eq!(dot, seq);
+        let idx_sum: usize = a
+            .par_iter()
+            .enumerate()
+            .map(|(i, _)| i)
+            .fold(|| 0usize, |acc, v| acc + v)
+            .reduce(|| 0usize, |x, y| x + y);
+        assert_eq!(idx_sum, 9_999 * 10_000 / 2);
+    }
+
+    #[test]
+    fn chunks_mut_writes_every_element() {
+        let n = 100_000;
+        let mut out = vec![0u64; n];
+        let xs: Vec<u64> = (0..n as u64).collect();
+        out.par_chunks_mut(1024)
+            .zip(xs.par_chunks(1024))
+            .for_each(|(o, c)| {
+                for (a, &b) in o.iter_mut().zip(c) {
+                    *a = b + 1;
+                }
+            });
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as u64 + 1));
+    }
+
+    #[test]
+    fn find_map_any_finds_needle() {
+        let hit = (0..1_000_000usize)
+            .into_par_iter()
+            .find_map_any(|i| if i == 987_654 { Some(i) } else { None });
+        assert_eq!(hit, Some(987_654));
+        let miss = (0..10_000usize).into_par_iter().find_map_any(|_| None::<usize>);
+        assert_eq!(miss, None);
+    }
+
+    #[test]
+    fn max_matches_sequential() {
+        let xs: Vec<i64> = (0..9_999).map(|i| (i * 37) % 8191).collect();
+        assert_eq!(xs.par_iter().map(|&x| x).max(), xs.iter().copied().max());
+        let empty: Vec<i64> = Vec::new();
+        assert_eq!(empty.par_iter().map(|&x| x).max(), None);
+    }
+}

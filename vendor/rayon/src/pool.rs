@@ -1,0 +1,134 @@
+//! Thread accounting: a global budget of extra worker threads.
+//!
+//! The effective thread count is, in priority order: the innermost active
+//! [`ThreadPool::install`] override, the `RAYON_NUM_THREADS` environment
+//! variable, or `std::thread::available_parallelism`. The *budget* is that
+//! count minus one (the calling thread); every parallel construct reserves
+//! workers from it and falls back to sequential execution when none are
+//! available, so nested parallelism never oversubscribes the machine.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Extra worker threads currently live (not counting callers).
+static EXTRA_ACTIVE: AtomicUsize = AtomicUsize::new(0);
+
+/// `ThreadPool::install` override; 0 = none. A single global cell — the
+/// workspace only ever installs pools one at a time (bench harnesses).
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+fn env_threads() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(0)
+    })
+}
+
+/// The number of threads parallel constructs aim to use.
+pub fn current_num_threads() -> usize {
+    let o = OVERRIDE.load(Ordering::Relaxed);
+    if o > 0 {
+        return o;
+    }
+    let e = env_threads();
+    if e > 0 {
+        return e;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Try to reserve one extra worker; `true` on success.
+pub(crate) fn try_reserve() -> bool {
+    reserve_up_to(1) == 1
+}
+
+/// Reserve up to `want` extra workers; returns how many were granted.
+pub(crate) fn reserve_up_to(want: usize) -> usize {
+    if want == 0 {
+        return 0;
+    }
+    let budget = current_num_threads().saturating_sub(1);
+    let mut granted = 0;
+    while granted < want {
+        let ok = EXTRA_ACTIVE
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+                (cur < budget).then_some(cur + 1)
+            })
+            .is_ok();
+        if !ok {
+            break;
+        }
+        granted += 1;
+    }
+    granted
+}
+
+/// Return `n` workers to the budget.
+pub(crate) fn release(n: usize) {
+    if n > 0 {
+        EXTRA_ACTIVE.fetch_sub(n, Ordering::AcqRel);
+    }
+}
+
+/// Error type for [`ThreadPoolBuilder::build`] (the shim cannot fail).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the pool's thread count.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            n: self.num_threads.unwrap_or_else(current_num_threads).max(1),
+        })
+    }
+}
+
+/// A "pool": in this shim, a thread-count override scoped by `install`.
+#[derive(Debug)]
+pub struct ThreadPool {
+    n: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's thread count as the effective count.
+    pub fn install<F, R>(&self, f: F) -> R
+    where
+        F: FnOnce() -> R,
+    {
+        let prev = OVERRIDE.swap(self.n, Ordering::Relaxed);
+        let out = f();
+        OVERRIDE.store(prev, Ordering::Relaxed);
+        out
+    }
+}

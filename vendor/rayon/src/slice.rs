@@ -1,0 +1,87 @@
+//! Parallel chunked views of slices (`par_chunks`, `par_chunks_mut`).
+
+use crate::iter::ParallelIterator;
+use std::marker::PhantomData;
+
+/// `par_chunks` on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Non-overlapping chunks of `size` elements (last may be shorter).
+    fn par_chunks(&self, size: usize) -> Chunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> Chunks<'_, T> {
+        assert!(size > 0, "chunk size must be positive");
+        Chunks { slice: self, size }
+    }
+}
+
+/// `par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Non-overlapping mutable chunks of `size` elements.
+    fn par_chunks_mut(&mut self, size: usize) -> ChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ChunksMut<'_, T> {
+        assert!(size > 0, "chunk size must be positive");
+        ChunksMut {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            size,
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// Shared chunks source.
+pub struct Chunks<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for Chunks<'a, T> {
+    type Item = &'a [T];
+    fn pi_len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn pi_get(&self, index: usize) -> Option<&'a [T]> {
+        let start = index * self.size;
+        let end = (start + self.size).min(self.slice.len());
+        Some(&self.slice[start..end])
+    }
+}
+
+/// Mutable chunks source.
+///
+/// Stores a raw pointer so that disjoint `&mut` chunk borrows can be
+/// produced from a shared `&self` across worker threads. Soundness rests
+/// on the [`ParallelIterator::pi_get`] contract: drivers fetch each index
+/// at most once, and chunks at distinct indices never overlap.
+pub struct ChunksMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    size: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: the raw pointer is only a capability to reach disjoint chunks;
+// `T: Send` makes handing those chunks to other threads sound.
+unsafe impl<T: Send> Send for ChunksMut<'_, T> {}
+unsafe impl<T: Send> Sync for ChunksMut<'_, T> {}
+
+impl<'a, T: Send> ParallelIterator for ChunksMut<'a, T> {
+    type Item = &'a mut [T];
+    fn pi_len(&self) -> usize {
+        self.len.div_ceil(self.size)
+    }
+    fn pi_get(&self, index: usize) -> Option<&'a mut [T]> {
+        let start = index * self.size;
+        let end = (start + self.size).min(self.len);
+        debug_assert!(start < end);
+        // SAFETY: distinct indices yield disjoint ranges of the original
+        // slice, and the driver fetches each index at most once, so no two
+        // live `&mut` borrows alias. Lifetime 'a is the original borrow.
+        Some(unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), end - start) })
+    }
+}
