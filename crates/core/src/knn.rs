@@ -179,29 +179,40 @@ pub fn solve_subset_brute<const D: usize>(
     result: &mut KnnResult,
 ) {
     for &i in ids {
-        let pi = points[i as usize];
-        let mut list: Vec<Neighbor> = Vec::with_capacity(result.k() + 1);
-        for &j in ids {
-            if i == j {
+        result.set_list(i as usize, brute_list_within(points, i, ids, result.k()));
+    }
+}
+
+/// k-NN list of point `i` within the subset `ids` by one all-pairs scan:
+/// sorted, deduplicated, capped at `k`, global indices.
+pub(crate) fn brute_list_within<const D: usize>(
+    points: &[Point<D>],
+    i: u32,
+    ids: &[u32],
+    k: usize,
+) -> Vec<Neighbor> {
+    let pi = points[i as usize];
+    let mut list: Vec<Neighbor> = Vec::with_capacity(k + 1);
+    for &j in ids {
+        if i == j {
+            continue;
+        }
+        let d = pi.dist_sq(&points[j as usize]);
+        // Insertion sort into a list capped at k.
+        if list.len() == k {
+            let tail = list[list.len() - 1];
+            if d > tail.dist_sq || (d == tail.dist_sq && j >= tail.idx) {
                 continue;
             }
-            let d = pi.dist_sq(&points[j as usize]);
-            // Insertion sort into a list capped at k.
-            if list.len() == result.k() {
-                let tail = list[list.len() - 1];
-                if d > tail.dist_sq || (d == tail.dist_sq && j >= tail.idx) {
-                    continue;
-                }
-            }
-            let pos = list
-                .iter()
-                .position(|n| d < n.dist_sq || (d == n.dist_sq && j < n.idx))
-                .unwrap_or(list.len());
-            list.insert(pos, Neighbor { idx: j, dist_sq: d });
-            list.truncate(result.k());
         }
-        result.set_list(i as usize, list);
+        let pos = list
+            .iter()
+            .position(|n| d < n.dist_sq || (d == n.dist_sq && j < n.idx))
+            .unwrap_or(list.len());
+        list.insert(pos, Neighbor { idx: j, dist_sq: d });
+        list.truncate(k);
     }
+    list
 }
 
 #[cfg(test)]

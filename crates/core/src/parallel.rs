@@ -19,7 +19,7 @@
 
 use crate::config::KnnDcConfig;
 use crate::correction::{collect_crossing, correct_unbounded, correct_via_query, CrossingBall};
-use crate::knn::{solve_subset_brute, KnnResult};
+use crate::knn::{brute_list_within, KnnResult};
 use crate::partition_tree::{march_balls, PartitionTree};
 use crate::shared::SharedLists;
 use sepdc_geom::point::Point;
@@ -143,11 +143,13 @@ fn leaf_case<const D: usize>(
     forced: bool,
 ) -> (PartitionTree<D>, CostProfile, ParallelDcStats) {
     let m = ids.len();
-    let mut tmp = KnnResult::new(ctx.points.len(), ctx.lists.k());
-    solve_subset_brute(ctx.points, &ids, &mut tmp);
+    // Write each leaf list straight into the shared store: allocating a
+    // full n-point KnnResult here costs O(n) per leaf, which dominates the
+    // whole recursion (O(n²/base) total) once n is large.
+    let k = ctx.lists.k();
     for &i in &ids {
         ctx.lists
-            .set_list(i as usize, tmp.neighbors(i as usize).to_vec());
+            .set_list(i as usize, brute_list_within(ctx.points, i, &ids, k));
     }
     ctx.meter.add_distance_evals((m * m) as u64);
     (

@@ -16,7 +16,7 @@
 
 use crate::config::KnnDcConfig;
 use crate::correction::{collect_crossing, correct_unbounded, correct_via_query};
-use crate::knn::{solve_subset_brute, KnnResult};
+use crate::knn::{brute_list_within, KnnResult};
 use crate::shared::SharedLists;
 use sepdc_geom::point::Point;
 use sepdc_scan::CostProfile;
@@ -182,11 +182,12 @@ fn rec<const D: usize, const E: usize>(
 }
 
 fn solve_subset_into<const D: usize>(ctx: &Ctx<'_, D>, ids: &[u32]) {
-    let mut tmp = KnnResult::new(ctx.points.len(), ctx.lists.k());
-    solve_subset_brute(ctx.points, ids, &mut tmp);
+    // Straight into the shared store; an n-point scratch KnnResult here
+    // would cost O(n) per leaf (O(n²/base) across the recursion).
+    let k = ctx.lists.k();
     for &i in ids {
         ctx.lists
-            .set_list(i as usize, tmp.neighbors(i as usize).to_vec());
+            .set_list(i as usize, brute_list_within(ctx.points, i, ids, k));
     }
 }
 
