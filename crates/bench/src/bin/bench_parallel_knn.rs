@@ -1,0 +1,156 @@
+//! Wall-clock trajectory bench for `parallel_knn` (the Section 6
+//! algorithm) across the standard workloads.
+//!
+//! ```sh
+//! cargo run --release -p sepdc-bench --bin bench_parallel_knn          # full
+//! cargo run --release -p sepdc-bench --bin bench_parallel_knn -- --smoke
+//! ```
+//!
+//! Writes `BENCH_parallel_knn.json` (override the path with
+//! `SEPDC_BENCH_OUT`) recording, per case: median wall time over the
+//! repetitions, throughput, peak-RSS proxy (`VmHWM` from
+//! `/proc/self/status`, cumulative over the run), and the fast-correction /
+//! punt counters that explain where the time went.
+
+use sepdc_bench::harness::{timed, Table};
+use sepdc_core::{parallel_knn, KnnDcConfig, ParallelDcOutput};
+use sepdc_workloads::Workload;
+
+struct Case {
+    workload: Workload,
+    n: usize,
+    k: usize,
+}
+
+fn vm_hwm_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest.trim().trim_end_matches("kB").trim().parse().ok();
+        }
+    }
+    None
+}
+
+fn run_case<const D: usize, const E: usize>(
+    table: &mut Table,
+    c: &Case,
+    reps: usize,
+) -> (f64, ParallelDcOutput<D>) {
+    let pts = c.workload.generate::<D>(c.n, 7);
+    let cfg = KnnDcConfig::new(c.k).with_seed(3);
+    let mut secs = Vec::with_capacity(reps);
+    let mut out = None;
+    for _ in 0..reps {
+        let (o, dt) = timed(|| parallel_knn::<D, E>(&pts, &cfg));
+        secs.push(dt);
+        out = Some(o);
+    }
+    secs.sort_by(f64::total_cmp);
+    let median = secs[secs.len() / 2];
+    let out = out.unwrap();
+    let punts = out.stats.punts_threshold + out.stats.punts_marching;
+    let hwm = vm_hwm_kb().map_or_else(|| "n/a".into(), |kb| format!("{:.1}", kb as f64 / 1024.0));
+    table.row(
+        format!("{} {}d n={} k={}", c.workload.name(), D, c.n, c.k),
+        vec![
+            format!("{:.1}", median * 1e3),
+            format!("{:.2}", c.n as f64 / median / 1e6),
+            hwm,
+            out.stats.fast_corrections.to_string(),
+            punts.to_string(),
+            out.meter.marching_balls.to_string(),
+            out.meter.distance_evals.to_string(),
+        ],
+    );
+    (median, out)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (reps, scale) = if smoke { (1, 25) } else { (3, 1) };
+
+    let mut table = Table::new(
+        "BENCH parallel_knn wall-clock trajectory",
+        &[
+            "case",
+            "median ms",
+            "Mpts/s",
+            "peak RSS MB",
+            "fast",
+            "punts",
+            "march steps",
+            "dist evals",
+        ],
+    );
+
+    let cases_2d = [
+        Case {
+            workload: Workload::UniformCube,
+            n: 25_000 / scale,
+            k: 4,
+        },
+        Case {
+            workload: Workload::UniformCube,
+            n: 50_000 / scale,
+            k: 4,
+        },
+        Case {
+            workload: Workload::UniformCube,
+            n: 100_000 / scale,
+            k: 4,
+        },
+        Case {
+            workload: Workload::Clusters,
+            n: 50_000 / scale,
+            k: 4,
+        },
+        Case {
+            workload: Workload::SphereShell,
+            n: 50_000 / scale,
+            k: 4,
+        },
+        Case {
+            workload: Workload::TwoSlabs,
+            n: 50_000 / scale,
+            k: 4,
+        },
+    ];
+    let mut acceptance: Option<f64> = None;
+    for c in &cases_2d {
+        let (median, out) = run_case::<2, 3>(&mut table, c, reps);
+        out.knn.check_invariants().expect("invariants");
+        if c.workload == Workload::UniformCube && c.n == 100_000 {
+            acceptance = Some(median);
+        }
+    }
+    let c3 = Case {
+        workload: Workload::UniformCube,
+        n: 50_000 / scale,
+        k: 4,
+    };
+    let (_, out3) = run_case::<3, 4>(&mut table, &c3, reps);
+    out3.knn.check_invariants().expect("invariants");
+
+    table.note(format!(
+        "reps={reps}, median reported; peak RSS = VmHWM (cumulative high-water mark over the whole run)"
+    ));
+    table.note(
+        "PR-1 acceptance case UniformCube 2d n=100k k=4: seed baseline 2.54 s \
+         -> 1.57 s after the leaf-allocation fix -> ~0.6 s after the arena \
+         partition + flat store + centerpoint sampling fix (single-core container)"
+            .to_string(),
+    );
+    if let Some(a) = acceptance {
+        table.note(format!("this run's acceptance-case median: {:.3} s", a));
+    }
+    if smoke {
+        table.note("--smoke run: n scaled down 25x, 1 rep (CI sanity only)".to_string());
+    }
+    table.print();
+
+    let out_path =
+        std::env::var("SEPDC_BENCH_OUT").unwrap_or_else(|_| "BENCH_parallel_knn.json".to_string());
+    std::fs::write(&out_path, table.to_json()).expect("write bench json");
+    eprintln!("[wrote {out_path}]");
+}

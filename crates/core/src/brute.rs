@@ -43,7 +43,7 @@ pub fn brute_force_knn<const D: usize>(points: &[Point<D>], k: usize) -> KnnResu
         .collect();
     let mut result = KnnResult::new(n, k);
     for (i, l) in lists.into_iter().enumerate() {
-        result.set_list(i, l);
+        result.set_list(i, &l);
     }
     result
 }

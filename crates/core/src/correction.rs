@@ -29,27 +29,49 @@ pub(crate) struct CrossingBall<const D: usize> {
     pub ball: Ball<D>,
 }
 
+/// Sides smaller than this are scanned sequentially — parallel dispatch
+/// overhead dwarfs the per-id work below it.
+const PAR_SCAN_CUTOFF: usize = 2048;
+
 /// Collect the crossing balls of one side. Owners with unbounded subset
 /// balls (side smaller than `k+1`, possible only after degenerate fallback
 /// cuts) are returned separately for exhaustive correction.
+///
+/// Large sides are scanned as parallel chunks with per-chunk buffers; the
+/// chunk results are concatenated in chunk order, so the output is
+/// identical to the sequential scan regardless of thread count.
 pub(crate) fn collect_crossing<const D: usize>(
     points: &[Point<D>],
     lists: &SharedLists,
     side_ids: &[u32],
     sep: &Separator<D>,
 ) -> (Vec<CrossingBall<D>>, Vec<u32>) {
+    let scan = |ids: &[u32]| {
+        let mut crossing = Vec::new();
+        let mut unbounded = Vec::new();
+        for &i in ids {
+            let r_sq = lists.radius_sq(i as usize);
+            if !r_sq.is_finite() {
+                unbounded.push(i);
+                continue;
+            }
+            let ball = Ball::new(points[i as usize], r_sq.sqrt());
+            if ball.crosses(sep) {
+                crossing.push(CrossingBall { owner: i, ball });
+            }
+        }
+        (crossing, unbounded)
+    };
+    if side_ids.len() < PAR_SCAN_CUTOFF {
+        return scan(side_ids);
+    }
+    let per_chunk: Vec<(Vec<CrossingBall<D>>, Vec<u32>)> =
+        side_ids.par_chunks(PAR_SCAN_CUTOFF).map(scan).collect();
     let mut crossing = Vec::new();
     let mut unbounded = Vec::new();
-    for &i in side_ids {
-        let r_sq = lists.radius_sq(i as usize);
-        if !r_sq.is_finite() {
-            unbounded.push(i);
-            continue;
-        }
-        let ball = Ball::new(points[i as usize], r_sq.sqrt());
-        if ball.crosses(sep) {
-            crossing.push(CrossingBall { owner: i, ball });
-        }
+    for (c, u) in per_chunk {
+        crossing.extend(c);
+        unbounded.extend(u);
     }
     (crossing, unbounded)
 }
@@ -57,18 +79,25 @@ pub(crate) fn collect_crossing<const D: usize>(
 /// Exhaustively merge every point of `opposite` into the lists of the
 /// `unbounded` owners (and vice versa candidates are handled by the
 /// caller's other direction). Rare path; linear in
-/// `|unbounded| · |opposite|`.
+/// `|unbounded| · |opposite|`. Owners are corrected in parallel when the
+/// pair count is large — each owner writes only its own list, and
+/// `merge_candidate` is order-independent, so the result is deterministic.
 pub(crate) fn correct_unbounded<const D: usize>(
     points: &[Point<D>],
     lists: &SharedLists,
     unbounded: &[u32],
     opposite: &[u32],
 ) {
-    for &o in unbounded {
+    let one = |&o: &u32| {
         let po = points[o as usize];
         for &j in opposite {
             lists.merge_candidate(o as usize, j, po.dist_sq(&points[j as usize]));
         }
+    };
+    if unbounded.len().saturating_mul(opposite.len()) >= PAR_SCAN_CUTOFF && unbounded.len() > 1 {
+        unbounded.par_iter().for_each(one);
+    } else {
+        unbounded.iter().for_each(one);
     }
 }
 
@@ -147,7 +176,7 @@ mod tests {
         solve_subset_brute(&points, &left, &mut tmp);
         solve_subset_brute(&points, &right, &mut tmp);
         for i in 0..n {
-            lists.set_list(i, tmp.neighbors(i).to_vec());
+            lists.set_list(i, tmp.neighbors(i));
         }
         (points, lists, left, right, sep)
     }
@@ -196,7 +225,7 @@ mod tests {
         let mut tmp = KnnResult::new(10, 1);
         solve_subset_brute(&points, &right, &mut tmp);
         for i in 1..10 {
-            lists.set_list(i, tmp.neighbors(i).to_vec());
+            lists.set_list(i, tmp.neighbors(i));
         }
         let sep: Separator<1> = Hyperplane::axis_aligned(0, 0.5).into();
         let (_, unbounded) = collect_crossing(&points, &lists, &left, &sep);

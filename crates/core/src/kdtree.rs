@@ -257,7 +257,7 @@ pub fn kdtree_all_knn<const D: usize>(points: &[Point<D>], k: usize) -> KnnResul
         .collect();
     let mut result = KnnResult::new(points.len(), k);
     for (i, l) in lists.into_iter().enumerate() {
-        result.set_list(i, l);
+        result.set_list(i, &l);
     }
     result
 }

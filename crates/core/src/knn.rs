@@ -17,16 +17,18 @@ pub struct Neighbor {
     pub dist_sq: f64,
 }
 
-/// Per-point k-nearest lists.
+/// Per-point k-nearest lists, stored as one flat row-major `n × k` buffer.
 ///
 /// Lists are kept sorted ascending by `dist_sq` (ties broken by index, so
 /// results are deterministic). A list may be shorter than `k` only when the
 /// point's subset had fewer than `k + 1` points — the finished algorithms
-/// always return full lists for `n > k`.
+/// always return full lists for `n > k`. The flat layout means one
+/// allocation for the whole result and cache-line-contiguous rows.
 #[derive(Clone, Debug)]
 pub struct KnnResult {
     k: usize,
-    lists: Vec<Vec<Neighbor>>,
+    lens: Vec<u32>,
+    entries: Vec<Neighbor>,
 }
 
 impl KnnResult {
@@ -35,8 +37,23 @@ impl KnnResult {
         assert!(k > 0, "k must be positive");
         KnnResult {
             k,
-            lists: vec![Vec::new(); n],
+            lens: vec![0; n],
+            entries: vec![
+                Neighbor {
+                    idx: 0,
+                    dist_sq: 0.0
+                };
+                n * k
+            ],
         }
+    }
+
+    /// Assemble from an already-filled flat buffer (row-major `n × k`,
+    /// row `i` holding `lens[i]` valid entries).
+    pub(crate) fn from_flat_parts(k: usize, lens: Vec<u32>, entries: Vec<Neighbor>) -> Self {
+        assert!(k > 0, "k must be positive");
+        assert_eq!(entries.len(), lens.len() * k);
+        KnnResult { k, lens, entries }
     }
 
     /// The `k` this result was built for.
@@ -46,28 +63,28 @@ impl KnnResult {
 
     /// Number of points.
     pub fn len(&self) -> usize {
-        self.lists.len()
+        self.lens.len()
     }
 
     /// `true` when there are no points.
     pub fn is_empty(&self) -> bool {
-        self.lists.is_empty()
+        self.lens.is_empty()
     }
 
     /// The neighbor list of point `i` (ascending distance).
     pub fn neighbors(&self, i: usize) -> &[Neighbor] {
-        &self.lists[i]
+        let start = i * self.k;
+        &self.entries[start..start + self.lens[i] as usize]
     }
 
     /// Squared radius of the k-neighborhood ball of point `i`: the distance
     /// to its k-th nearest neighbor, or `f64::INFINITY` when fewer than `k`
     /// neighbors are known (the ball is unbounded in the paper's sense).
     pub fn radius_sq(&self, i: usize) -> f64 {
-        let l = &self.lists[i];
-        if l.len() < self.k {
+        if (self.lens[i] as usize) < self.k {
             f64::INFINITY
         } else {
-            l[self.k - 1].dist_sq
+            self.entries[i * self.k + self.k - 1].dist_sq
         }
     }
 
@@ -83,32 +100,24 @@ impl KnnResult {
     /// `O(k)` per call — `k` is a small constant throughout the paper.
     pub fn merge_candidate(&mut self, i: usize, j: u32, dist_sq: f64) -> bool {
         debug_assert_ne!(i as u32, j, "a point is not its own neighbor");
-        let k = self.k;
-        let list = &mut self.lists[i];
-        // Reject when clearly worse than a full list's tail.
-        if list.len() == k {
-            let tail = list[k - 1];
-            if dist_sq > tail.dist_sq || (dist_sq == tail.dist_sq && j >= tail.idx) {
-                return false;
+        let start = i * self.k;
+        let row = &mut self.entries[start..start + self.k];
+        match merge_into_row(row, self.lens[i] as usize, j, dist_sq) {
+            Some(new_len) => {
+                self.lens[i] = new_len as u32;
+                true
             }
+            None => false,
         }
-        // Dedup.
-        if list.iter().any(|n| n.idx == j) {
-            return false;
-        }
-        let pos = list
-            .iter()
-            .position(|n| dist_sq < n.dist_sq || (dist_sq == n.dist_sq && j < n.idx))
-            .unwrap_or(list.len());
-        list.insert(pos, Neighbor { idx: j, dist_sq });
-        list.truncate(k);
-        true
     }
 
-    /// Replace the list of point `i` wholesale (used by leaf solvers).
-    pub(crate) fn set_list(&mut self, i: usize, mut list: Vec<Neighbor>) {
-        list.truncate(self.k);
-        self.lists[i] = list;
+    /// Replace the list of point `i` wholesale (used by leaf solvers);
+    /// truncates to `k`.
+    pub(crate) fn set_list(&mut self, i: usize, list: &[Neighbor]) {
+        let m = list.len().min(self.k);
+        let start = i * self.k;
+        self.entries[start..start + m].copy_from_slice(&list[..m]);
+        self.lens[i] = m as u32;
     }
 
     /// Distance-profile equality with `other` under tolerance `tol`:
@@ -127,8 +136,8 @@ impl KnnResult {
             return Err(format!("k mismatch: {} vs {}", self.k, other.k));
         }
         for i in 0..self.len() {
-            let a = &self.lists[i];
-            let b = &other.lists[i];
+            let a = self.neighbors(i);
+            let b = other.neighbors(i);
             if a.len() != b.len() {
                 return Err(format!(
                     "point {i}: list lengths {} vs {}",
@@ -150,7 +159,8 @@ impl KnnResult {
 
     /// Internal invariants: sorted, deduplicated, no self-loops, capped.
     pub fn check_invariants(&self) -> Result<(), String> {
-        for (i, l) in self.lists.iter().enumerate() {
+        for i in 0..self.len() {
+            let l = self.neighbors(i);
             if l.len() > self.k {
                 return Err(format!("point {i}: list longer than k"));
             }
@@ -169,6 +179,39 @@ impl KnnResult {
     }
 }
 
+/// Merge candidate `(j, dist_sq)` into the first `len` entries of a sorted
+/// row whose capacity is `row.len() == k`. Shared by [`KnnResult`] and the
+/// lock-striped parallel store. Returns the new length when the candidate
+/// was inserted, `None` when it was rejected (worse than a full row's tail,
+/// or a duplicate index).
+pub(crate) fn merge_into_row(
+    row: &mut [Neighbor],
+    len: usize,
+    j: u32,
+    dist_sq: f64,
+) -> Option<usize> {
+    let k = row.len();
+    if len == k {
+        let tail = row[k - 1];
+        if dist_sq > tail.dist_sq || (dist_sq == tail.dist_sq && j >= tail.idx) {
+            return None;
+        }
+    }
+    if row[..len].iter().any(|n| n.idx == j) {
+        return None;
+    }
+    let pos = row[..len]
+        .iter()
+        .position(|n| dist_sq < n.dist_sq || (dist_sq == n.dist_sq && j < n.idx))
+        .unwrap_or(len);
+    let new_len = (len + 1).min(k);
+    for t in (pos + 1..new_len).rev() {
+        row[t] = row[t - 1];
+    }
+    row[pos] = Neighbor { idx: j, dist_sq };
+    Some(new_len)
+}
+
 /// Solve k-NN exactly within a subset of points by all-pairs scan, writing
 /// global indices into `result`. `ids` are indices into `points`.
 ///
@@ -178,41 +221,45 @@ pub fn solve_subset_brute<const D: usize>(
     ids: &[u32],
     result: &mut KnnResult,
 ) {
+    let k = result.k();
+    let mut scratch = Vec::with_capacity(k + 1);
     for &i in ids {
-        result.set_list(i as usize, brute_list_within(points, i, ids, result.k()));
+        brute_list_into(points, i, ids, k, &mut scratch);
+        result.set_list(i as usize, &scratch);
     }
 }
 
 /// k-NN list of point `i` within the subset `ids` by one all-pairs scan:
-/// sorted, deduplicated, capped at `k`, global indices.
-pub(crate) fn brute_list_within<const D: usize>(
+/// sorted, deduplicated, capped at `k`, global indices. Fills `out`
+/// (cleared first) so leaf loops can reuse one scratch buffer.
+pub(crate) fn brute_list_into<const D: usize>(
     points: &[Point<D>],
     i: u32,
     ids: &[u32],
     k: usize,
-) -> Vec<Neighbor> {
+    out: &mut Vec<Neighbor>,
+) {
+    out.clear();
     let pi = points[i as usize];
-    let mut list: Vec<Neighbor> = Vec::with_capacity(k + 1);
     for &j in ids {
         if i == j {
             continue;
         }
         let d = pi.dist_sq(&points[j as usize]);
         // Insertion sort into a list capped at k.
-        if list.len() == k {
-            let tail = list[list.len() - 1];
+        if out.len() == k {
+            let tail = out[out.len() - 1];
             if d > tail.dist_sq || (d == tail.dist_sq && j >= tail.idx) {
                 continue;
             }
         }
-        let pos = list
+        let pos = out
             .iter()
             .position(|n| d < n.dist_sq || (d == n.dist_sq && j < n.idx))
-            .unwrap_or(list.len());
-        list.insert(pos, Neighbor { idx: j, dist_sq: d });
-        list.truncate(k);
+            .unwrap_or(out.len());
+        out.insert(pos, Neighbor { idx: j, dist_sq: d });
+        out.truncate(k);
     }
-    list
 }
 
 #[cfg(test)]

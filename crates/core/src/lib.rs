@@ -58,7 +58,7 @@ pub use kdtree::{kdtree_all_knn, KdTree};
 pub use knn::{KnnResult, Neighbor};
 pub use neighborhood::NeighborhoodSystem;
 pub use parallel::{parallel_knn, ParallelDcOutput, ParallelDcStats};
-pub use partition_tree::{march_balls, MarchOutcome, PartitionTree};
+pub use partition_tree::{march_balls, MarchOutcome, PartitionNode, PartitionTree};
 pub use query::{QueryTree, QueryTreeConfig, QueryTreeStats};
 pub use simple_parallel::{simple_parallel_knn, SimpleDcOutput, SimpleDcStats};
 pub use validate::{validate_against_oracle, validate_knn, ValidationError};

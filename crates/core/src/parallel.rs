@@ -19,8 +19,8 @@
 
 use crate::config::KnnDcConfig;
 use crate::correction::{collect_crossing, correct_unbounded, correct_via_query, CrossingBall};
-use crate::knn::{brute_list_within, KnnResult};
-use crate::partition_tree::{march_balls, PartitionTree};
+use crate::knn::{brute_list_into, KnnResult};
+use crate::partition_tree::{march_arena, partition_in_place, PartitionNode, PartitionTree};
 use crate::shared::SharedLists;
 use sepdc_geom::point::Point;
 use sepdc_scan::cost::{CostMeter, MeterSnapshot};
@@ -126,34 +126,44 @@ pub fn parallel_knn<const D: usize, const E: usize>(
         meter: &meter,
         base,
     };
-    let ids: Vec<u32> = (0..n as u32).collect();
-    let (tree, cost, stats) = rec::<D, E>(&ctx, ids, cfg.seed);
+    // The permutation arena: the recursion partitions this buffer in
+    // place, handing each recursive call a disjoint `&mut` slice — no
+    // per-level id-set clones.
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    let (nodes, cost, stats) = rec::<D, E>(&ctx, &mut perm, cfg.seed);
     ParallelDcOutput {
         knn: lists.into_result(),
         cost,
         stats,
         meter: meter.snapshot(),
-        tree,
+        tree: PartitionTree::from_parts(nodes, perm),
     }
 }
 
 fn leaf_case<const D: usize>(
     ctx: &Ctx<'_, D>,
-    ids: Vec<u32>,
+    ids: &[u32],
     forced: bool,
-) -> (PartitionTree<D>, CostProfile, ParallelDcStats) {
+) -> (Vec<PartitionNode<D>>, CostProfile, ParallelDcStats) {
     let m = ids.len();
-    // Write each leaf list straight into the shared store: allocating a
-    // full n-point KnnResult here costs O(n) per leaf, which dominates the
-    // whole recursion (O(n²/base) total) once n is large.
+    // Write each leaf list straight into the shared store through one
+    // reused scratch buffer: allocating a full n-point KnnResult here
+    // costs O(n) per leaf, which dominates the whole recursion
+    // (O(n²/base) total) once n is large.
     let k = ctx.lists.k();
-    for &i in &ids {
-        ctx.lists
-            .set_list(i as usize, brute_list_within(ctx.points, i, &ids, k));
+    let mut scratch = Vec::with_capacity(k + 1);
+    for &i in ids {
+        brute_list_into(ctx.points, i, ids, k, &mut scratch);
+        ctx.lists.set_list(i as usize, &scratch);
     }
     ctx.meter.add_distance_evals((m * m) as u64);
     (
-        PartitionTree::Leaf { point_ids: ids },
+        // Leaf offsets are relative to this call's own slice; ancestors
+        // shift them as they merge child arenas.
+        vec![PartitionNode::Leaf {
+            start: 0,
+            len: m as u32,
+        }],
         // Paper base case: "compute in m time using m processors".
         CostProfile::rounds(m as u64, m as u64),
         ParallelDcStats::leaf(forced),
@@ -162,9 +172,9 @@ fn leaf_case<const D: usize>(
 
 fn rec<const D: usize, const E: usize>(
     ctx: &Ctx<'_, D>,
-    ids: Vec<u32>,
+    ids: &mut [u32],
     seed: u64,
-) -> (PartitionTree<D>, CostProfile, ParallelDcStats) {
+) -> (Vec<PartitionNode<D>>, CostProfile, ParallelDcStats) {
     let m = ids.len();
     if m <= ctx.base {
         return leaf_case(ctx, ids, false);
@@ -179,36 +189,61 @@ fn rec<const D: usize, const E: usize>(
     ctx.meter.add_accept();
     let sep = found.separator;
 
-    let mut left = Vec::new();
-    let mut right = Vec::new();
-    for &i in &ids {
-        if sep.side(&ctx.points[i as usize]).routes_interior() {
-            left.push(i);
-        } else {
-            right.push(i);
-        }
-    }
-    debug_assert!(!left.is_empty() && !right.is_empty());
+    // Carve this call's id slice in place: interior side to the front.
+    let nl = partition_in_place(ids, |i| sep.side(&ctx.points[i as usize]).routes_interior());
+    debug_assert!(nl > 0 && nl < m);
 
     let lseed = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
     let rseed = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(2);
-    let ((ltree, lcost, lstats), (rtree, rcost, rstats)) = if m > ctx.cfg.parallel_cutoff {
+    let (lslice, rslice) = ids.split_at_mut(nl);
+    let ((lnodes, lcost, lstats), (rnodes, rcost, rstats)) = if m > ctx.cfg.parallel_cutoff {
         rayon::join(
-            || rec::<D, E>(ctx, left.clone(), lseed),
-            || rec::<D, E>(ctx, right.clone(), rseed),
+            || rec::<D, E>(ctx, lslice, lseed),
+            || rec::<D, E>(ctx, rslice, rseed),
         )
     } else {
         (
-            rec::<D, E>(ctx, left.clone(), lseed),
-            rec::<D, E>(ctx, right.clone(), rseed),
+            rec::<D, E>(ctx, lslice, lseed),
+            rec::<D, E>(ctx, rslice, rseed),
         )
     };
 
+    // Merge the child arenas into one postorder node vec: the right
+    // child's node indices shift by the left arena's length, and its leaf
+    // ranges (relative to `rslice`) shift by `nl` to become relative to
+    // this call's slice.
+    let node_off = lnodes.len() as u32;
+    let mut nodes = lnodes;
+    nodes.reserve(rnodes.len() + 1);
+    nodes.extend(rnodes.into_iter().map(|nd| match nd {
+        PartitionNode::Internal {
+            sep: csep,
+            size,
+            left,
+            right,
+        } => PartitionNode::Internal {
+            sep: csep,
+            size,
+            left: left + node_off,
+            right: right + node_off,
+        },
+        PartitionNode::Leaf { start, len } => PartitionNode::Leaf {
+            start: start + nl as u32,
+            len,
+        },
+    }));
+    let l_root = node_off - 1;
+    let r_root = nodes.len() as u32 - 1;
+
     // ---- Correction (the paper's `Correction` procedure) ----
-    let (cross_l, unbounded_l) = collect_crossing(ctx.points, ctx.lists, &left, &sep);
-    let (cross_r, unbounded_r) = collect_crossing(ctx.points, ctx.lists, &right, &sep);
-    correct_unbounded(ctx.points, ctx.lists, &unbounded_l, &right);
-    correct_unbounded(ctx.points, ctx.lists, &unbounded_r, &left);
+    // The child calls permuted their halves but the id *sets* are
+    // unchanged, so shared reborrows of the two halves are exactly the
+    // left/right subsets.
+    let (left, right) = ids.split_at(nl);
+    let (cross_l, unbounded_l) = collect_crossing(ctx.points, ctx.lists, left, &sep);
+    let (cross_r, unbounded_r) = collect_crossing(ctx.points, ctx.lists, right, &sep);
+    correct_unbounded(ctx.points, ctx.lists, &unbounded_l, right);
+    correct_unbounded(ctx.points, ctx.lists, &unbounded_r, left);
 
     let crossing_total = cross_l.len() + cross_r.len();
     let threshold = ctx.cfg.punt_threshold(m, D);
@@ -228,12 +263,13 @@ fn rec<const D: usize, const E: usize>(
         stats.punts_threshold += 1;
         let mut crossing = cross_l;
         crossing.extend(cross_r);
-        correct_via_query::<D, E>(ctx.points, ctx.lists, &ids, &crossing, ctx.cfg.query, qseed)
+        correct_via_query::<D, E>(ctx.points, ctx.lists, ids, &crossing, ctx.cfg.query, qseed)
     } else {
         // Fast Correction: march each side's crossers down the opposite
-        // subtree.
+        // subtree (already merged into `nodes`, leaf ranges indexing this
+        // call's id slice).
         let limit = ctx.cfg.marching_limit(m);
-        match try_fast_correction(ctx, &cross_l, &cross_r, &ltree, &rtree, limit) {
+        match try_fast_correction(ctx, &cross_l, &cross_r, &nodes, l_root, r_root, ids, limit) {
             Some((work, max_ratio)) => {
                 ctx.meter.add_fast_correction();
                 stats.fast_corrections += 1;
@@ -256,7 +292,7 @@ fn rec<const D: usize, const E: usize>(
                 correct_via_query::<D, E>(
                     ctx.points,
                     ctx.lists,
-                    &ids,
+                    ids,
                     &crossing,
                     ctx.cfg.query,
                     qseed,
@@ -267,35 +303,42 @@ fn rec<const D: usize, const E: usize>(
 
     let local = CostProfile::scan(m as u64).with_candidates(found.attempts as u64);
     let cost = local.then(lcost.alongside(rcost)).then(corr_cost);
-    let tree = PartitionTree::Internal {
+    nodes.push(PartitionNode::Internal {
         sep,
         size: m as u32,
-        left: Box::new(ltree),
-        right: Box::new(rtree),
-    };
-    (tree, cost, stats)
+        left: l_root,
+        right: r_root,
+    });
+    (nodes, cost, stats)
 }
 
 /// March both crossing sets down the opposite subtrees and merge the
 /// verified candidates. Returns `(work, max_active_ratio)` on success,
 /// `None` when either march exceeds `limit` (caller punts).
+///
+/// `nodes` is the merged child arena (left subtree rooted at `l_root`,
+/// right at `r_root`) and `perm` the current call's id slice that the leaf
+/// ranges index into.
+#[allow(clippy::too_many_arguments)]
 fn try_fast_correction<const D: usize>(
     ctx: &Ctx<'_, D>,
     cross_l: &[CrossingBall<D>],
     cross_r: &[CrossingBall<D>],
-    ltree: &PartitionTree<D>,
-    rtree: &PartitionTree<D>,
+    nodes: &[PartitionNode<D>],
+    l_root: u32,
+    r_root: u32,
+    perm: &[u32],
     limit: usize,
 ) -> Option<(u64, f64)> {
     let mut work = 0u64;
     let mut max_ratio = 0.0f64;
     let limit_f = limit as f64;
-    for (crossers, opposite_tree) in [(cross_l, rtree), (cross_r, ltree)] {
+    for (crossers, opposite_root) in [(cross_l, r_root), (cross_r, l_root)] {
         if crossers.is_empty() {
             continue;
         }
         let balls: Vec<_> = crossers.iter().map(|c| c.ball).collect();
-        let out = march_balls(opposite_tree, &balls, limit);
+        let out = march_arena(nodes, opposite_root, perm, &balls, limit);
         ctx.meter.add_marching(out.total_steps);
         if out.aborted {
             return None;
@@ -467,5 +510,32 @@ mod tests {
     #[test]
     fn k_equal_to_eight_still_correct() {
         check_matches_oracle::<2, 3>(Workload::UniformCube, 600, 8, 16);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        // The result must be a pure function of (points, config): the
+        // chunked parallel scans concatenate in order and the shared-store
+        // merges are order-independent, so any thread count — including a
+        // strictly sequential pool — must produce bit-identical output.
+        let pts = Workload::Clusters.generate::<2>(3000, 17);
+        let cfg = KnnDcConfig::new(3).with_seed(99);
+        let baseline = parallel_knn::<2, 3>(&pts, &cfg);
+        for threads in [1, 2, 7] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let out = pool.install(|| parallel_knn::<2, 3>(&pts, &cfg));
+            out.knn
+                .same_distances(&baseline.knn, 0.0)
+                .unwrap_or_else(|e| panic!("{threads} threads: {e}"));
+            assert_eq!(out.stats, baseline.stats, "{threads} threads");
+            assert_eq!(
+                out.tree.nodes().len(),
+                baseline.tree.nodes().len(),
+                "{threads} threads"
+            );
+        }
     }
 }

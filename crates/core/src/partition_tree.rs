@@ -10,65 +10,154 @@
 //! the separator or its exterior. Every point of the point set that lies
 //! inside `B` sits in a reachable leaf, so the reachable leaves are a sound
 //! candidate set for correcting `B`'s radius.
+//!
+//! The tree is arena-allocated: all nodes live in one contiguous `Vec` and
+//! children are referred to by index, and all leaf point ids live in one
+//! shared permutation array which each leaf addresses as a `(start, len)`
+//! range. This removes per-node `Box`es and per-leaf `Vec`s, and makes
+//! marching a pure array walk.
 
 use sepdc_geom::ball::Ball;
 use sepdc_geom::shape::Separator;
 
-/// A node of the partition tree.
-pub enum PartitionTree<const D: usize> {
-    /// Internal node: the separator plus the two subtrees.
+/// One node of a [`PartitionTree`], referring to children by arena index
+/// and to leaf points by a range of the tree's permutation array.
+pub enum PartitionNode<const D: usize> {
+    /// Internal node: the separator plus the two subtree indices.
     Internal {
         /// The separator chosen at this recursion step.
         sep: Separator<D>,
         /// Number of points below this node.
         size: u32,
-        /// Interior-side subtree.
-        left: Box<PartitionTree<D>>,
-        /// Exterior-side subtree.
-        right: Box<PartitionTree<D>>,
+        /// Arena index of the interior-side subtree.
+        left: u32,
+        /// Arena index of the exterior-side subtree.
+        right: u32,
     },
-    /// Leaf: base-case point ids (indices into the global point array).
+    /// Leaf: base-case point ids, stored as `perm[start..start + len]`.
     Leaf {
-        /// Point ids solved by the base case at this leaf.
-        point_ids: Vec<u32>,
+        /// Start of this leaf's range in the permutation array.
+        start: u32,
+        /// Number of points at this leaf.
+        len: u32,
     },
 }
 
+/// A partition tree in arena form: `nodes` holds every node with children
+/// at strictly smaller indices than their parent (postorder) and the root
+/// last; `perm` is a permutation of the point ids, tiled left-to-right by
+/// the leaves.
+pub struct PartitionTree<const D: usize> {
+    nodes: Vec<PartitionNode<D>>,
+    perm: Vec<u32>,
+}
+
 impl<const D: usize> PartitionTree<D> {
-    /// Number of points under this node.
+    /// Assemble a tree from its arena parts.
+    ///
+    /// Invariants (checked in debug builds): `nodes` is non-empty, every
+    /// internal node's children have smaller indices than it (so the last
+    /// node is the root), and every leaf range lies within `perm`.
+    pub fn from_parts(nodes: Vec<PartitionNode<D>>, perm: Vec<u32>) -> Self {
+        assert!(!nodes.is_empty(), "a tree has at least one node");
+        #[cfg(debug_assertions)]
+        for (i, n) in nodes.iter().enumerate() {
+            match *n {
+                PartitionNode::Internal { left, right, .. } => {
+                    debug_assert!((left as usize) < i && (right as usize) < i);
+                }
+                PartitionNode::Leaf { start, len } => {
+                    debug_assert!((start + len) as usize <= perm.len());
+                }
+            }
+        }
+        PartitionTree { nodes, perm }
+    }
+
+    /// Arena index of the root (always the last node).
+    pub fn root(&self) -> u32 {
+        (self.nodes.len() - 1) as u32
+    }
+
+    /// The node at arena index `id`.
+    pub fn node(&self, id: u32) -> &PartitionNode<D> {
+        &self.nodes[id as usize]
+    }
+
+    /// All nodes, children before parents, root last.
+    pub fn nodes(&self) -> &[PartitionNode<D>] {
+        &self.nodes
+    }
+
+    /// The point ids of a leaf range (as stored in a [`PartitionNode::Leaf`]).
+    pub fn leaf_point_ids(&self, start: u32, len: u32) -> &[u32] {
+        &self.perm[start as usize..(start + len) as usize]
+    }
+
+    /// Number of points in the tree.
     pub fn size(&self) -> usize {
-        match self {
-            PartitionTree::Internal { size, .. } => *size as usize,
-            PartitionTree::Leaf { point_ids } => point_ids.len(),
+        match self.nodes[self.root() as usize] {
+            PartitionNode::Internal { size, .. } => size as usize,
+            PartitionNode::Leaf { len, .. } => len as usize,
         }
     }
 
-    /// Height in edges (leaf = 0).
+    /// Height in edges (leaf = 0). One bottom-up pass over the arena —
+    /// children precede parents, so each node's height is ready when
+    /// visited.
     pub fn height(&self) -> usize {
-        match self {
-            PartitionTree::Leaf { .. } => 0,
-            PartitionTree::Internal { left, right, .. } => 1 + left.height().max(right.height()),
+        let mut h = vec![0usize; self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            if let PartitionNode::Internal { left, right, .. } = n {
+                h[i] = 1 + h[*left as usize].max(h[*right as usize]);
+            }
         }
+        h[self.root() as usize]
     }
 
     /// Number of leaves.
     pub fn leaves(&self) -> usize {
-        match self {
-            PartitionTree::Leaf { .. } => 1,
-            PartitionTree::Internal { left, right, .. } => left.leaves() + right.leaves(),
-        }
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, PartitionNode::Leaf { .. }))
+            .count()
     }
 
-    /// All point ids below this node, in leaf order.
+    /// All point ids, in leaf order (explicit depth-first walk from the
+    /// root, left before right).
     pub fn collect_point_ids(&self, out: &mut Vec<u32>) {
-        match self {
-            PartitionTree::Leaf { point_ids } => out.extend_from_slice(point_ids),
-            PartitionTree::Internal { left, right, .. } => {
-                left.collect_point_ids(out);
-                right.collect_point_ids(out);
+        let mut stack = vec![self.root()];
+        while let Some(id) = stack.pop() {
+            match self.nodes[id as usize] {
+                PartitionNode::Leaf { start, len } => {
+                    out.extend_from_slice(self.leaf_point_ids(start, len));
+                }
+                PartitionNode::Internal { left, right, .. } => {
+                    // Right pushed first so left is visited first.
+                    stack.push(right);
+                    stack.push(left);
+                }
             }
         }
     }
+}
+
+/// Partition `ids` in place so every id satisfying `pred` precedes every id
+/// that does not; returns the boundary. Unstable (order within each side is
+/// permuted) and allocation-free — this is how the recursion carves its
+/// id slice into the two child slices.
+pub(crate) fn partition_in_place(ids: &mut [u32], mut pred: impl FnMut(u32) -> bool) -> usize {
+    let mut lo = 0usize;
+    let mut hi = ids.len();
+    while lo < hi {
+        if pred(ids[lo]) {
+            lo += 1;
+        } else {
+            hi -= 1;
+            ids.swap(lo, hi);
+        }
+    }
+    lo
 }
 
 /// Result of marching a batch of balls down a partition tree.
@@ -98,15 +187,25 @@ pub fn march_balls<const D: usize>(
     balls: &[Ball<D>],
     active_limit: usize,
 ) -> MarchOutcome {
+    march_arena(&tree.nodes, tree.root(), &tree.perm, balls, active_limit)
+}
+
+/// March over raw arena parts, starting from `root`. Lets the recursion
+/// march a *subtree* of a not-yet-assembled tree (leaf ranges index into
+/// `perm`, which for a subtree is that recursive call's id slice).
+pub(crate) fn march_arena<const D: usize>(
+    nodes: &[PartitionNode<D>],
+    root: u32,
+    perm: &[u32],
+    balls: &[Ball<D>],
+    active_limit: usize,
+) -> MarchOutcome {
     let mut candidates: Vec<Vec<u32>> = vec![Vec::new(); balls.len()];
-    let mut frontier: Vec<(&PartitionTree<D>, u32)> = balls
-        .iter()
-        .enumerate()
-        .map(|(b, _)| (tree, b as u32))
-        .collect();
+    let mut frontier: Vec<(u32, u32)> = (0..balls.len()).map(|b| (root, b as u32)).collect();
     let mut levels = 0usize;
     let mut max_active = frontier.len();
     let mut total_steps = 0u64;
+    let mut next: Vec<(u32, u32)> = Vec::new();
 
     while !frontier.is_empty() {
         if frontier.len() > active_limit {
@@ -120,26 +219,28 @@ pub fn march_balls<const D: usize>(
         }
         max_active = max_active.max(frontier.len());
         total_steps += frontier.len() as u64;
-        let mut next: Vec<(&PartitionTree<D>, u32)> = Vec::with_capacity(frontier.len() * 2);
-        for (node, b) in frontier {
+        next.clear();
+        next.reserve(frontier.len() * 2);
+        for &(node, b) in &frontier {
             let ball = &balls[b as usize];
-            match node {
-                PartitionTree::Leaf { point_ids } => {
-                    candidates[b as usize].extend_from_slice(point_ids);
+            match &nodes[node as usize] {
+                PartitionNode::Leaf { start, len } => {
+                    candidates[b as usize]
+                        .extend_from_slice(&perm[*start as usize..(*start + *len) as usize]);
                 }
-                PartitionTree::Internal {
+                PartitionNode::Internal {
                     sep, left, right, ..
                 } => {
                     if ball.touches_interior_of(sep) {
-                        next.push((left, b));
+                        next.push((*left, b));
                     }
                     if ball.touches_exterior_of(sep) {
-                        next.push((right, b));
+                        next.push((*right, b));
                     }
                 }
             }
         }
-        frontier = next;
+        std::mem::swap(&mut frontier, &mut next);
         levels += 1;
     }
     MarchOutcome {
@@ -159,19 +260,28 @@ mod tests {
     use sepdc_geom::Hyperplane;
 
     /// Hand-built tree over points 0..8 on a line, split at x = 4, then at
-    /// x = 2 and x = 6.
+    /// x = 2 and x = 6. Arena layout (postorder, root last):
+    /// leaves [0,1] [2,3] at 0/1, cut-2 at 2, leaves [4,5] [6,7] at 3/4,
+    /// cut-6 at 5, root cut-4 at 6.
     fn line_tree() -> PartitionTree<1> {
-        let leaf = |ids: Vec<u32>| PartitionTree::Leaf { point_ids: ids };
-        let cut = |x: f64, l, r| PartitionTree::Internal {
+        let leaf = |start: u32| PartitionNode::Leaf { start, len: 2 };
+        let cut = |x: f64, size: u32, left: u32, right: u32| PartitionNode::Internal {
             sep: Separator::Halfspace(Hyperplane::axis_aligned(0, x)),
-            size: 8,
-            left: Box::new(l),
-            right: Box::new(r),
+            size,
+            left,
+            right,
         };
-        cut(
-            4.0,
-            cut(2.0, leaf(vec![0, 1]), leaf(vec![2, 3])),
-            cut(6.0, leaf(vec![4, 5]), leaf(vec![6, 7])),
+        PartitionTree::from_parts(
+            vec![
+                leaf(0),
+                leaf(2),
+                cut(2.0, 4, 0, 1),
+                leaf(4),
+                leaf(6),
+                cut(6.0, 4, 3, 4),
+                cut(4.0, 8, 2, 5),
+            ],
+            (0..8).collect(),
         )
     }
 
@@ -180,6 +290,7 @@ mod tests {
         let t = line_tree();
         assert_eq!(t.height(), 2);
         assert_eq!(t.leaves(), 4);
+        assert_eq!(t.size(), 8);
         let mut ids = Vec::new();
         t.collect_point_ids(&mut ids);
         assert_eq!(ids, (0..8).collect::<Vec<u32>>());
@@ -227,25 +338,36 @@ mod tests {
         let pts: Vec<Point<2>> = (0..16)
             .map(|i| Point::from([(i % 4) as f64, (i / 4) as f64]))
             .collect();
-        let leaf = |ids: Vec<u32>| PartitionTree::Leaf { point_ids: ids };
         // Sphere around (1.5, 1.5) radius 1.2 as root; children leaves by
         // the actual side of each point.
         let sep: Separator<2> = Sphere::new(Point::from([1.5, 1.5]), 1.2).into();
-        let mut left_ids = Vec::new();
+        let mut perm = Vec::new();
         let mut right_ids = Vec::new();
         for (i, p) in pts.iter().enumerate() {
             if sep.side(p).routes_interior() {
-                left_ids.push(i as u32);
+                perm.push(i as u32);
             } else {
                 right_ids.push(i as u32);
             }
         }
-        let t = PartitionTree::Internal {
-            sep,
-            size: 16,
-            left: Box::new(leaf(left_ids)),
-            right: Box::new(leaf(right_ids)),
-        };
+        let nl = perm.len() as u32;
+        perm.extend_from_slice(&right_ids);
+        let t = PartitionTree::from_parts(
+            vec![
+                PartitionNode::Leaf { start: 0, len: nl },
+                PartitionNode::Leaf {
+                    start: nl,
+                    len: 16 - nl,
+                },
+                PartitionNode::Internal {
+                    sep,
+                    size: 16,
+                    left: 0,
+                    right: 1,
+                },
+            ],
+            perm,
+        );
         let ball = Ball::new(Point::from([2.0, 2.0]), 1.5);
         let out = march_balls(&t, std::slice::from_ref(&ball), 100);
         for (i, p) in pts.iter().enumerate() {

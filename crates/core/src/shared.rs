@@ -3,25 +3,57 @@
 //! The divide-and-conquer algorithms write neighbor lists from parallel
 //! recursive calls. The index sets touched by sibling calls are disjoint,
 //! so there is never real contention — but Rust cannot see that statically
-//! across arbitrary index partitions, so each list sits behind a
-//! `std::sync::Mutex` (cheap uncontended acquire). The
-//! finished store converts into a plain [`KnnResult`].
+//! across arbitrary index partitions. Instead of a `Mutex<Vec<_>>` per
+//! point (two pointer chases plus an allocation per list), the store is a
+//! single flat row-major `n × k` buffer guarded by one spinlock byte per
+//! row, with the k-th-neighbor distance cached in an atomic so the hot
+//! reject path (`candidate worse than current tail`) never takes the lock.
+//! The finished store converts into a plain [`KnnResult`] without copying
+//! the entry buffer.
 
-use crate::knn::{KnnResult, Neighbor};
-use std::sync::Mutex;
+use crate::knn::{merge_into_row, KnnResult, Neighbor};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 
-/// Sharded neighbor lists; `Sync` handle passed to parallel recursions.
+/// Flat, lock-striped neighbor lists; `Sync` handle passed to parallel
+/// recursions.
 pub(crate) struct SharedLists {
     k: usize,
-    lists: Vec<Mutex<Vec<Neighbor>>>,
+    /// Row-major `n × k` entry buffer; row `i` is `entries[i*k .. (i+1)*k]`
+    /// with `lens[i]` valid prefix entries, guarded by `locks[i]`.
+    entries: Vec<UnsafeCell<Neighbor>>,
+    lens: Vec<AtomicU32>,
+    locks: Vec<AtomicBool>,
+    /// Cached squared radius per row as f64 bits: `INFINITY` until the row
+    /// is full, then the tail entry's `dist_sq`. During any window where
+    /// concurrent merges may target a row, this value only decreases, so a
+    /// stale read can only *over-admit* a candidate (which the locked merge
+    /// then rejects) — never wrongly reject one.
+    radius_bits: Vec<AtomicU64>,
 }
+
+// SAFETY: every access to a row of `entries` happens while holding that
+// row's spinlock (see `lock`/`unlock`); `lens`/`radius_bits` are atomics.
+unsafe impl Sync for SharedLists {}
 
 impl SharedLists {
     pub(crate) fn new(n: usize, k: usize) -> Self {
         assert!(k > 0);
         SharedLists {
             k,
-            lists: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
+            entries: (0..n * k)
+                .map(|_| {
+                    UnsafeCell::new(Neighbor {
+                        idx: 0,
+                        dist_sq: 0.0,
+                    })
+                })
+                .collect(),
+            lens: (0..n).map(|_| AtomicU32::new(0)).collect(),
+            locks: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            radius_bits: (0..n)
+                .map(|_| AtomicU64::new(f64::INFINITY.to_bits()))
+                .collect(),
         }
     }
 
@@ -29,53 +61,90 @@ impl SharedLists {
         self.k
     }
 
-    /// Replace the list of point `i` (base-case solve).
-    pub(crate) fn set_list(&self, i: usize, mut list: Vec<Neighbor>) {
-        list.truncate(self.k);
-        *self.lists[i].lock().unwrap() = list;
+    #[inline]
+    fn lock(&self, i: usize) {
+        while self.locks[i]
+            .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            std::hint::spin_loop();
+        }
+    }
+
+    #[inline]
+    fn unlock(&self, i: usize) {
+        self.locks[i].store(false, Ordering::Release);
+    }
+
+    /// Row `i` as a mutable slice.
+    ///
+    /// # Safety
+    /// Caller must hold lock `i` for the lifetime of the returned slice.
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn row_mut(&self, i: usize) -> &mut [Neighbor] {
+        std::slice::from_raw_parts_mut(self.entries[i * self.k].get(), self.k)
+    }
+
+    /// Replace the list of point `i` (base-case solve); truncates to `k`.
+    pub(crate) fn set_list(&self, i: usize, list: &[Neighbor]) {
+        let m = list.len().min(self.k);
+        self.lock(i);
+        let row = unsafe { self.row_mut(i) };
+        row[..m].copy_from_slice(&list[..m]);
+        let r = if m == self.k {
+            row[self.k - 1].dist_sq
+        } else {
+            f64::INFINITY
+        };
+        self.lens[i].store(m as u32, Ordering::Relaxed);
+        self.radius_bits[i].store(r.to_bits(), Ordering::Relaxed);
+        self.unlock(i);
     }
 
     /// Squared k-neighborhood radius of point `i`
     /// (`INFINITY` when fewer than `k` neighbors are known).
     pub(crate) fn radius_sq(&self, i: usize) -> f64 {
-        let l = self.lists[i].lock().unwrap();
-        if l.len() < self.k {
-            f64::INFINITY
-        } else {
-            l[self.k - 1].dist_sq
-        }
+        f64::from_bits(self.radius_bits[i].load(Ordering::Acquire))
     }
 
     /// Offer a candidate; same semantics as [`KnnResult::merge_candidate`].
     pub(crate) fn merge_candidate(&self, i: usize, j: u32, dist_sq: f64) -> bool {
         debug_assert_ne!(i as u32, j);
-        let mut list = self.lists[i].lock().unwrap();
-        if list.len() == self.k {
-            let tail = list[self.k - 1];
-            if dist_sq > tail.dist_sq || (dist_sq == tail.dist_sq && j >= tail.idx) {
-                return false;
-            }
-        }
-        if list.iter().any(|n| n.idx == j) {
+        // Lock-free fast reject: strictly worse than the cached tail
+        // distance can never be inserted (the cache only shrinks while
+        // merges race, so over-admission is the only possible staleness).
+        if dist_sq > f64::from_bits(self.radius_bits[i].load(Ordering::Relaxed)) {
             return false;
         }
-        let pos = list
-            .iter()
-            .position(|n| dist_sq < n.dist_sq || (dist_sq == n.dist_sq && j < n.idx))
-            .unwrap_or(list.len());
-        list.insert(pos, Neighbor { idx: j, dist_sq });
-        list.truncate(self.k);
-        true
+        self.lock(i);
+        let len = self.lens[i].load(Ordering::Relaxed) as usize;
+        let row = unsafe { self.row_mut(i) };
+        let inserted = merge_into_row(row, len, j, dist_sq);
+        if let Some(new_len) = inserted {
+            self.lens[i].store(new_len as u32, Ordering::Relaxed);
+            if new_len == self.k {
+                self.radius_bits[i].store(row[self.k - 1].dist_sq.to_bits(), Ordering::Relaxed);
+            }
+        }
+        self.unlock(i);
+        inserted.is_some()
     }
 
-    /// Unwrap into a plain result once all parallel work is done.
+    /// Unwrap into a plain result once all parallel work is done. The entry
+    /// buffer is handed over in place — no per-point copies.
     pub(crate) fn into_result(self) -> KnnResult {
-        let n = self.lists.len();
-        let mut out = KnnResult::new(n, self.k);
-        for (i, m) in self.lists.into_iter().enumerate() {
-            out.set_list(i, m.into_inner().unwrap());
-        }
-        out
+        let SharedLists {
+            k, entries, lens, ..
+        } = self;
+        let lens: Vec<u32> = lens.into_iter().map(AtomicU32::into_inner).collect();
+        // `UnsafeCell<T>` is repr(transparent) over `T`, so the buffer can
+        // be reinterpreted without copying.
+        let entries: Vec<Neighbor> = {
+            let mut v = std::mem::ManuallyDrop::new(entries);
+            unsafe { Vec::from_raw_parts(v.as_mut_ptr() as *mut Neighbor, v.len(), v.capacity()) }
+        };
+        KnnResult::from_flat_parts(k, lens, entries)
     }
 }
 
@@ -104,6 +173,38 @@ mod tests {
     }
 
     #[test]
+    fn set_list_updates_radius_cache() {
+        let s = SharedLists::new(2, 2);
+        s.set_list(
+            0,
+            &[
+                Neighbor {
+                    idx: 1,
+                    dist_sq: 1.0,
+                },
+                Neighbor {
+                    idx: 2,
+                    dist_sq: 3.0,
+                },
+            ],
+        );
+        assert_eq!(s.radius_sq(0), 3.0);
+        // A closer candidate shrinks the cached radius.
+        assert!(s.merge_candidate(0, 3, 2.0));
+        assert_eq!(s.radius_sq(0), 2.0);
+        // A strictly worse candidate is rejected on the fast path.
+        assert!(!s.merge_candidate(0, 4, 5.0));
+        s.set_list(
+            1,
+            &[Neighbor {
+                idx: 0,
+                dist_sq: 1.0,
+            }],
+        );
+        assert_eq!(s.radius_sq(1), f64::INFINITY, "short list is unbounded");
+    }
+
+    #[test]
     fn concurrent_merges_preserve_invariants() {
         let s = SharedLists::new(1, 4);
         std::thread::scope(|scope| {
@@ -122,5 +223,94 @@ mod tests {
         assert_eq!(r.neighbors(0).len(), 4);
         // The four best candidates have dist 0 (ids ≡ 0 mod 17).
         assert!(r.neighbors(0).iter().all(|n| n.dist_sq == 0.0));
+    }
+
+    /// Hammer a single row right at the k boundary: many threads racing to
+    /// fill the last slots, with duplicate candidate ids offered from every
+    /// thread. The final row must equal what a sequential merge of the same
+    /// candidate multiset produces.
+    #[test]
+    fn stress_k_boundary_and_duplicates() {
+        const THREADS: u32 = 8;
+        const PER_THREAD: u32 = 500;
+        let k = 8;
+        let s = SharedLists::new(1, k);
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let s = &s;
+                scope.spawn(move || {
+                    for j in 0..PER_THREAD {
+                        // Every thread offers the same candidate set, so
+                        // 7 of 8 offers of each id are duplicates racing
+                        // against the insert of the first.
+                        let id = 1 + (j % 64);
+                        let d = ((id * 37) % 101) as f64;
+                        s.merge_candidate(0, id, d);
+                        // Plus a thread-unique id to churn the tail.
+                        let uid = 100 + t * PER_THREAD + j;
+                        s.merge_candidate(0, uid, 50.0 + (uid % 13) as f64);
+                    }
+                });
+            }
+        });
+        let got = s.into_result();
+        got.check_invariants().unwrap();
+
+        // Sequential oracle over the same candidate multiset.
+        let mut oracle = KnnResult::new(1, k);
+        for t in 0..THREADS {
+            for j in 0..PER_THREAD {
+                let id = 1 + (j % 64);
+                oracle.merge_candidate(0, id, ((id * 37) % 101) as f64);
+                let uid = 100 + t * PER_THREAD + j;
+                oracle.merge_candidate(0, uid, 50.0 + (uid % 13) as f64);
+            }
+        }
+        assert_eq!(got.neighbors(0), oracle.neighbors(0));
+    }
+
+    /// Race `set_list` on one row against merges on another: rows are
+    /// independent, so neither interferes with the other.
+    #[test]
+    fn stress_disjoint_rows_do_not_interfere() {
+        let s = SharedLists::new(2, 4);
+        std::thread::scope(|scope| {
+            let s0 = &s;
+            scope.spawn(move || {
+                let base = [
+                    Neighbor {
+                        idx: 10,
+                        dist_sq: 1.0,
+                    },
+                    Neighbor {
+                        idx: 11,
+                        dist_sq: 2.0,
+                    },
+                    Neighbor {
+                        idx: 12,
+                        dist_sq: 3.0,
+                    },
+                    Neighbor {
+                        idx: 13,
+                        dist_sq: 4.0,
+                    },
+                ];
+                for _ in 0..1000 {
+                    s0.set_list(0, &base);
+                }
+            });
+            let s1 = &s;
+            scope.spawn(move || {
+                for j in 0..1000u32 {
+                    s1.merge_candidate(1, 2 + j, (j % 29) as f64);
+                }
+            });
+        });
+        let r = s.into_result();
+        r.check_invariants().unwrap();
+        assert_eq!(r.neighbors(0).len(), 4);
+        assert_eq!(r.neighbors(0)[0].idx, 10);
+        assert_eq!(r.neighbors(1).len(), 4);
+        assert!(r.neighbors(1).iter().all(|n| n.dist_sq == 0.0));
     }
 }

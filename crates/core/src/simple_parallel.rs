@@ -16,7 +16,8 @@
 
 use crate::config::KnnDcConfig;
 use crate::correction::{collect_crossing, correct_unbounded, correct_via_query};
-use crate::knn::{brute_list_within, KnnResult};
+use crate::knn::{brute_list_into, KnnResult};
+use crate::partition_tree::partition_in_place;
 use crate::shared::SharedLists;
 use sepdc_geom::point::Point;
 use sepdc_scan::CostProfile;
@@ -101,8 +102,11 @@ pub fn simple_parallel_knn<const D: usize, const E: usize>(
         cfg,
         base,
     };
-    let ids: Vec<u32> = (0..n as u32).collect();
-    let (cost, stats) = rec::<D, E>(&ctx, ids, cfg.seed, 0);
+    // Permutation arena: the recursion partitions this buffer in place and
+    // hands each recursive call a disjoint `&mut` slice — no per-level
+    // id-set clones.
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    let (cost, stats) = rec::<D, E>(&ctx, &mut perm, cfg.seed, 0);
     SimpleDcOutput {
         knn: lists.into_result(),
         cost,
@@ -112,13 +116,13 @@ pub fn simple_parallel_knn<const D: usize, const E: usize>(
 
 fn rec<const D: usize, const E: usize>(
     ctx: &Ctx<'_, D>,
-    ids: Vec<u32>,
+    ids: &mut [u32],
     seed: u64,
     depth: usize,
 ) -> (CostProfile, SimpleDcStats) {
     let m = ids.len();
     if m <= ctx.base {
-        solve_subset_into(ctx, &ids);
+        solve_subset_into(ctx, ids);
         return (
             CostProfile::rounds(m as u64, m as u64),
             SimpleDcStats::leaf(false),
@@ -127,23 +131,15 @@ fn rec<const D: usize, const E: usize>(
     let subset_points: Vec<Point<D>> = ids.iter().map(|&i| ctx.points[i as usize]).collect();
     let Some(sep) = median_cut_cycling(&subset_points, depth) else {
         // All points identical: brute leaf.
-        solve_subset_into(ctx, &ids);
+        solve_subset_into(ctx, ids);
         return (
             CostProfile::rounds(m as u64, m as u64),
             SimpleDcStats::leaf(true),
         );
     };
-    let mut left = Vec::new();
-    let mut right = Vec::new();
-    for &i in &ids {
-        if sep.side(&ctx.points[i as usize]).routes_interior() {
-            left.push(i);
-        } else {
-            right.push(i);
-        }
-    }
-    if left.is_empty() || right.is_empty() {
-        solve_subset_into(ctx, &ids);
+    let nl = partition_in_place(ids, |i| sep.side(&ctx.points[i as usize]).routes_interior());
+    if nl == 0 || nl == m {
+        solve_subset_into(ctx, ids);
         return (
             CostProfile::rounds(m as u64, m as u64),
             SimpleDcStats::leaf(true),
@@ -152,28 +148,31 @@ fn rec<const D: usize, const E: usize>(
 
     let lseed = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
     let rseed = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(2);
+    let (lslice, rslice) = ids.split_at_mut(nl);
     let ((lcost, lstats), (rcost, rstats)) = if m > ctx.cfg.parallel_cutoff {
         rayon::join(
-            || rec::<D, E>(ctx, left.clone(), lseed, depth + 1),
-            || rec::<D, E>(ctx, right.clone(), rseed, depth + 1),
+            || rec::<D, E>(ctx, lslice, lseed, depth + 1),
+            || rec::<D, E>(ctx, rslice, rseed, depth + 1),
         )
     } else {
         (
-            rec::<D, E>(ctx, left.clone(), lseed, depth + 1),
-            rec::<D, E>(ctx, right.clone(), rseed, depth + 1),
+            rec::<D, E>(ctx, lslice, lseed, depth + 1),
+            rec::<D, E>(ctx, rslice, rseed, depth + 1),
         )
     };
 
     // Correction: query structure over all crossing balls (both sides).
-    let (mut crossing, unbounded_l) = collect_crossing(ctx.points, ctx.lists, &left, &sep);
-    let (cross_r, unbounded_r) = collect_crossing(ctx.points, ctx.lists, &right, &sep);
+    // The child calls permuted their halves but the id sets are unchanged.
+    let (left, right) = ids.split_at(nl);
+    let (mut crossing, unbounded_l) = collect_crossing(ctx.points, ctx.lists, left, &sep);
+    let (cross_r, unbounded_r) = collect_crossing(ctx.points, ctx.lists, right, &sep);
     crossing.extend(cross_r);
-    correct_unbounded(ctx.points, ctx.lists, &unbounded_l, &right);
-    correct_unbounded(ctx.points, ctx.lists, &unbounded_r, &left);
+    correct_unbounded(ctx.points, ctx.lists, &unbounded_l, right);
+    correct_unbounded(ctx.points, ctx.lists, &unbounded_r, left);
     let node_crossing = crossing.len();
     let qseed = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(3);
     let corr_cost =
-        correct_via_query::<D, E>(ctx.points, ctx.lists, &ids, &crossing, ctx.cfg.query, qseed);
+        correct_via_query::<D, E>(ctx.points, ctx.lists, ids, &crossing, ctx.cfg.query, qseed);
 
     let local = CostProfile::scan(m as u64); // the split
     let cost = local.then(lcost.alongside(rcost)).then(corr_cost);
@@ -182,12 +181,14 @@ fn rec<const D: usize, const E: usize>(
 }
 
 fn solve_subset_into<const D: usize>(ctx: &Ctx<'_, D>, ids: &[u32]) {
-    // Straight into the shared store; an n-point scratch KnnResult here
-    // would cost O(n) per leaf (O(n²/base) across the recursion).
+    // Straight into the shared store through one reused scratch buffer; an
+    // n-point scratch KnnResult here would cost O(n) per leaf (O(n²/base)
+    // across the recursion).
     let k = ctx.lists.k();
+    let mut scratch = Vec::with_capacity(k + 1);
     for &i in ids {
-        ctx.lists
-            .set_list(i as usize, brute_list_within(ctx.points, i, ids, k));
+        brute_list_into(ctx.points, i, ids, k, &mut scratch);
+        ctx.lists.set_list(i as usize, &scratch);
     }
 }
 

@@ -133,7 +133,7 @@ mod tests {
             idx: 1,
             dist_sq: 0.0, // almost surely not the true distance
         }];
-        knn.set_list(0, wrong);
+        knn.set_list(0, &wrong);
         assert!(validate_knn(&pts, &knn).is_err());
     }
 
@@ -149,7 +149,7 @@ mod tests {
         let mut knn = brute_force_knn(&pts, 1);
         knn.set_list(
             2,
-            vec![Neighbor {
+            &[Neighbor {
                 idx: 0,
                 dist_sq: 4.0,
             }],
@@ -162,7 +162,7 @@ mod tests {
     fn short_list_is_caught() {
         let pts = Workload::UniformCube.generate::<2>(20, 3);
         let mut knn = brute_force_knn(&pts, 2);
-        knn.set_list(5, Vec::new());
+        knn.set_list(5, &[]);
         let e = validate_knn(&pts, &knn).unwrap_err();
         assert_eq!(e.check, "completeness");
     }

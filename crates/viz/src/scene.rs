@@ -2,7 +2,7 @@
 //! structures.
 
 use crate::svg::SvgDoc;
-use sepdc_core::{KnnGraph, PartitionTree};
+use sepdc_core::{KnnGraph, PartitionNode, PartitionTree};
 use sepdc_geom::ball::Ball;
 use sepdc_geom::point::Point;
 use sepdc_geom::shape::{Separator, Side};
@@ -128,23 +128,23 @@ impl Scene {
     }
 
     /// Overlay a partition tree: every internal separator, opacity fading
-    /// with depth.
+    /// with depth. Iterative walk over the arena node indices.
     pub fn draw_partition_tree(&mut self, tree: &PartitionTree<2>, max_depth: usize) {
-        fn rec(scene: &mut Scene, node: &PartitionTree<2>, depth: usize, max_depth: usize) {
+        let mut stack = vec![(tree.root(), 0usize)];
+        while let Some((id, depth)) = stack.pop() {
             if depth > max_depth {
-                return;
+                continue;
             }
-            if let PartitionTree::Internal {
+            if let PartitionNode::Internal {
                 sep, left, right, ..
-            } = node
+            } = tree.node(id)
             {
                 let opacity = 0.9 * (0.65f64).powi(depth as i32) + 0.08;
-                scene.separator(sep, colors::SEPARATOR, 1.2, opacity);
-                rec(scene, left, depth + 1, max_depth);
-                rec(scene, right, depth + 1, max_depth);
+                self.separator(sep, colors::SEPARATOR, 1.2, opacity);
+                stack.push((*left, depth + 1));
+                stack.push((*right, depth + 1));
             }
         }
-        rec(self, tree, 0, max_depth);
     }
 
     /// Draw a k-NN graph: edges then vertices.

@@ -160,9 +160,7 @@ impl Bencher {
             }
             None => String::new(),
         };
-        println!(
-            "  {label:<28} median {median:>12.3?}   best {best:>12.3?}{rate}",
-        );
+        println!("  {label:<28} median {median:>12.3?}   best {best:>12.3?}{rate}",);
     }
 }
 

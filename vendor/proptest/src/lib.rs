@@ -320,8 +320,12 @@ mod tests {
 
     #[test]
     fn cases_are_deterministic() {
-        let a: Vec<u64> = (0..5).map(|c| crate::test_rng(c).gen_range(0..1000)).collect();
-        let b: Vec<u64> = (0..5).map(|c| crate::test_rng(c).gen_range(0..1000)).collect();
+        let a: Vec<u64> = (0..5)
+            .map(|c| crate::test_rng(c).gen_range(0..1000))
+            .collect();
+        let b: Vec<u64> = (0..5)
+            .map(|c| crate::test_rng(c).gen_range(0..1000))
+            .collect();
         assert_eq!(a, b);
     }
 }

@@ -19,7 +19,7 @@ pub mod slice;
 
 mod pool;
 
-pub use pool::{current_num_threads, ThreadPool, ThreadPoolBuilder, ThreadPoolBuildError};
+pub use pool::{current_num_threads, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder};
 
 /// Run two closures, potentially in parallel, and return both results.
 ///
@@ -105,7 +105,11 @@ mod tests {
     fn filter_count_and_order_preserving_collect() {
         let xs: Vec<u32> = (0..50_000).collect();
         assert_eq!(xs.par_iter().filter(|&&x| x % 3 == 0).count(), 16_667);
-        let kept: Vec<u32> = xs.par_iter().filter(|&&x| x % 999 == 0).map(|&x| x).collect();
+        let kept: Vec<u32> = xs
+            .par_iter()
+            .filter(|&&x| x % 999 == 0)
+            .map(|&x| x)
+            .collect();
         let seq: Vec<u32> = xs.iter().filter(|&&x| x % 999 == 0).copied().collect();
         assert_eq!(kept, seq, "parallel collect must preserve order");
     }
@@ -148,11 +152,17 @@ mod tests {
 
     #[test]
     fn find_map_any_finds_needle() {
-        let hit = (0..1_000_000usize)
-            .into_par_iter()
-            .find_map_any(|i| if i == 987_654 { Some(i) } else { None });
+        let hit = (0..1_000_000usize).into_par_iter().find_map_any(|i| {
+            if i == 987_654 {
+                Some(i)
+            } else {
+                None
+            }
+        });
         assert_eq!(hit, Some(987_654));
-        let miss = (0..10_000usize).into_par_iter().find_map_any(|_| None::<usize>);
+        let miss = (0..10_000usize)
+            .into_par_iter()
+            .find_map_any(|_| None::<usize>);
         assert_eq!(miss, None);
     }
 
