@@ -6,8 +6,8 @@ use crate::CliResult;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use sepdc_core::{
-    brute_force_knn, kdtree_all_knn, parallel_knn, simple_parallel_knn, KnnDcConfig, KnnGraph,
-    KnnResult, NeighborhoodSystem,
+    kdtree_all_knn, try_brute_force_knn, try_kdtree_all_knn, try_parallel_knn,
+    try_simple_parallel_knn, KnnDcConfig, KnnGraph, KnnResult, NeighborhoodSystem, SepdcError,
 };
 use sepdc_separator::{find_good_separator, SeparatorConfig};
 use sepdc_workloads::Workload;
@@ -53,6 +53,7 @@ pub fn generate(workload: &str, n: usize, dim: usize, seed: u64) -> CliResult<St
 }
 
 /// Output of the `knn` command.
+#[derive(Debug)]
 pub struct KnnCommandOutput {
     /// Edge list CSV (undirected, with distances).
     pub edges_csv: String,
@@ -77,16 +78,17 @@ pub fn knn(
     ) -> CliResult<KnnCommandOutput> {
         let points = parse_points::<D>(input)?;
         if points.is_empty() {
-            return Err("no points in input".to_string());
-        }
-        if k == 0 {
-            return Err("--k must be positive".to_string());
+            // The algorithms accept n = 0 (empty result), but an empty
+            // point file at the CLI boundary is a user mistake.
+            return Err(SepdcError::EmptyInput.to_string());
         }
         let cfg = KnnDcConfig::new(k).with_seed(seed);
         let t0 = std::time::Instant::now();
-        let (result, extra): (KnnResult, String) = match algo {
-            "parallel" => {
-                let out = parallel_knn::<D, E>(&points, &cfg);
+        // All algorithms run through their `try_*` variants: NaN-poisoned
+        // files, `k = 0`, and any other invalid input surface as the typed
+        // error's message instead of a panic.
+        let run: Result<(KnnResult, String), SepdcError> = match algo {
+            "parallel" => try_parallel_knn::<D, E>(&points, &cfg).map(|out| {
                 let extra = format!(
                     ", depth {} rounds, {} fast / {} punts",
                     out.cost.depth,
@@ -94,19 +96,18 @@ pub fn knn(
                     out.stats.punts_threshold + out.stats.punts_marching
                 );
                 (out.knn, extra)
-            }
-            "simple" => {
-                let out = simple_parallel_knn::<D, E>(&points, &cfg);
-                (out.knn, format!(", depth {} rounds", out.cost.depth))
-            }
-            "kdtree" => (kdtree_all_knn(&points, k), String::new()),
-            "brute" => (brute_force_knn(&points, k), String::new()),
+            }),
+            "simple" => try_simple_parallel_knn::<D, E>(&points, &cfg)
+                .map(|out| (out.knn, format!(", depth {} rounds", out.cost.depth))),
+            "kdtree" => try_kdtree_all_knn(&points, k).map(|r| (r, String::new())),
+            "brute" => try_brute_force_knn(&points, k).map(|r| (r, String::new())),
             other => {
                 return Err(format!(
                     "unknown algorithm '{other}' (parallel, simple, kdtree, brute)"
                 ))
             }
         };
+        let (result, extra) = run.map_err(|e| e.to_string())?;
         let elapsed = t0.elapsed();
         let graph = KnnGraph::from_knn(&result);
         let edges: Vec<(u32, u32, f64)> = graph
@@ -261,7 +262,23 @@ mod tests {
     #[test]
     fn knn_rejects_zero_k_and_empty() {
         let pts = generate("grid", 20, 2, 1).unwrap();
-        assert!(knn(&pts, None, 0, "brute", 1).is_err());
-        assert!(knn("", Some(2), 1, "brute", 1).is_err());
+        // `k = 0` and empty inputs map to the typed SepdcError messages.
+        for algo in ["parallel", "simple", "kdtree", "brute"] {
+            let err = knn(&pts, None, 0, algo, 1).unwrap_err();
+            assert!(err.contains("invalid k = 0"), "{algo}: {err}");
+        }
+        let err = knn("", Some(2), 1, "brute", 1).unwrap_err();
+        assert!(err.contains("empty"), "{err}");
+    }
+
+    #[test]
+    fn knn_rejects_non_finite_coordinates() {
+        // NaN/inf coordinates are stopped at parse time with a line number,
+        // so the algorithms only ever see finite points from the CLI.
+        for poisoned in ["0.5,0.5\nNaN,0.25\n", "0.5,0.5\n0.25,inf\n"] {
+            let err = knn(poisoned, None, 1, "parallel", 1).unwrap_err();
+            assert!(err.contains("non-finite"), "{err}");
+            assert!(err.contains("line 2"), "{err}");
+        }
     }
 }

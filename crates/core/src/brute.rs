@@ -1,13 +1,28 @@
 //! All-pairs k-NN — the correctness oracle.
 
+use crate::error::{validate_k, validate_points, SepdcError};
 use crate::knn::{KnnResult, Neighbor};
 use rayon::prelude::*;
 use sepdc_geom::point::Point;
 
 /// Exact all-k-NN by scanning all pairs. `O(n² k)` work; parallel over
 /// points. This is the oracle every other algorithm is tested against.
+///
+/// # Panics
+/// Panics on `k = 0` or non-finite coordinates; use
+/// [`try_brute_force_knn`] to handle those as typed errors instead.
 pub fn brute_force_knn<const D: usize>(points: &[Point<D>], k: usize) -> KnnResult {
-    assert!(k > 0, "k must be positive");
+    try_brute_force_knn(points, k).unwrap_or_else(|e| panic!("brute_force_knn: {e}"))
+}
+
+/// Total variant of [`brute_force_knn`]: rejects `k = 0` and non-finite
+/// coordinates with a typed [`SepdcError`] instead of panicking.
+pub fn try_brute_force_knn<const D: usize>(
+    points: &[Point<D>],
+    k: usize,
+) -> Result<KnnResult, SepdcError> {
+    validate_k(k)?;
+    validate_points(points)?;
     let n = points.len();
     let lists: Vec<Vec<Neighbor>> = points
         .par_iter()
@@ -45,7 +60,7 @@ pub fn brute_force_knn<const D: usize>(points: &[Point<D>], k: usize) -> KnnResu
     for (i, l) in lists.into_iter().enumerate() {
         result.set_list(i, &l);
     }
-    result
+    Ok(result)
 }
 
 #[cfg(test)]

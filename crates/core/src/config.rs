@@ -1,5 +1,6 @@
 //! Configuration for the divide-and-conquer k-NN algorithms.
 
+use crate::error::SepdcError;
 use crate::query::QueryTreeConfig;
 use sepdc_separator::SeparatorConfig;
 
@@ -36,6 +37,14 @@ pub struct KnnDcConfig {
     pub query: QueryTreeConfig,
     /// Subtree size below which recursion stops forking rayon tasks.
     pub parallel_cutoff: usize,
+    /// Explicit recursion depth bound. `None` (the default) selects an
+    /// automatic limit of `8·⌈log₂ n⌉ + 64` — far above the `O(log n)`
+    /// height any accepted `δ`-split sequence can produce — and a subset
+    /// still unsolved at that depth is finished by a brute-force leaf, so
+    /// the algorithm stays total. `Some(limit)` is strict mode: exceeding
+    /// `limit` aborts with [`SepdcError::RecursionDepthExceeded`] instead
+    /// of absorbing a potentially quadratic leaf solve.
+    pub max_depth: Option<usize>,
     /// Master seed; all randomness derives from it deterministically.
     pub seed: u64,
 }
@@ -53,6 +62,7 @@ impl KnnDcConfig {
             separator: SeparatorConfig::default(),
             query: QueryTreeConfig::default(),
             parallel_cutoff: 2048,
+            max_depth: None,
             seed: 0xC0FFEE,
         }
     }
@@ -87,6 +97,52 @@ impl KnnDcConfig {
     /// The marching active-ball limit `marching_slack · m^{1-η}`.
     pub fn marching_limit(&self, m: usize) -> usize {
         (self.marching_slack * (m as f64).powf(1.0 - self.eta)).ceil() as usize
+    }
+
+    /// Resolve the recursion depth limit for an input of `n` points: the
+    /// explicit [`Self::max_depth`], or the automatic `8·⌈log₂ n⌉ + 64`.
+    pub fn resolve_depth_limit(&self, n: usize) -> usize {
+        match self.max_depth {
+            Some(limit) => limit,
+            None => 8 * ((n.max(2) as f64).log2().ceil() as usize) + 64,
+        }
+    }
+
+    /// Validate every tunable against its analyzed range. All `try_*`
+    /// entry points call this once before touching the points, so nonsense
+    /// thresholds (`punt_threshold`, `marching_limit`) can never silently
+    /// corrupt a run.
+    pub fn validate(&self) -> Result<(), SepdcError> {
+        crate::error::validate_k(self.k)?;
+        let bad = |param: &'static str, value: f64| SepdcError::InvalidConfig { param, value };
+        // μ = (d-1)/d + mu_epsilon must stay a real exponent ≤ ~1.
+        if !self.mu_epsilon.is_finite() || !(0.0..=1.0).contains(&self.mu_epsilon) {
+            return Err(bad("mu_epsilon", self.mu_epsilon));
+        }
+        // η ∈ [0, 1]: the marching limit m^{1-η} interpolates between
+        // constant and linear.
+        if !self.eta.is_finite() || !(0.0..=1.0).contains(&self.eta) {
+            return Err(bad("eta", self.eta));
+        }
+        if !self.punt_slack.is_finite() || self.punt_slack <= 0.0 {
+            return Err(bad("punt_slack", self.punt_slack));
+        }
+        if !self.marching_slack.is_finite() || self.marching_slack <= 0.0 {
+            return Err(bad("marching_slack", self.marching_slack));
+        }
+        if !self.separator.epsilon.is_finite() || self.separator.epsilon < 0.0 {
+            return Err(bad("separator.epsilon", self.separator.epsilon));
+        }
+        if !self.separator.tol.is_finite() || self.separator.tol < 0.0 {
+            return Err(bad("separator.tol", self.separator.tol));
+        }
+        if self.query.leaf_size == 0 {
+            return Err(bad("query.leaf_size", 0.0));
+        }
+        if self.max_depth == Some(0) {
+            return Err(bad("max_depth", 0.0));
+        }
+        Ok(())
     }
 }
 
@@ -136,5 +192,112 @@ mod tests {
         let cfg = KnnDcConfig::new(1);
         let l = cfg.marching_limit(10_000);
         assert!(l > 100 && l < 10_000, "limit {l}");
+    }
+
+    #[test]
+    fn default_config_validates() {
+        for k in [1usize, 4, 1000] {
+            KnnDcConfig::new(k).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn zero_k_rejected() {
+        assert_eq!(
+            KnnDcConfig::new(0).validate(),
+            Err(crate::SepdcError::InvalidK { k: 0 })
+        );
+    }
+
+    #[test]
+    fn nonsense_tunables_rejected() {
+        let base = KnnDcConfig::new(2);
+        let cases: Vec<(KnnDcConfig, &str)> = vec![
+            (
+                KnnDcConfig {
+                    mu_epsilon: f64::NAN,
+                    ..base
+                },
+                "mu_epsilon",
+            ),
+            (
+                KnnDcConfig {
+                    mu_epsilon: -0.1,
+                    ..base
+                },
+                "mu_epsilon",
+            ),
+            (KnnDcConfig { eta: 1.5, ..base }, "eta"),
+            (
+                KnnDcConfig {
+                    eta: f64::NEG_INFINITY,
+                    ..base
+                },
+                "eta",
+            ),
+            (
+                KnnDcConfig {
+                    punt_slack: 0.0,
+                    ..base
+                },
+                "punt_slack",
+            ),
+            (
+                KnnDcConfig {
+                    punt_slack: f64::NAN,
+                    ..base
+                },
+                "punt_slack",
+            ),
+            (
+                KnnDcConfig {
+                    marching_slack: -8.0,
+                    ..base
+                },
+                "marching_slack",
+            ),
+            (
+                KnnDcConfig {
+                    max_depth: Some(0),
+                    ..base
+                },
+                "max_depth",
+            ),
+        ];
+        for (cfg, want) in cases {
+            match cfg.validate() {
+                Err(crate::SepdcError::InvalidConfig { param, .. }) => {
+                    assert_eq!(param, want);
+                }
+                other => panic!("{want}: expected InvalidConfig, got {other:?}"),
+            }
+        }
+        // Bad nested configs are caught too.
+        let mut sep_bad = base;
+        sep_bad.separator.tol = f64::NAN;
+        assert!(matches!(
+            sep_bad.validate(),
+            Err(crate::SepdcError::InvalidConfig {
+                param: "separator.tol",
+                ..
+            })
+        ));
+        let mut query_bad = base;
+        query_bad.query.leaf_size = 0;
+        assert!(query_bad.validate().is_err());
+    }
+
+    #[test]
+    fn depth_limit_resolution() {
+        let cfg = KnnDcConfig::new(1);
+        // Automatic limit is generous: far above the ~3.5·log₂ n heights
+        // real runs produce, but still O(log n).
+        assert_eq!(cfg.resolve_depth_limit(1 << 10), 8 * 10 + 64);
+        assert_eq!(cfg.resolve_depth_limit(0), 8 + 64);
+        let strict = KnnDcConfig {
+            max_depth: Some(5),
+            ..cfg
+        };
+        assert_eq!(strict.resolve_depth_limit(1 << 20), 5);
     }
 }

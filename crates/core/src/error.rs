@@ -1,0 +1,185 @@
+//! Typed errors for the public k-NN entry points.
+//!
+//! The paper's algorithms assume well-behaved inputs: finite coordinates,
+//! `k ≥ 1`, tunables inside their analyzed ranges. A production service
+//! cannot — adversarial inputs (NaN-poisoned coordinates, `k = 0`,
+//! nonsense configuration) must be rejected with a typed error instead of
+//! panicking or, worse, looping forever on a separator that never splits.
+//!
+//! The contract is split in two layers:
+//!
+//! * the `try_*` entry points ([`crate::try_parallel_knn`],
+//!   [`crate::try_simple_parallel_knn`], [`crate::try_brute_force_knn`],
+//!   [`crate::try_kdtree_all_knn`], [`crate::QueryTree::try_build`])
+//!   validate **once, up front**, and return a [`SepdcError`]; after
+//!   validation the recursion hot path runs exactly as before, with no
+//!   per-candidate checks;
+//! * the original infallible signatures remain as thin wrappers that
+//!   perform the same validation and panic with the error's message —
+//!   convenient for tests and scripts where invalid input is a bug.
+//!
+//! Inside the recursion the only remaining failure mode is the explicit
+//! depth guard ([`SepdcError::RecursionDepthExceeded`]), which can fire
+//! only when [`crate::KnnDcConfig::max_depth`] is set; with the default
+//! automatic limit the recursion degrades to a brute-force leaf instead,
+//! so the default API is total.
+
+use sepdc_geom::point::Point;
+
+/// Why a k-NN entry point rejected its input.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SepdcError {
+    /// `k` is outside the supported range (currently only `k = 0` is
+    /// invalid; `k ≥ n` is legal and yields short lists with unbounded
+    /// radii).
+    InvalidK {
+        /// The rejected `k`.
+        k: usize,
+    },
+    /// A coordinate of `points[idx]` is NaN or infinite. Degenerate
+    /// separator predicates on non-finite coordinates are exactly how the
+    /// divide-and-conquer recursion used to loop forever in release
+    /// builds, so these are rejected before any geometry runs.
+    NonFinitePoint {
+        /// Index of the offending point in the input slice.
+        idx: usize,
+    },
+    /// A ball handed to the query structure has a non-finite center or a
+    /// non-finite / negative radius.
+    NonFiniteBall {
+        /// Index of the offending ball in the input slice.
+        idx: usize,
+    },
+    /// The operation requires a non-empty input (e.g. the CLI `knn`
+    /// command was given an empty point file).
+    EmptyInput,
+    /// A configuration tunable is outside its analyzed range — negative or
+    /// NaN `mu_epsilon` / `eta` / `punt_slack` / `marching_slack` silently
+    /// turn the punt threshold and marching limit into nonsense, so they
+    /// are rejected at the boundary.
+    InvalidConfig {
+        /// Which tunable was rejected.
+        param: &'static str,
+        /// The rejected value (cast to `f64` for integer tunables).
+        value: f64,
+    },
+    /// The recursion exceeded the explicit [`crate::KnnDcConfig::max_depth`]
+    /// bound. Only reachable when `max_depth` is set; the default automatic
+    /// guard forces a brute-force leaf instead of erroring.
+    RecursionDepthExceeded {
+        /// The configured depth limit that was exceeded.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for SepdcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SepdcError::InvalidK { k } => {
+                write!(f, "invalid k = {k}: k must be at least 1")
+            }
+            SepdcError::NonFinitePoint { idx } => {
+                write!(
+                    f,
+                    "point {idx} has a non-finite (NaN or infinite) coordinate"
+                )
+            }
+            SepdcError::NonFiniteBall { idx } => {
+                write!(
+                    f,
+                    "ball {idx} has a non-finite center or non-finite/negative radius"
+                )
+            }
+            SepdcError::EmptyInput => write!(f, "input is empty"),
+            SepdcError::InvalidConfig { param, value } => {
+                write!(
+                    f,
+                    "invalid config: {param} = {value} is outside its valid range"
+                )
+            }
+            SepdcError::RecursionDepthExceeded { limit } => {
+                write!(f, "recursion exceeded the configured max_depth = {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SepdcError {}
+
+/// Reject non-finite coordinates with the index of the first offender.
+///
+/// One linear scan, run once per entry point *before* the recursion — the
+/// hot path stays validation-free.
+pub(crate) fn validate_points<const D: usize>(points: &[Point<D>]) -> Result<(), SepdcError> {
+    match points.iter().position(|p| !p.is_finite()) {
+        Some(idx) => Err(SepdcError::NonFinitePoint { idx }),
+        None => Ok(()),
+    }
+}
+
+/// Validate `k` at the API boundary (replaces the hard `assert!(k > 0)`
+/// that used to live deep in the shared-list store).
+pub(crate) fn validate_k(k: usize) -> Result<(), SepdcError> {
+    if k == 0 {
+        return Err(SepdcError::InvalidK { k });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(SepdcError, &str)> = vec![
+            (SepdcError::InvalidK { k: 0 }, "k = 0"),
+            (SepdcError::NonFinitePoint { idx: 7 }, "point 7"),
+            (SepdcError::NonFiniteBall { idx: 3 }, "ball 3"),
+            (SepdcError::EmptyInput, "empty"),
+            (
+                SepdcError::InvalidConfig {
+                    param: "eta",
+                    value: f64::NAN,
+                },
+                "eta",
+            ),
+            (
+                SepdcError::RecursionDepthExceeded { limit: 12 },
+                "max_depth = 12",
+            ),
+        ];
+        for (e, needle) in cases {
+            let msg = e.to_string();
+            assert!(msg.contains(needle), "{msg:?} missing {needle:?}");
+        }
+    }
+
+    #[test]
+    fn validate_points_reports_first_offender() {
+        let pts = vec![
+            Point::<2>::from([0.0, 1.0]),
+            Point::from([f64::NAN, 0.0]),
+            Point::from([f64::INFINITY, 0.0]),
+        ];
+        assert_eq!(
+            validate_points(&pts),
+            Err(SepdcError::NonFinitePoint { idx: 1 })
+        );
+        assert_eq!(validate_points(&pts[..1]), Ok(()));
+        assert_eq!(validate_points::<2>(&[]), Ok(()));
+    }
+
+    #[test]
+    fn validate_k_boundary() {
+        assert_eq!(validate_k(0), Err(SepdcError::InvalidK { k: 0 }));
+        assert!(validate_k(1).is_ok());
+        assert!(validate_k(usize::MAX).is_ok());
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(SepdcError::EmptyInput);
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -2,6 +2,7 @@
 //! Vaidya's algorithm in the work comparison) and the verification range
 //! searcher.
 
+use crate::error::{validate_k, validate_points, SepdcError};
 use crate::knn::{KnnResult, Neighbor};
 use rayon::prelude::*;
 use sepdc_geom::point::Point;
@@ -247,8 +248,22 @@ impl<'a, const D: usize> KdTree<'a, D> {
 
 /// All-k-NN via one k-d tree and a parallel query sweep — the sequential-
 /// work baseline of EXP-4.
+///
+/// # Panics
+/// Panics on `k = 0` or non-finite coordinates; use
+/// [`try_kdtree_all_knn`] to handle those as typed errors instead.
 pub fn kdtree_all_knn<const D: usize>(points: &[Point<D>], k: usize) -> KnnResult {
-    assert!(k > 0);
+    try_kdtree_all_knn(points, k).unwrap_or_else(|e| panic!("kdtree_all_knn: {e}"))
+}
+
+/// Total variant of [`kdtree_all_knn`]: rejects `k = 0` and non-finite
+/// coordinates with a typed [`SepdcError`] instead of panicking.
+pub fn try_kdtree_all_knn<const D: usize>(
+    points: &[Point<D>],
+    k: usize,
+) -> Result<KnnResult, SepdcError> {
+    validate_k(k)?;
+    validate_points(points)?;
     let tree = KdTree::build(points);
     let lists: Vec<Vec<Neighbor>> = points
         .par_iter()
@@ -259,7 +274,7 @@ pub fn kdtree_all_knn<const D: usize>(points: &[Point<D>], k: usize) -> KnnResul
     for (i, l) in lists.into_iter().enumerate() {
         result.set_list(i, &l);
     }
-    result
+    Ok(result)
 }
 
 #[cfg(test)]

@@ -37,6 +37,7 @@ pub mod balltree;
 pub mod brute;
 pub mod config;
 pub mod correction;
+pub mod error;
 pub mod graph;
 pub mod graph_separator;
 pub mod kdtree;
@@ -50,15 +51,18 @@ mod shared;
 pub mod simple_parallel;
 pub mod validate;
 
-pub use brute::brute_force_knn;
+pub use brute::{brute_force_knn, try_brute_force_knn};
 pub use config::KnnDcConfig;
+pub use error::SepdcError;
 pub use graph::KnnGraph;
 pub use graph_separator::{sphere_graph_separator, GraphSeparator};
-pub use kdtree::{kdtree_all_knn, KdTree};
+pub use kdtree::{kdtree_all_knn, try_kdtree_all_knn, KdTree};
 pub use knn::{KnnResult, Neighbor};
 pub use neighborhood::NeighborhoodSystem;
-pub use parallel::{parallel_knn, ParallelDcOutput, ParallelDcStats};
+pub use parallel::{parallel_knn, try_parallel_knn, ParallelDcOutput, ParallelDcStats};
 pub use partition_tree::{march_balls, MarchOutcome, PartitionNode, PartitionTree};
 pub use query::{QueryTree, QueryTreeConfig, QueryTreeStats};
-pub use simple_parallel::{simple_parallel_knn, SimpleDcOutput, SimpleDcStats};
+pub use simple_parallel::{
+    simple_parallel_knn, try_simple_parallel_knn, SimpleDcOutput, SimpleDcStats,
+};
 pub use validate::{validate_against_oracle, validate_knn, ValidationError};

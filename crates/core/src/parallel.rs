@@ -19,6 +19,7 @@
 
 use crate::config::KnnDcConfig;
 use crate::correction::{collect_crossing, correct_unbounded, correct_via_query, CrossingBall};
+use crate::error::{validate_points, SepdcError};
 use crate::knn::{brute_list_into, KnnResult};
 use crate::partition_tree::{march_arena, partition_in_place, PartitionNode, PartitionTree};
 use crate::shared::SharedLists;
@@ -52,6 +53,14 @@ pub struct ParallelDcStats {
     pub base_leaves: usize,
     /// Nodes where no separator could split (identical points).
     pub forced_leaves: usize,
+    /// Nodes where an *accepted* separator routed every point to one side
+    /// (tolerance-counted split disagreed with strict-side routing) and
+    /// the recursion fell back to a brute-force leaf instead of recursing
+    /// on an unshrunk slice.
+    pub degenerate_splits: usize,
+    /// Nodes cut off by the automatic depth guard and solved as
+    /// brute-force leaves.
+    pub depth_forced_leaves: usize,
     /// Unit-time separator candidates drawn.
     pub candidates: u64,
 }
@@ -80,6 +89,8 @@ impl ParallelDcStats {
             max_marching_ratio: self.max_marching_ratio.max(o.max_marching_ratio),
             base_leaves: self.base_leaves + o.base_leaves,
             forced_leaves: self.forced_leaves + o.forced_leaves,
+            degenerate_splits: self.degenerate_splits + o.degenerate_splits,
+            depth_forced_leaves: self.depth_forced_leaves + o.depth_forced_leaves,
             candidates: self.candidates + o.candidates,
         }
     }
@@ -106,15 +117,45 @@ struct Ctx<'a, const D: usize> {
     cfg: &'a KnnDcConfig,
     meter: &'a CostMeter,
     base: usize,
+    /// Depth at which the recursion stops subdividing.
+    depth_limit: usize,
+    /// `true` when `depth_limit` came from an explicit
+    /// [`KnnDcConfig::max_depth`]: exceeding it is then an error instead
+    /// of a brute-force leaf.
+    strict_depth: bool,
 }
 
 /// Section 6: sphere-separator divide and conquer with fast correction and
 /// punting. `E` must be `D + 1`.
+///
+/// Infallible wrapper around [`try_parallel_knn`] for callers whose inputs
+/// are valid by construction.
+///
+/// # Panics
+/// Panics with the [`SepdcError`] message on invalid input: `k = 0`,
+/// non-finite coordinates, out-of-range config tunables, or an exceeded
+/// explicit `max_depth`. Use [`try_parallel_knn`] to handle these as typed
+/// errors instead.
 pub fn parallel_knn<const D: usize, const E: usize>(
     points: &[Point<D>],
     cfg: &KnnDcConfig,
 ) -> ParallelDcOutput<D> {
+    try_parallel_knn::<D, E>(points, cfg).unwrap_or_else(|e| panic!("parallel_knn: {e}"))
+}
+
+/// Total variant of [`parallel_knn`]: validates once up front (`k`, config
+/// tunables, coordinate finiteness — one linear scan) and returns a typed
+/// [`SepdcError`] instead of panicking. The recursion itself runs
+/// validation-free; after the up-front checks the only reachable error is
+/// [`SepdcError::RecursionDepthExceeded`], and only when
+/// [`KnnDcConfig::max_depth`] is set explicitly.
+pub fn try_parallel_knn<const D: usize, const E: usize>(
+    points: &[Point<D>],
+    cfg: &KnnDcConfig,
+) -> Result<ParallelDcOutput<D>, SepdcError> {
     assert_eq!(E, D + 1, "parallel_knn requires E = D + 1");
+    cfg.validate()?;
+    validate_points(points)?;
     let n = points.len();
     let lists = SharedLists::new(n, cfg.k);
     let meter = CostMeter::new();
@@ -125,19 +166,21 @@ pub fn parallel_knn<const D: usize, const E: usize>(
         cfg,
         meter: &meter,
         base,
+        depth_limit: cfg.resolve_depth_limit(n),
+        strict_depth: cfg.max_depth.is_some(),
     };
     // The permutation arena: the recursion partitions this buffer in
     // place, handing each recursive call a disjoint `&mut` slice — no
     // per-level id-set clones.
     let mut perm: Vec<u32> = (0..n as u32).collect();
-    let (nodes, cost, stats) = rec::<D, E>(&ctx, &mut perm, cfg.seed);
-    ParallelDcOutput {
+    let (nodes, cost, stats) = rec::<D, E>(&ctx, &mut perm, cfg.seed, 0)?;
+    Ok(ParallelDcOutput {
         knn: lists.into_result(),
         cost,
         stats,
         meter: meter.snapshot(),
         tree: PartitionTree::from_parts(nodes, perm),
-    }
+    })
 }
 
 fn leaf_case<const D: usize>(
@@ -170,20 +213,39 @@ fn leaf_case<const D: usize>(
     )
 }
 
+type RecResult<const D: usize> =
+    Result<(Vec<PartitionNode<D>>, CostProfile, ParallelDcStats), SepdcError>;
+
 fn rec<const D: usize, const E: usize>(
     ctx: &Ctx<'_, D>,
     ids: &mut [u32],
     seed: u64,
-) -> (Vec<PartitionNode<D>>, CostProfile, ParallelDcStats) {
+    depth: usize,
+) -> RecResult<D> {
     let m = ids.len();
     if m <= ctx.base {
-        return leaf_case(ctx, ids, false);
+        return Ok(leaf_case(ctx, ids, false));
+    }
+    if depth >= ctx.depth_limit {
+        // A split sequence of accepted δ-splits cannot reach this depth;
+        // getting here means the routing degenerated level after level.
+        // With the automatic limit we stay total by absorbing the subset
+        // into a brute-force leaf; an explicit max_depth is strict and
+        // aborts with a typed error instead.
+        if ctx.strict_depth {
+            return Err(SepdcError::RecursionDepthExceeded {
+                limit: ctx.depth_limit,
+            });
+        }
+        let mut out = leaf_case(ctx, ids, true);
+        out.2.depth_forced_leaves = 1;
+        return Ok(out);
     }
     let mut rng = rand::SeedableRng::seed_from_u64(seed);
     let rng: &mut rand_chacha::ChaCha8Rng = &mut rng;
     let centers: Vec<Point<D>> = ids.iter().map(|&i| ctx.points[i as usize]).collect();
     let Some(found) = find_good_separator::<D, E, _>(&centers, &ctx.cfg.separator, rng) else {
-        return leaf_case(ctx, ids, true);
+        return Ok(leaf_case(ctx, ids, true));
     };
     ctx.meter.add_candidates(found.attempts as u64);
     ctx.meter.add_accept();
@@ -191,22 +253,32 @@ fn rec<const D: usize, const E: usize>(
 
     // Carve this call's id slice in place: interior side to the front.
     let nl = partition_in_place(ids, |i| sep.side(&ctx.points[i as usize]).routes_interior());
-    debug_assert!(nl > 0 && nl < m);
+    if nl == 0 || nl == m {
+        // The separator was *accepted* — its tolerance-counted split looked
+        // balanced — but strict-side routing sent every point to one side
+        // (all of them within `tol` of the surface). Recursing here would
+        // re-run this call on an unshrunk slice forever; fall back to a
+        // brute-force leaf instead.
+        let mut out = leaf_case(ctx, ids, true);
+        out.2.degenerate_splits = 1;
+        return Ok(out);
+    }
 
     let lseed = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
     let rseed = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(2);
     let (lslice, rslice) = ids.split_at_mut(nl);
-    let ((lnodes, lcost, lstats), (rnodes, rcost, rstats)) = if m > ctx.cfg.parallel_cutoff {
+    let (lres, rres) = if m > ctx.cfg.parallel_cutoff {
         rayon::join(
-            || rec::<D, E>(ctx, lslice, lseed),
-            || rec::<D, E>(ctx, rslice, rseed),
+            || rec::<D, E>(ctx, lslice, lseed, depth + 1),
+            || rec::<D, E>(ctx, rslice, rseed, depth + 1),
         )
     } else {
         (
-            rec::<D, E>(ctx, lslice, lseed),
-            rec::<D, E>(ctx, rslice, rseed),
+            rec::<D, E>(ctx, lslice, lseed, depth + 1),
+            rec::<D, E>(ctx, rslice, rseed, depth + 1),
         )
     };
+    let ((lnodes, lcost, lstats), (rnodes, rcost, rstats)) = (lres?, rres?);
 
     // Merge the child arenas into one postorder node vec: the right
     // child's node indices shift by the left arena's length, and its leaf
@@ -309,7 +381,7 @@ fn rec<const D: usize, const E: usize>(
         left: l_root,
         right: r_root,
     });
-    (nodes, cost, stats)
+    Ok((nodes, cost, stats))
 }
 
 /// March both crossing sets down the opposite subtrees and merge the
@@ -510,6 +582,115 @@ mod tests {
     #[test]
     fn k_equal_to_eight_still_correct() {
         check_matches_oracle::<2, 3>(Workload::UniformCube, 600, 8, 16);
+    }
+
+    #[test]
+    fn degenerate_one_sided_separator_forces_leaf() {
+        // Regression for the release-mode infinite recursion: the separator
+        // search accepts by *tolerance-counted* split (`side_with_tol` with
+        // `cfg.separator.tol`), but the recursion routes by strict `side()`
+        // (crate EPS). With a large tolerance an accepted separator can
+        // route every point to one strict side, and the old
+        // `debug_assert!(nl > 0 && nl < m)` let release builds recurse
+        // forever on the unshrunk slice.
+        //
+        // The seed below was found by offline search: the root
+        // `find_good_separator` call accepts a separator whose strict
+        // routing is one-sided. The precondition is asserted explicitly so
+        // the test fails loudly (rather than silently passing) if the
+        // candidate stream ever changes.
+        let pts = Workload::UniformCube.generate::<2>(64, 0);
+        let mut cfg = KnnDcConfig::new(1).with_seed(5028);
+        cfg.base_case = Some(16);
+        cfg.separator.tol = 0.5;
+        cfg.separator.epsilon = 0.2;
+        cfg.separator.max_attempts = 1;
+
+        let mut rng: rand_chacha::ChaCha8Rng = rand::SeedableRng::seed_from_u64(cfg.seed);
+        let found = sepdc_separator::find_good_separator::<2, 3, _>(&pts, &cfg.separator, &mut rng)
+            .expect("precondition: root separator search must accept");
+        let nl = pts
+            .iter()
+            .filter(|p| found.separator.side(p).routes_interior())
+            .count();
+        assert!(
+            nl == 0 || nl == pts.len(),
+            "precondition lost: routing is two-sided (nl = {nl}); re-run the seed search"
+        );
+
+        let out = parallel_knn::<2, 3>(&pts, &cfg);
+        assert!(
+            out.stats.degenerate_splits >= 1,
+            "degenerate split not taken: {:?}",
+            out.stats
+        );
+        out.knn
+            .same_distances(&brute_force_knn(&pts, 1), 1e-12)
+            .unwrap();
+        out.knn.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn try_variant_rejects_invalid_inputs() {
+        use crate::SepdcError;
+        let mut pts = Workload::UniformCube.generate::<2>(100, 20);
+        let cfg = KnnDcConfig::new(2);
+        assert!(try_parallel_knn::<2, 3>(&pts, &cfg).is_ok());
+        assert_eq!(
+            try_parallel_knn::<2, 3>(&pts, &KnnDcConfig::new(0))
+                .err()
+                .map(|e| e.to_string()),
+            Some(SepdcError::InvalidK { k: 0 }.to_string())
+        );
+        pts[41].0[1] = f64::NAN;
+        match try_parallel_knn::<2, 3>(&pts, &cfg) {
+            Err(SepdcError::NonFinitePoint { idx: 41 }) => {}
+            other => panic!(
+                "expected NonFinitePoint {{ idx: 41 }}, got {:?}",
+                other.err()
+            ),
+        }
+        let bad_cfg = KnnDcConfig {
+            eta: f64::NAN,
+            ..cfg
+        };
+        let clean = Workload::UniformCube.generate::<2>(50, 21);
+        assert!(matches!(
+            try_parallel_knn::<2, 3>(&clean, &bad_cfg),
+            Err(SepdcError::InvalidConfig { param: "eta", .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel_knn: point 3 has a non-finite")]
+    fn infallible_wrapper_panics_with_typed_message() {
+        let mut pts = Workload::UniformCube.generate::<2>(10, 22);
+        pts[3].0[0] = f64::INFINITY;
+        let _ = parallel_knn::<2, 3>(&pts, &KnnDcConfig::new(1));
+    }
+
+    #[test]
+    fn explicit_max_depth_is_strict() {
+        use crate::SepdcError;
+        let pts = Workload::UniformCube.generate::<2>(900, 23);
+        let cfg = KnnDcConfig {
+            max_depth: Some(1),
+            ..KnnDcConfig::new(1)
+        };
+        match try_parallel_knn::<2, 3>(&pts, &cfg) {
+            Err(SepdcError::RecursionDepthExceeded { limit: 1 }) => {}
+            other => panic!("expected RecursionDepthExceeded, got {:?}", other.err()),
+        }
+        // A generous explicit limit succeeds and still matches the oracle.
+        let cfg_ok = KnnDcConfig {
+            max_depth: Some(64),
+            ..KnnDcConfig::new(1)
+        };
+        let out = try_parallel_knn::<2, 3>(&pts, &cfg_ok).unwrap();
+        out.knn
+            .same_distances(&brute_force_knn(&pts, 1), 1e-9)
+            .unwrap();
+        assert_eq!(out.stats.depth_forced_leaves, 0);
     }
 
     #[test]

@@ -146,6 +146,23 @@ mod tests {
     }
 
     #[test]
+    fn a_const_erratum_pins_both_readings() {
+        // Lemma 4.1 erratum (see EXPERIMENTS.md): the paper's display
+        // writes A = e^{ρ(1-ρ)} but the geometric series in the proof
+        // sums to exponent ρ/(1-ρ). Pin both values so a silent "fix"
+        // toward the display constant fails loudly.
+        let r = rho();
+        let display = (r * (1.0 - r)).exp();
+        let derivation = (r / (1.0 - r)).exp();
+        assert!((display - 1.1557970335).abs() < 1e-9);
+        assert!((derivation - 109.2331401747).abs() < 1e-7);
+        // We use the derivation constant: it is the sound bound and the
+        // larger of the two, so it upper-bounds both readings.
+        assert_eq!(a_const(), derivation);
+        assert!(derivation > display);
+    }
+
+    #[test]
     fn rd_zero_log_is_nonnegative_and_bounded() {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         for _ in 0..50 {

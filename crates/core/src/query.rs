@@ -13,6 +13,7 @@
 //! `O(n)`, query `O(log n + m₀)`; parallel construction in `O(log n)`
 //! rounds w.h.p. (Theorem 3.1).
 
+use crate::error::SepdcError;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use sepdc_geom::ball::Ball;
@@ -117,16 +118,40 @@ impl<const D: usize> QueryTree<D> {
     /// assert!(hits.contains(&105)); // the ball centered exactly there
     /// ```
     pub fn build<const E: usize>(balls: &[Ball<D>], cfg: QueryTreeConfig, seed: u64) -> Self {
+        Self::try_build::<E>(balls, cfg, seed).unwrap_or_else(|e| panic!("QueryTree::build: {e}"))
+    }
+
+    /// Total variant of [`Self::build`]: rejects balls with non-finite
+    /// centers or non-finite/negative radii ([`SepdcError::NonFiniteBall`])
+    /// and a zero `leaf_size` ([`SepdcError::InvalidConfig`]) instead of
+    /// panicking or descending into degenerate separator searches.
+    pub fn try_build<const E: usize>(
+        balls: &[Ball<D>],
+        cfg: QueryTreeConfig,
+        seed: u64,
+    ) -> Result<Self, SepdcError> {
         assert_eq!(E, D + 1, "QueryTree::build requires E = D + 1");
+        if cfg.leaf_size == 0 {
+            return Err(SepdcError::InvalidConfig {
+                param: "leaf_size",
+                value: 0.0,
+            });
+        }
+        if let Some(idx) = balls
+            .iter()
+            .position(|b| !b.center.is_finite() || !b.radius.is_finite() || b.radius < 0.0)
+        {
+            return Err(SepdcError::NonFiniteBall { idx });
+        }
         let ids: Vec<u32> = (0..balls.len() as u32).collect();
         let ctx = BuildCtx { balls, cfg: &cfg };
         let built = build_rec::<D, E>(&ctx, ids, seed);
-        QueryTree {
+        Ok(QueryTree {
             root: built.node,
             balls: balls.to_vec(),
             stats: built.stats,
             cost: built.cost,
-        }
+        })
     }
 
     /// Indices of all balls whose *closed* body contains `p`.

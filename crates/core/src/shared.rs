@@ -38,7 +38,9 @@ unsafe impl Sync for SharedLists {}
 
 impl SharedLists {
     pub(crate) fn new(n: usize, k: usize) -> Self {
-        assert!(k > 0);
+        // `k = 0` is rejected with a typed error at every public entry
+        // point (`validate_k`); this is an internal invariant only.
+        debug_assert!(k > 0);
         SharedLists {
             k,
             entries: (0..n * k)

@@ -16,6 +16,7 @@
 
 use crate::config::KnnDcConfig;
 use crate::correction::{collect_crossing, correct_unbounded, correct_via_query};
+use crate::error::{validate_points, SepdcError};
 use crate::knn::{brute_list_into, KnnResult};
 use crate::partition_tree::partition_in_place;
 use crate::shared::SharedLists;
@@ -39,6 +40,12 @@ pub struct SimpleDcStats {
     pub base_leaves: usize,
     /// Nodes where no hyperplane could split (identical points).
     pub forced_leaves: usize,
+    /// Nodes where a median cut routed every point to one side and the
+    /// recursion fell back to a brute-force leaf.
+    pub degenerate_splits: usize,
+    /// Nodes cut off by the automatic depth guard and solved as
+    /// brute-force leaves.
+    pub depth_forced_leaves: usize,
 }
 
 impl SimpleDcStats {
@@ -65,6 +72,8 @@ impl SimpleDcStats {
                 .max(frac),
             base_leaves: self.base_leaves + other.base_leaves,
             forced_leaves: self.forced_leaves + other.forced_leaves,
+            degenerate_splits: self.degenerate_splits + other.degenerate_splits,
+            depth_forced_leaves: self.depth_forced_leaves + other.depth_forced_leaves,
         }
     }
 }
@@ -84,15 +93,41 @@ struct Ctx<'a, const D: usize> {
     lists: &'a SharedLists,
     cfg: &'a KnnDcConfig,
     base: usize,
+    /// Depth at which the recursion stops subdividing.
+    depth_limit: usize,
+    /// `true` when `depth_limit` came from an explicit
+    /// [`KnnDcConfig::max_depth`]: exceeding it errors instead of forcing
+    /// a leaf.
+    strict_depth: bool,
 }
 
 /// Section 5: hyperplane divide and conquer with query-structure
 /// correction. `E` must be `D + 1`.
+///
+/// Infallible wrapper around [`try_simple_parallel_knn`].
+///
+/// # Panics
+/// Panics with the [`SepdcError`] message on invalid input; use
+/// [`try_simple_parallel_knn`] to handle it as a typed error instead.
 pub fn simple_parallel_knn<const D: usize, const E: usize>(
     points: &[Point<D>],
     cfg: &KnnDcConfig,
 ) -> SimpleDcOutput {
+    try_simple_parallel_knn::<D, E>(points, cfg)
+        .unwrap_or_else(|e| panic!("simple_parallel_knn: {e}"))
+}
+
+/// Total variant of [`simple_parallel_knn`]: validates once up front and
+/// returns a typed [`SepdcError`] instead of panicking. After validation
+/// the only reachable error is [`SepdcError::RecursionDepthExceeded`], and
+/// only when [`KnnDcConfig::max_depth`] is set explicitly.
+pub fn try_simple_parallel_knn<const D: usize, const E: usize>(
+    points: &[Point<D>],
+    cfg: &KnnDcConfig,
+) -> Result<SimpleDcOutput, SepdcError> {
     assert_eq!(E, D + 1, "simple_parallel_knn requires E = D + 1");
+    cfg.validate()?;
+    validate_points(points)?;
     let n = points.len();
     let lists = SharedLists::new(n, cfg.k);
     let base = cfg.resolve_base_case(n, D);
@@ -101,17 +136,19 @@ pub fn simple_parallel_knn<const D: usize, const E: usize>(
         lists: &lists,
         cfg,
         base,
+        depth_limit: cfg.resolve_depth_limit(n),
+        strict_depth: cfg.max_depth.is_some(),
     };
     // Permutation arena: the recursion partitions this buffer in place and
     // hands each recursive call a disjoint `&mut` slice — no per-level
     // id-set clones.
     let mut perm: Vec<u32> = (0..n as u32).collect();
-    let (cost, stats) = rec::<D, E>(&ctx, &mut perm, cfg.seed, 0);
-    SimpleDcOutput {
+    let (cost, stats) = rec::<D, E>(&ctx, &mut perm, cfg.seed, 0)?;
+    Ok(SimpleDcOutput {
         knn: lists.into_result(),
         cost,
         stats,
-    }
+    })
 }
 
 fn rec<const D: usize, const E: usize>(
@@ -119,37 +156,52 @@ fn rec<const D: usize, const E: usize>(
     ids: &mut [u32],
     seed: u64,
     depth: usize,
-) -> (CostProfile, SimpleDcStats) {
+) -> Result<(CostProfile, SimpleDcStats), SepdcError> {
     let m = ids.len();
     if m <= ctx.base {
         solve_subset_into(ctx, ids);
-        return (
+        return Ok((
             CostProfile::rounds(m as u64, m as u64),
             SimpleDcStats::leaf(false),
-        );
+        ));
+    }
+    if depth >= ctx.depth_limit {
+        // Median cuts shrink both sides every level, so only degenerate
+        // routing can reach this depth; absorb into a brute-force leaf (or
+        // error, in strict mode) rather than recurse further.
+        if ctx.strict_depth {
+            return Err(SepdcError::RecursionDepthExceeded {
+                limit: ctx.depth_limit,
+            });
+        }
+        solve_subset_into(ctx, ids);
+        let mut stats = SimpleDcStats::leaf(true);
+        stats.depth_forced_leaves = 1;
+        return Ok((CostProfile::rounds(m as u64, m as u64), stats));
     }
     let subset_points: Vec<Point<D>> = ids.iter().map(|&i| ctx.points[i as usize]).collect();
     let Some(sep) = median_cut_cycling(&subset_points, depth) else {
         // All points identical: brute leaf.
         solve_subset_into(ctx, ids);
-        return (
+        return Ok((
             CostProfile::rounds(m as u64, m as u64),
             SimpleDcStats::leaf(true),
-        );
+        ));
     };
     let nl = partition_in_place(ids, |i| sep.side(&ctx.points[i as usize]).routes_interior());
     if nl == 0 || nl == m {
+        // The cut routed every point to one side: brute leaf instead of
+        // recursing on an unshrunk slice.
         solve_subset_into(ctx, ids);
-        return (
-            CostProfile::rounds(m as u64, m as u64),
-            SimpleDcStats::leaf(true),
-        );
+        let mut stats = SimpleDcStats::leaf(true);
+        stats.degenerate_splits = 1;
+        return Ok((CostProfile::rounds(m as u64, m as u64), stats));
     }
 
     let lseed = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
     let rseed = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(2);
     let (lslice, rslice) = ids.split_at_mut(nl);
-    let ((lcost, lstats), (rcost, rstats)) = if m > ctx.cfg.parallel_cutoff {
+    let (lres, rres) = if m > ctx.cfg.parallel_cutoff {
         rayon::join(
             || rec::<D, E>(ctx, lslice, lseed, depth + 1),
             || rec::<D, E>(ctx, rslice, rseed, depth + 1),
@@ -160,6 +212,7 @@ fn rec<const D: usize, const E: usize>(
             rec::<D, E>(ctx, rslice, rseed, depth + 1),
         )
     };
+    let ((lcost, lstats), (rcost, rstats)) = (lres?, rres?);
 
     // Correction: query structure over all crossing balls (both sides).
     // The child calls permuted their halves but the id sets are unchanged.
@@ -177,7 +230,7 @@ fn rec<const D: usize, const E: usize>(
     let local = CostProfile::scan(m as u64); // the split
     let cost = local.then(lcost.alongside(rcost)).then(corr_cost);
     let stats = lstats.merge(rstats, node_crossing, m);
-    (cost, stats)
+    Ok((cost, stats))
 }
 
 fn solve_subset_into<const D: usize>(ctx: &Ctx<'_, D>, ids: &[u32]) {
@@ -305,6 +358,54 @@ mod tests {
             out.cost.depth
         );
         assert!(out.stats.height as f64 <= 3.0 * log2n);
+    }
+
+    #[test]
+    fn try_variant_rejects_invalid_inputs() {
+        use crate::SepdcError;
+        let mut pts = Workload::UniformCube.generate::<2>(80, 14);
+        let cfg = KnnDcConfig::new(2);
+        assert!(try_simple_parallel_knn::<2, 3>(&pts, &cfg).is_ok());
+        assert!(matches!(
+            try_simple_parallel_knn::<2, 3>(&pts, &KnnDcConfig::new(0)),
+            Err(SepdcError::InvalidK { k: 0 })
+        ));
+        pts[7].0[0] = f64::NAN;
+        assert!(matches!(
+            try_simple_parallel_knn::<2, 3>(&pts, &cfg),
+            Err(SepdcError::NonFinitePoint { idx: 7 })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "simple_parallel_knn: invalid k = 0")]
+    fn infallible_wrapper_panics_with_typed_message() {
+        let pts = Workload::UniformCube.generate::<2>(10, 15);
+        let _ = simple_parallel_knn::<2, 3>(&pts, &KnnDcConfig::new(0));
+    }
+
+    #[test]
+    fn explicit_max_depth_is_strict() {
+        use crate::SepdcError;
+        let pts = Workload::UniformCube.generate::<2>(900, 16);
+        let cfg = KnnDcConfig {
+            max_depth: Some(1),
+            ..KnnDcConfig::new(1)
+        };
+        assert!(matches!(
+            try_simple_parallel_knn::<2, 3>(&pts, &cfg),
+            Err(SepdcError::RecursionDepthExceeded { limit: 1 })
+        ));
+        let cfg_ok = KnnDcConfig {
+            max_depth: Some(64),
+            ..KnnDcConfig::new(1)
+        };
+        let out = try_simple_parallel_knn::<2, 3>(&pts, &cfg_ok).unwrap();
+        out.knn
+            .same_distances(&brute_force_knn(&pts, 1), 1e-9)
+            .unwrap();
+        assert_eq!(out.stats.depth_forced_leaves, 0);
+        assert_eq!(out.stats.degenerate_splits, 0);
     }
 
     #[test]

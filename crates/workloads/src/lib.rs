@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod adversarial;
+pub mod degenerate;
 pub mod distributions;
 
 use rand::SeedableRng;

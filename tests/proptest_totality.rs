@@ -1,0 +1,214 @@
+//! Totality fuzz suite: every public entry point, driven with arbitrary
+//! inputs — raw-bit-pattern coordinates (NaN, ±inf, subnormals, huge
+//! magnitudes), `k` from 0 through past `n`, duplicates, empty clouds —
+//! must return a typed `SepdcError` or a correct result. No call may
+//! panic, and (the release-mode regression of this PR) no call may hang on
+//! a separator that never shrinks its subset.
+
+use proptest::prelude::*;
+use sepdc::core::{
+    try_brute_force_knn, try_kdtree_all_knn, try_parallel_knn, try_simple_parallel_knn,
+    KnnDcConfig, QueryTree, QueryTreeConfig, SepdcError,
+};
+use sepdc::geom::{Ball, Point};
+
+/// Any f64 bit pattern: NaN, infinities, subnormals, huge magnitudes.
+fn raw_f64() -> impl Strategy<Value = f64> {
+    any::<u64>().prop_map(f64::from_bits)
+}
+
+/// Mostly-benign coordinate with occasional hostile bit patterns, so the
+/// same cloud strategy exercises both the happy path and the reject path.
+fn hostile_coord() -> impl Strategy<Value = f64> {
+    (any::<u64>(), -8i32..8).prop_map(|(bits, grid)| {
+        if bits % 5 == 0 {
+            f64::from_bits(bits)
+        } else {
+            grid as f64 * 0.5
+        }
+    })
+}
+
+fn hostile_cloud(max: usize) -> impl Strategy<Value = Vec<Point<2>>> {
+    proptest::collection::vec(
+        [hostile_coord(), hostile_coord()].prop_map(Point::from),
+        0..max,
+    )
+}
+
+/// The error the validation layer must report for `(points, k)`, if any:
+/// `InvalidK` wins, then the first non-finite point.
+fn expected_error<const D: usize>(points: &[Point<D>], k: usize) -> Option<SepdcError> {
+    if k == 0 {
+        return Some(SepdcError::InvalidK { k });
+    }
+    points
+        .iter()
+        .position(|p| !p.is_finite())
+        .map(|idx| Some(SepdcError::NonFinitePoint { idx }))
+        .unwrap_or(None)
+}
+
+fn check_entry_point(
+    result: Result<sepdc::core::KnnResult, SepdcError>,
+    points: &[Point<2>],
+    k: usize,
+    who: &str,
+) -> Result<(), TestCaseError> {
+    match (result, expected_error(points, k)) {
+        (Ok(knn), None) => {
+            prop_assert!(knn.check_invariants().is_ok(), "{who}: invariants");
+            prop_assert_eq!(knn.len(), points.len(), "{}: length", who);
+            // k ≥ n yields short lists whose radius stays unbounded.
+            if k >= points.len() {
+                for i in 0..knn.len() {
+                    prop_assert_eq!(
+                        knn.radius_sq(i),
+                        f64::INFINITY,
+                        "{}: short list radius",
+                        who
+                    );
+                }
+            }
+            Ok(())
+        }
+        (Err(e), Some(want)) => {
+            prop_assert_eq!(e, want, "{}: wrong error", who);
+            Ok(())
+        }
+        (Ok(_), Some(want)) => {
+            prop_assert!(false, "{who}: expected {want:?}, got Ok");
+            Ok(())
+        }
+        (Err(e), None) => {
+            prop_assert!(false, "{who}: unexpected error {e:?} on valid input");
+            Ok(())
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// All four k-NN entry points are total over hostile clouds and the
+    /// full `k ∈ {0, …, n + 2}` range.
+    #[test]
+    fn knn_entry_points_are_total(
+        pts in hostile_cloud(120),
+        k_off in 0usize..6,
+        seed in 0u64..500,
+    ) {
+        // Map k over the interesting boundary: 0, 1, …, n-1, n, n+1, n+2.
+        let k = k_off.min(pts.len() + 2);
+        let cfg = KnnDcConfig::new(k).with_seed(seed);
+        check_entry_point(
+            try_parallel_knn::<2, 3>(&pts, &cfg).map(|o| o.knn), &pts, k, "parallel")?;
+        check_entry_point(
+            try_simple_parallel_knn::<2, 3>(&pts, &cfg).map(|o| o.knn), &pts, k, "simple")?;
+        check_entry_point(try_brute_force_knn(&pts, k), &pts, k, "brute")?;
+        check_entry_point(try_kdtree_all_knn(&pts, k), &pts, k, "kdtree")?;
+    }
+
+    /// On fully valid inputs from the same hostile strategy (the cases
+    /// where no coordinate happened to be poisoned), the divide-and-conquer
+    /// algorithms still agree with the oracle — hardening must not change
+    /// answers.
+    #[test]
+    fn valid_subset_still_matches_oracle(
+        pts in hostile_cloud(100),
+        k in 1usize..4,
+        seed in 0u64..200,
+    ) {
+        // Keep only benign coordinates so the oracle comparison is exact.
+        let pts: Vec<Point<2>> =
+            pts.into_iter().filter(|p| p.is_finite() && p.norm() < 1e6).collect();
+        let cfg = KnnDcConfig::new(k).with_seed(seed);
+        let oracle = try_brute_force_knn(&pts, k).unwrap();
+        let par = try_parallel_knn::<2, 3>(&pts, &cfg).unwrap();
+        prop_assert!(par.knn.same_distances(&oracle, 1e-9).is_ok(),
+            "{:?}", par.knn.same_distances(&oracle, 1e-9));
+        let simple = try_simple_parallel_knn::<2, 3>(&pts, &cfg).unwrap();
+        prop_assert!(simple.knn.same_distances(&oracle, 1e-9).is_ok(),
+            "{:?}", simple.knn.same_distances(&oracle, 1e-9));
+    }
+
+    /// Config tunables drawn from raw bit patterns either validate or are
+    /// rejected as `InvalidConfig`/`InvalidK` — never a panic, never a hang.
+    #[test]
+    fn arbitrary_configs_are_total(
+        mu in raw_f64(),
+        eta in raw_f64(),
+        punt in raw_f64(),
+        march in raw_f64(),
+        k in 0usize..4,
+        seed in 0u64..100,
+    ) {
+        let pts: Vec<Point<2>> = (0..60)
+            .map(|i| Point::from([(i % 8) as f64, (i / 8) as f64]))
+            .collect();
+        let cfg = KnnDcConfig {
+            mu_epsilon: mu,
+            eta,
+            punt_slack: punt,
+            marching_slack: march,
+            ..KnnDcConfig::new(k).with_seed(seed)
+        };
+        match try_parallel_knn::<2, 3>(&pts, &cfg) {
+            Ok(out) => {
+                // Accepted config ⇒ the tunables were in range and the
+                // result is still correct.
+                prop_assert!(cfg.validate().is_ok());
+                let oracle = try_brute_force_knn(&pts, k).unwrap();
+                prop_assert!(out.knn.same_distances(&oracle, 1e-9).is_ok());
+            }
+            Err(SepdcError::InvalidK { .. }) => prop_assert_eq!(k, 0),
+            Err(SepdcError::InvalidConfig { .. }) => prop_assert!(cfg.validate().is_err()),
+            Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+        }
+    }
+
+    /// The query structure is total over arbitrary ball systems: bad balls
+    /// are rejected with their index, good systems answer queries.
+    #[test]
+    fn query_tree_build_is_total(
+        raw in proptest::collection::vec((raw_f64(), raw_f64(), raw_f64()), 0..80),
+        seed in 0u64..100,
+    ) {
+        let balls: Vec<Ball<2>> = raw
+            .iter()
+            .map(|&(x, y, r)| {
+                // Construct through the public fields: Ball::new validates,
+                // but adversarial callers can always build the raw struct.
+                let mut b = Ball::new(Point::origin(), 0.0);
+                b.center = Point::from([x, y]);
+                b.radius = r;
+                b
+            })
+            .collect();
+        let expected = balls
+            .iter()
+            .position(|b| !b.center.is_finite() || !b.radius.is_finite() || b.radius < 0.0);
+        match QueryTree::try_build::<3>(&balls, QueryTreeConfig::default(), seed) {
+            Ok(tree) => {
+                prop_assert!(expected.is_none(), "accepted bad ball {expected:?}");
+                prop_assert_eq!(tree.len(), balls.len());
+                // A covering query agrees with the linear scan.
+                let probe = Point::from([0.25, -0.5]);
+                let mut fast = tree.covering(&probe);
+                fast.sort_unstable();
+                let mut slow: Vec<u32> = balls
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, b)| b.contains(&probe))
+                    .map(|(i, _)| i as u32)
+                    .collect();
+                slow.sort_unstable();
+                prop_assert_eq!(fast, slow);
+            }
+            Err(SepdcError::NonFiniteBall { idx }) => {
+                prop_assert_eq!(Some(idx), expected, "wrong ball index");
+            }
+            Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+        }
+    }
+}
