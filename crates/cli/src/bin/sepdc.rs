@@ -26,14 +26,19 @@ sepdc — separator based divide and conquer in computational geometry
 USAGE:
   sepdc generate  --workload NAME --n N [--dim D] [--seed S] [--out FILE]
   sepdc knn       --input FILE [--dim D] [--k K] [--algo parallel|simple|kdtree|brute]
-                  [--seed S] [--edges-out FILE]
+                  [--seed S] [--edges-out FILE] [--report FILE]
+  sepdc report    --input FILE
   sepdc separator --input FILE [--dim D] [--k K] [--seed S]
   sepdc figure    --input FILE [--k K] [--seed S] [--out FILE]   (2D only)
 
 Workloads: uniform-cube, uniform-ball, sphere-shell, clusters, grid,
 two-slabs, noisy-line. Point files: one point per line, comma or
 whitespace separated; '#' comments allowed. --dim is inferred from the
-first data line when omitted.";
+first data line when omitted.
+
+`knn --report FILE` saves a versioned JSON run report (phase timings,
+counters, per-depth histograms) for the parallel and simple algorithms;
+`sepdc report --input FILE` pretty-prints one.";
 
 fn read_input(args: &Args) -> CliResult<String> {
     let path = args.require("input")?;
@@ -77,7 +82,8 @@ fn run() -> CliResult<()> {
             write_or_print(args.flags_out(), &csv)
         }
         "knn" => {
-            let unknown = args.unknown_flags(&["input", "dim", "k", "algo", "seed", "edges-out"]);
+            let unknown =
+                args.unknown_flags(&["input", "dim", "k", "algo", "seed", "edges-out", "report"]);
             if !unknown.is_empty() {
                 return Err(format!("unknown flags: {}", unknown.join(", ")));
             }
@@ -90,10 +96,33 @@ fn run() -> CliResult<()> {
                 args.num_or("seed", 42)?,
             )?;
             eprintln!("{}", out.summary);
+            match args.get_or("report", "") {
+                "" => {}
+                p => {
+                    let json = out.report_json.as_deref().ok_or_else(|| {
+                        format!(
+                            "--report: algorithm '{}' does not produce a run report \
+                             (use parallel or simple)",
+                            args.get_or("algo", "parallel")
+                        )
+                    })?;
+                    std::fs::write(p, json).map_err(|e| format!("cannot write {p}: {e}"))?;
+                }
+            }
             match args.get_or("edges-out", "") {
                 "" => Ok(()),
                 p => write_or_print(Some(p), &out.edges_csv),
             }
+        }
+        "report" => {
+            let unknown = args.unknown_flags(&["input"]);
+            if !unknown.is_empty() {
+                return Err(format!("unknown flags: {}", unknown.join(", ")));
+            }
+            let input = read_input(&args)?;
+            let rendered = commands::report(&input)?;
+            print_pipe_safe(&rendered);
+            Ok(())
         }
         "separator" => {
             let input = read_input(&args)?;

@@ -7,7 +7,8 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use sepdc_core::{
     kdtree_all_knn, try_brute_force_knn, try_kdtree_all_knn, try_parallel_knn,
-    try_simple_parallel_knn, KnnDcConfig, KnnGraph, KnnResult, NeighborhoodSystem, SepdcError,
+    try_simple_parallel_knn, KnnDcConfig, KnnGraph, KnnResult, NeighborhoodSystem, RunReport,
+    SepdcError,
 };
 use sepdc_separator::{find_good_separator, SeparatorConfig};
 use sepdc_workloads::Workload;
@@ -59,6 +60,10 @@ pub struct KnnCommandOutput {
     pub edges_csv: String,
     /// Human-readable run summary.
     pub summary: String,
+    /// Serialized [`RunReport`] for the run, when the chosen algorithm
+    /// produces one (`parallel` and `simple`; `kdtree` and `brute` have no
+    /// instrumented recursion and yield `None`).
+    pub report_json: Option<String>,
 }
 
 /// `knn`: compute the k-NN graph of a point file with a chosen algorithm.
@@ -87,27 +92,45 @@ pub fn knn(
         // All algorithms run through their `try_*` variants: NaN-poisoned
         // files, `k = 0`, and any other invalid input surface as the typed
         // error's message instead of a panic.
-        let run: Result<(KnnResult, String), SepdcError> = match algo {
+        let run: Result<(KnnResult, String, Option<String>), SepdcError> = match algo {
             "parallel" => try_parallel_knn::<D, E>(&points, &cfg).map(|out| {
+                // Every fallback path is surfaced here: silent forced
+                // leaves or degenerate splits are exactly the conditions
+                // that erode the separator guarantees, so hiding them from
+                // the summary would mask a degraded run.
                 let extra = format!(
-                    ", depth {} rounds, {} fast / {} punts",
+                    ", depth {} rounds, {} fast / {} punts ({} threshold, {} marching), \
+                     {} forced leaves ({} degenerate splits, {} depth-capped)",
                     out.cost.depth,
                     out.stats.fast_corrections,
-                    out.stats.punts_threshold + out.stats.punts_marching
+                    out.stats.punts_threshold + out.stats.punts_marching,
+                    out.stats.punts_threshold,
+                    out.stats.punts_marching,
+                    out.stats.forced_leaves,
+                    out.stats.degenerate_splits,
+                    out.stats.depth_forced_leaves,
                 );
-                (out.knn, extra)
+                (out.knn, extra, Some(out.report.to_json()))
             }),
-            "simple" => try_simple_parallel_knn::<D, E>(&points, &cfg)
-                .map(|out| (out.knn, format!(", depth {} rounds", out.cost.depth))),
-            "kdtree" => try_kdtree_all_knn(&points, k).map(|r| (r, String::new())),
-            "brute" => try_brute_force_knn(&points, k).map(|r| (r, String::new())),
+            "simple" => try_simple_parallel_knn::<D, E>(&points, &cfg).map(|out| {
+                let extra = format!(
+                    ", depth {} rounds, {} forced leaves ({} degenerate splits, {} depth-capped)",
+                    out.cost.depth,
+                    out.stats.forced_leaves,
+                    out.stats.degenerate_splits,
+                    out.stats.depth_forced_leaves,
+                );
+                (out.knn, extra, Some(out.report.to_json()))
+            }),
+            "kdtree" => try_kdtree_all_knn(&points, k).map(|r| (r, String::new(), None)),
+            "brute" => try_brute_force_knn(&points, k).map(|r| (r, String::new(), None)),
             other => {
                 return Err(format!(
                     "unknown algorithm '{other}' (parallel, simple, kdtree, brute)"
                 ))
             }
         };
-        let (result, extra) = run.map_err(|e| e.to_string())?;
+        let (result, extra, report_json) = run.map_err(|e| e.to_string())?;
         let elapsed = t0.elapsed();
         let graph = KnnGraph::from_knn(&result);
         let edges: Vec<(u32, u32, f64)> = graph
@@ -125,9 +148,20 @@ pub fn knn(
         Ok(KnnCommandOutput {
             edges_csv: format_edges(&edges),
             summary,
+            report_json,
         })
     }
     with_dim!(dim, run(input, k, algo, seed))
+}
+
+/// `report`: pretty-print a previously saved run report (`sepdc knn
+/// --report out.json` output, or the per-case reports embedded in the
+/// benchmark JSON). Schema-version mismatches and malformed JSON surface
+/// as errors rather than partial output.
+pub fn report(text: &str) -> CliResult<String> {
+    RunReport::from_json(text)
+        .map(|r| r.render_human())
+        .map_err(|e| e.to_string())
 }
 
 /// `separator`: draw a good separator for a point file and report its
@@ -257,6 +291,68 @@ mod tests {
         let svg = figure(&pts, 1, 5).unwrap();
         assert!(svg.starts_with("<svg"));
         assert!(svg.contains("Figure 1"));
+    }
+
+    #[test]
+    fn knn_summary_surfaces_fallback_counters() {
+        // Satellite fix: degenerate splits, depth-capped leaves, and punt
+        // counters used to be computed and then dropped on the floor.
+        let pts = generate("uniform-cube", 400, 2, 9).unwrap();
+        let out = knn(&pts, None, 2, "parallel", 3).unwrap();
+        for needle in [
+            "fast",
+            "punts",
+            "threshold",
+            "marching",
+            "forced leaves",
+            "degenerate splits",
+            "depth-capped",
+        ] {
+            assert!(out.summary.contains(needle), "{}", out.summary);
+        }
+        let simple = knn(&pts, None, 2, "simple", 3).unwrap();
+        for needle in ["forced leaves", "degenerate splits", "depth-capped"] {
+            assert!(simple.summary.contains(needle), "{}", simple.summary);
+        }
+        // The brute/kdtree paths have no instrumented recursion.
+        assert!(knn(&pts, None, 2, "brute", 3)
+            .unwrap()
+            .report_json
+            .is_none());
+        assert!(knn(&pts, None, 2, "kdtree", 3)
+            .unwrap()
+            .report_json
+            .is_none());
+    }
+
+    #[test]
+    fn knn_report_json_is_a_valid_run_report() {
+        let pts = generate("clusters", 300, 3, 2).unwrap();
+        for (algo, name) in [("parallel", "parallel"), ("simple", "simple")] {
+            let out = knn(&pts, None, 2, algo, 7).unwrap();
+            let json = out.report_json.as_deref().expect(algo);
+            let rep = RunReport::from_json(json).unwrap();
+            assert_eq!(rep.algo, name);
+            assert_eq!(rep.n, 300);
+            assert_eq!(rep.k, 2);
+            assert!(rep.wall_ms > 0.0, "{algo}: wall time must be stamped");
+            assert!(!rep.phases.is_empty(), "{algo}: recording is on by default");
+            assert!(rep.counter("stats.base_leaves").unwrap() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn report_pretty_printer_round_trip() {
+        let pts = generate("uniform-cube", 250, 2, 4).unwrap();
+        let out = knn(&pts, None, 1, "parallel", 6).unwrap();
+        let rendered = report(out.report_json.as_deref().unwrap()).unwrap();
+        assert!(rendered.contains("run report v1"), "{rendered}");
+        assert!(rendered.contains("phase timings"), "{rendered}");
+        assert!(rendered.contains("per-depth histogram"), "{rendered}");
+        // Bad inputs are typed errors, not partial output.
+        assert!(report("not json").unwrap_err().contains("parse"));
+        let err = report("{\"run_report_version\": 99}").unwrap_err();
+        assert!(err.contains("99"), "{err}");
     }
 
     #[test]

@@ -129,6 +129,91 @@ fn separator_reports_to_stdout() {
 }
 
 #[test]
+fn knn_report_flag_then_pretty_printer() {
+    let dir = tmpdir("report");
+    let pts = dir.join("pts.csv");
+    let report = dir.join("run.json");
+
+    let out = bin()
+        .args([
+            "generate",
+            "--workload",
+            "uniform-cube",
+            "--n",
+            "500",
+            "--dim",
+            "2",
+            "--seed",
+            "11",
+            "--out",
+            pts.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let out = bin()
+        .args([
+            "knn",
+            "--input",
+            pts.to_str().unwrap(),
+            "--k",
+            "2",
+            "--algo",
+            "parallel",
+            "--report",
+            report.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Summary surfaces the fallback counters (satellite fix).
+    let summary = String::from_utf8_lossy(&out.stderr);
+    assert!(summary.contains("forced leaves"), "{summary}");
+    assert!(summary.contains("degenerate splits"), "{summary}");
+
+    let json = std::fs::read_to_string(&report).unwrap();
+    assert!(json.contains("\"run_report_version\": 1"), "{json}");
+    assert!(json.contains("\"phases\""), "{json}");
+    assert!(json.contains("\"depth\""), "{json}");
+
+    let out = bin()
+        .args(["report", "--input", report.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("run report v1"), "{text}");
+    assert!(text.contains("per-depth histogram"), "{text}");
+
+    // --report with an uninstrumented algorithm is a clean error.
+    let out = bin()
+        .args([
+            "knn",
+            "--input",
+            pts.to_str().unwrap(),
+            "--algo",
+            "brute",
+            "--report",
+            report.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("does not produce a run report"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn missing_input_is_a_clean_error() {
     let out = bin()
         .args(["knn", "--input", "/nonexistent/file.csv"])

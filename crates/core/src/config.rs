@@ -47,6 +47,13 @@ pub struct KnnDcConfig {
     pub max_depth: Option<usize>,
     /// Master seed; all randomness derives from it deterministically.
     pub seed: u64,
+    /// Whether to record the observability [`RunReport`](crate::RunReport):
+    /// wall-clock phase timings and per-depth histograms. `false` skips
+    /// every clock read and histogram update, leaving only a predicted
+    /// branch per event on the hot path; the returned report then carries
+    /// the (always-computed) stats/meter/cost counters with empty `phases`
+    /// and `depth` sections.
+    pub record: bool,
 }
 
 impl KnnDcConfig {
@@ -64,6 +71,7 @@ impl KnnDcConfig {
             parallel_cutoff: 2048,
             max_depth: None,
             seed: 0xC0FFEE,
+            record: true,
         }
     }
 

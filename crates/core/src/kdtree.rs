@@ -101,10 +101,13 @@ impl<'a, const D: usize> KdTree<'a, D> {
             return (self.nodes.len() - 1) as u32;
         }
         let mid = len / 2;
+        // total_cmp keeps the selection total even on NaN coordinates:
+        // KdTree::build is public and performs no input validation (only
+        // try_kdtree_all_knn does), so a partial_cmp().expect() here was a
+        // reachable panic. NaNs order after +inf under total_cmp, so they
+        // collect at the high end of the split instead of aborting.
         slice.select_nth_unstable_by(mid, |&a, &b| {
-            self.points[a as usize][axis]
-                .partial_cmp(&self.points[b as usize][axis])
-                .expect("non-finite coordinate")
+            self.points[a as usize][axis].total_cmp(&self.points[b as usize][axis])
         });
         let value = self.points[slice[mid] as usize][axis];
         let left = self.build_rec(ids, offset, start, start + mid, depth + 1);
@@ -394,6 +397,46 @@ mod tests {
             .within_radius(&Point::origin(), 1.0, u32::MAX)
             .is_empty());
         assert!(tree.is_empty());
+    }
+
+    #[test]
+    fn nan_coordinates_build_without_panicking() {
+        // Regression: the selection comparator used
+        // partial_cmp().expect("non-finite coordinate"), so the public,
+        // unvalidated KdTree::build panicked on NaN input. total_cmp keeps
+        // the build total; NaN points just land somewhere in the tree.
+        let mut pts = random_points::<2>(200, 5);
+        pts[17].0[0] = f64::NAN;
+        pts[101].0[1] = f64::NAN;
+        let tree = KdTree::build(&pts);
+        assert_eq!(tree.len(), 200);
+        // Queries over the finite points still work.
+        let nn = tree.knn(&pts[0], 1, 0);
+        assert_eq!(nn.len(), 1);
+        assert!(nn[0].dist_sq.is_finite());
+        // Infinities are handled the same way.
+        let mut pts_inf = random_points::<3>(100, 6);
+        pts_inf[3].0[2] = f64::INFINITY;
+        let _ = KdTree::build(&pts_inf);
+    }
+
+    #[test]
+    fn nan_coordinates_yield_typed_error_not_panic() {
+        // The validated entry point reports the offender's index.
+        let mut pts = random_points::<2>(50, 7);
+        pts[23].0[1] = f64::NAN;
+        assert_eq!(
+            try_kdtree_all_knn(&pts, 2).err(),
+            Some(SepdcError::NonFinitePoint { idx: 23 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "kdtree_all_knn: point 23 has a non-finite")]
+    fn infallible_wrapper_panics_with_typed_message() {
+        let mut pts = random_points::<2>(50, 7);
+        pts[23].0[1] = f64::NAN;
+        let _ = kdtree_all_knn(&pts, 2);
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod parallel;
 pub mod partition_tree;
 pub mod punting;
 pub mod query;
+pub mod report;
 mod shared;
 pub mod simple_parallel;
 pub mod validate;
@@ -62,6 +63,9 @@ pub use neighborhood::NeighborhoodSystem;
 pub use parallel::{parallel_knn, try_parallel_knn, ParallelDcOutput, ParallelDcStats};
 pub use partition_tree::{march_balls, MarchOutcome, PartitionNode, PartitionTree};
 pub use query::{QueryTree, QueryTreeConfig, QueryTreeStats};
+pub use report::{
+    DepthRow, Phase, PhaseSample, ReportError, RunRecorder, RunReport, RUN_REPORT_VERSION,
+};
 pub use simple_parallel::{
     simple_parallel_knn, try_simple_parallel_knn, SimpleDcOutput, SimpleDcStats,
 };

@@ -22,6 +22,7 @@ use crate::correction::{collect_crossing, correct_unbounded, correct_via_query, 
 use crate::error::{validate_points, SepdcError};
 use crate::knn::{brute_list_into, KnnResult};
 use crate::partition_tree::{march_arena, partition_in_place, PartitionNode, PartitionTree};
+use crate::report::{cost_counters, meter_counters, Phase, RunRecorder, RunReport};
 use crate::shared::SharedLists;
 use sepdc_geom::point::Point;
 use sepdc_scan::cost::{CostMeter, MeterSnapshot};
@@ -109,6 +110,11 @@ pub struct ParallelDcOutput<const D: usize> {
     pub meter: MeterSnapshot,
     /// The partition tree (reusable for queries and the experiments).
     pub tree: PartitionTree<D>,
+    /// The merged observability artifact: config echo, phase timings,
+    /// per-depth histograms, and every counter above under one versioned
+    /// schema. Phase timings and the depth histogram are empty when
+    /// [`KnnDcConfig::record`] is `false`.
+    pub report: RunReport,
 }
 
 struct Ctx<'a, const D: usize> {
@@ -116,6 +122,7 @@ struct Ctx<'a, const D: usize> {
     lists: &'a SharedLists,
     cfg: &'a KnnDcConfig,
     meter: &'a CostMeter,
+    obs: &'a RunRecorder,
     base: usize,
     /// Depth at which the recursion stops subdividing.
     depth_limit: usize,
@@ -156,17 +163,21 @@ pub fn try_parallel_knn<const D: usize, const E: usize>(
     assert_eq!(E, D + 1, "parallel_knn requires E = D + 1");
     cfg.validate()?;
     validate_points(points)?;
+    let t_run = std::time::Instant::now();
     let n = points.len();
     let lists = SharedLists::new(n, cfg.k);
     let meter = CostMeter::new();
     let base = cfg.resolve_base_case(n, D);
+    let depth_limit = cfg.resolve_depth_limit(n);
+    let obs = RunRecorder::new(cfg.record, depth_limit);
     let ctx = Ctx {
         points,
         lists: &lists,
         cfg,
         meter: &meter,
+        obs: &obs,
         base,
-        depth_limit: cfg.resolve_depth_limit(n),
+        depth_limit,
         strict_depth: cfg.max_depth.is_some(),
     };
     // The permutation arena: the recursion partitions this buffer in
@@ -174,21 +185,132 @@ pub fn try_parallel_knn<const D: usize, const E: usize>(
     // per-level id-set clones.
     let mut perm: Vec<u32> = (0..n as u32).collect();
     let (nodes, cost, stats) = rec::<D, E>(&ctx, &mut perm, cfg.seed, 0)?;
+    let snapshot = meter.snapshot();
+    let report = build_report::<D>(cfg, n, base, depth_limit, &stats, &snapshot, &cost, &obs)
+        .finish(t_run.elapsed());
     Ok(ParallelDcOutput {
         knn: lists.into_result(),
         cost,
         stats,
-        meter: meter.snapshot(),
+        meter: snapshot,
         tree: PartitionTree::from_parts(nodes, perm),
+        report,
     })
+}
+
+/// Assemble the [`RunReport`] for one Section 6 run; the caller stamps the
+/// total wall time via [`RunReport::finish`].
+#[allow(clippy::too_many_arguments)]
+fn build_report<const D: usize>(
+    cfg: &KnnDcConfig,
+    n: usize,
+    base: usize,
+    depth_limit: usize,
+    stats: &ParallelDcStats,
+    meter: &MeterSnapshot,
+    cost: &CostProfile,
+    obs: &RunRecorder,
+) -> RunReport {
+    let mut counters = vec![
+        ("stats.height".to_string(), stats.height as f64),
+        (
+            "stats.total_crossing".to_string(),
+            stats.total_crossing as f64,
+        ),
+        (
+            "stats.max_node_crossing".to_string(),
+            stats.max_node_crossing as f64,
+        ),
+        (
+            "stats.max_crossing_vs_threshold".to_string(),
+            stats.max_crossing_vs_threshold,
+        ),
+        (
+            "stats.fast_corrections".to_string(),
+            stats.fast_corrections as f64,
+        ),
+        (
+            "stats.punts_threshold".to_string(),
+            stats.punts_threshold as f64,
+        ),
+        (
+            "stats.punts_marching".to_string(),
+            stats.punts_marching as f64,
+        ),
+        (
+            "stats.max_marching_ratio".to_string(),
+            stats.max_marching_ratio,
+        ),
+        ("stats.base_leaves".to_string(), stats.base_leaves as f64),
+        (
+            "stats.forced_leaves".to_string(),
+            stats.forced_leaves as f64,
+        ),
+        (
+            "stats.degenerate_splits".to_string(),
+            stats.degenerate_splits as f64,
+        ),
+        (
+            "stats.depth_forced_leaves".to_string(),
+            stats.depth_forced_leaves as f64,
+        ),
+        ("stats.candidates".to_string(), stats.candidates as f64),
+    ];
+    counters.extend(meter_counters(meter));
+    counters.extend(cost_counters(cost));
+    RunReport {
+        version: crate::report::RUN_REPORT_VERSION,
+        algo: "parallel".to_string(),
+        dim: D,
+        n,
+        k: cfg.k,
+        seed: cfg.seed,
+        threads: rayon::current_num_threads(),
+        wall_ms: 0.0,
+        config: config_echo(cfg, base, depth_limit, D),
+        phases: obs.phases(),
+        counters,
+        depth: obs.depth_rows(),
+    }
+}
+
+/// Config echo shared by the Section 5 and Section 6 reports: the resolved
+/// tunables, each as a named `f64`, in a fixed order.
+pub(crate) fn config_echo(
+    cfg: &KnnDcConfig,
+    base: usize,
+    depth_limit: usize,
+    d: usize,
+) -> Vec<(String, f64)> {
+    vec![
+        ("k".to_string(), cfg.k as f64),
+        ("dim".to_string(), d as f64),
+        ("base_case".to_string(), base as f64),
+        ("mu_epsilon".to_string(), cfg.mu_epsilon),
+        ("punt_slack".to_string(), cfg.punt_slack),
+        ("eta".to_string(), cfg.eta),
+        ("marching_slack".to_string(), cfg.marching_slack),
+        ("separator.epsilon".to_string(), cfg.separator.epsilon),
+        ("separator.tol".to_string(), cfg.separator.tol),
+        (
+            "separator.max_attempts".to_string(),
+            cfg.separator.max_attempts as f64,
+        ),
+        ("query.leaf_size".to_string(), cfg.query.leaf_size as f64),
+        ("parallel_cutoff".to_string(), cfg.parallel_cutoff as f64),
+        ("depth_limit".to_string(), depth_limit as f64),
+        ("record".to_string(), f64::from(u8::from(cfg.record))),
+    ]
 }
 
 fn leaf_case<const D: usize>(
     ctx: &Ctx<'_, D>,
     ids: &[u32],
+    depth: usize,
     forced: bool,
 ) -> (Vec<PartitionNode<D>>, CostProfile, ParallelDcStats) {
     let m = ids.len();
+    let t0 = ctx.obs.start();
     // Write each leaf list straight into the shared store through one
     // reused scratch buffer: allocating a full n-point KnnResult here
     // costs O(n) per leaf, which dominates the whole recursion
@@ -200,6 +322,8 @@ fn leaf_case<const D: usize>(
         ctx.lists.set_list(i as usize, &scratch);
     }
     ctx.meter.add_distance_evals((m * m) as u64);
+    ctx.obs.stop(Phase::LeafSolve, t0);
+    ctx.obs.leaf(depth);
     (
         // Leaf offsets are relative to this call's own slice; ancestors
         // shift them as they merge child arenas.
@@ -223,8 +347,9 @@ fn rec<const D: usize, const E: usize>(
     depth: usize,
 ) -> RecResult<D> {
     let m = ids.len();
+    ctx.obs.node(depth);
     if m <= ctx.base {
-        return Ok(leaf_case(ctx, ids, false));
+        return Ok(leaf_case(ctx, ids, depth, false));
     }
     if depth >= ctx.depth_limit {
         // A split sequence of accepted δ-splits cannot reach this depth;
@@ -237,29 +362,33 @@ fn rec<const D: usize, const E: usize>(
                 limit: ctx.depth_limit,
             });
         }
-        let mut out = leaf_case(ctx, ids, true);
+        let mut out = leaf_case(ctx, ids, depth, true);
         out.2.depth_forced_leaves = 1;
         return Ok(out);
     }
+    let t_split = ctx.obs.start();
     let mut rng = rand::SeedableRng::seed_from_u64(seed);
     let rng: &mut rand_chacha::ChaCha8Rng = &mut rng;
     let centers: Vec<Point<D>> = ids.iter().map(|&i| ctx.points[i as usize]).collect();
     let Some(found) = find_good_separator::<D, E, _>(&centers, &ctx.cfg.separator, rng) else {
-        return Ok(leaf_case(ctx, ids, true));
+        ctx.obs.stop(Phase::Split, t_split);
+        return Ok(leaf_case(ctx, ids, depth, true));
     };
     ctx.meter.add_candidates(found.attempts as u64);
     ctx.meter.add_accept();
+    ctx.obs.add_candidates(depth, found.attempts as u64);
     let sep = found.separator;
 
     // Carve this call's id slice in place: interior side to the front.
     let nl = partition_in_place(ids, |i| sep.side(&ctx.points[i as usize]).routes_interior());
+    ctx.obs.stop(Phase::Split, t_split);
     if nl == 0 || nl == m {
         // The separator was *accepted* — its tolerance-counted split looked
         // balanced — but strict-side routing sent every point to one side
         // (all of them within `tol` of the surface). Recursing here would
         // re-run this call on an unshrunk slice forever; fall back to a
         // brute-force leaf instead.
-        let mut out = leaf_case(ctx, ids, true);
+        let mut out = leaf_case(ctx, ids, depth, true);
         out.2.degenerate_splits = 1;
         return Ok(out);
     }
@@ -312,12 +441,15 @@ fn rec<const D: usize, const E: usize>(
     // unchanged, so shared reborrows of the two halves are exactly the
     // left/right subsets.
     let (left, right) = ids.split_at(nl);
+    let t_cc = ctx.obs.start();
     let (cross_l, unbounded_l) = collect_crossing(ctx.points, ctx.lists, left, &sep);
     let (cross_r, unbounded_r) = collect_crossing(ctx.points, ctx.lists, right, &sep);
     correct_unbounded(ctx.points, ctx.lists, &unbounded_l, right);
     correct_unbounded(ctx.points, ctx.lists, &unbounded_r, left);
+    ctx.obs.stop(Phase::CollectCrossing, t_cc);
 
     let crossing_total = cross_l.len() + cross_r.len();
+    ctx.obs.add_crossing(depth, crossing_total as u64);
     let threshold = ctx.cfg.punt_threshold(m, D);
     let crossing_ratio = crossing_total as f64 / threshold;
 
@@ -333,18 +465,24 @@ fn rec<const D: usize, const E: usize>(
         ctx.meter.add_punt();
         ctx.meter.add_query_build();
         stats.punts_threshold += 1;
+        ctx.obs.punt(depth);
         let mut crossing = cross_l;
         crossing.extend(cross_r);
-        correct_via_query::<D, E>(ctx.points, ctx.lists, ids, &crossing, ctx.cfg.query, qseed)
+        ctx.obs.time(Phase::PuntCorrection, || {
+            correct_via_query::<D, E>(ctx.points, ctx.lists, ids, &crossing, ctx.cfg.query, qseed)
+        })
     } else {
         // Fast Correction: march each side's crossers down the opposite
         // subtree (already merged into `nodes`, leaf ranges indexing this
         // call's id slice).
         let limit = ctx.cfg.marching_limit(m);
-        match try_fast_correction(ctx, &cross_l, &cross_r, &nodes, l_root, r_root, ids, limit) {
+        match ctx.obs.time(Phase::FastCorrection, || {
+            try_fast_correction(ctx, &cross_l, &cross_r, &nodes, l_root, r_root, ids, limit)
+        }) {
             Some((work, max_ratio)) => {
                 ctx.meter.add_fast_correction();
                 stats.fast_corrections += 1;
+                ctx.obs.fast_correction(depth);
                 stats.max_marching_ratio = stats.max_marching_ratio.max(max_ratio);
                 // Lemma 6.3: constant rounds with enough processors — the
                 // march, the gather, and the k-closest fix.
@@ -359,16 +497,19 @@ fn rec<const D: usize, const E: usize>(
                 ctx.meter.add_punt();
                 ctx.meter.add_query_build();
                 stats.punts_marching += 1;
+                ctx.obs.punt(depth);
                 let mut crossing = cross_l;
                 crossing.extend(cross_r);
-                correct_via_query::<D, E>(
-                    ctx.points,
-                    ctx.lists,
-                    ids,
-                    &crossing,
-                    ctx.cfg.query,
-                    qseed,
-                )
+                ctx.obs.time(Phase::PuntCorrection, || {
+                    correct_via_query::<D, E>(
+                        ctx.points,
+                        ctx.lists,
+                        ids,
+                        &crossing,
+                        ctx.cfg.query,
+                        qseed,
+                    )
+                })
             }
         }
     };
@@ -691,6 +832,73 @@ mod tests {
             .same_distances(&brute_force_knn(&pts, 1), 1e-9)
             .unwrap();
         assert_eq!(out.stats.depth_forced_leaves, 0);
+    }
+
+    #[test]
+    fn run_report_is_populated_and_consistent() {
+        let pts = Workload::UniformCube.generate::<2>(3000, 30);
+        let cfg = KnnDcConfig::new(2);
+        let out = parallel_knn::<2, 3>(&pts, &cfg);
+        let r = &out.report;
+        assert_eq!(r.version, crate::report::RUN_REPORT_VERSION);
+        assert_eq!(r.algo, "parallel");
+        assert_eq!((r.dim, r.n, r.k), (2, 3000, 2));
+        assert!(r.wall_ms > 0.0);
+        assert!(r.threads >= 1);
+        // Counters mirror the structural stats, the meter, and the cost
+        // profile under their prefixes.
+        assert_eq!(
+            r.counter("stats.fast_corrections"),
+            Some(out.stats.fast_corrections as f64)
+        );
+        assert_eq!(
+            r.counter("meter.distance_evals"),
+            Some(out.meter.distance_evals as f64)
+        );
+        assert_eq!(r.counter("cost.depth"), Some(out.cost.depth as f64));
+        // Phase timings: one leaf-solve interval per base-case leaf, and
+        // every internal node timed a split.
+        assert_eq!(
+            r.phase("leaf-solve").unwrap().calls as usize,
+            out.stats.base_leaves
+        );
+        assert!(r.phase("split").unwrap().calls > 0);
+        // Depth histogram: exactly one root, and the per-depth sums agree
+        // with the whole-run stats.
+        assert_eq!(r.depth[0].nodes, 1);
+        let sum = |f: fn(&crate::report::DepthRow) -> u64| -> u64 { r.depth.iter().map(f).sum() };
+        assert_eq!(sum(|d| d.leaves) as usize, out.stats.base_leaves);
+        assert_eq!(
+            sum(|d| d.punts),
+            out.stats.punts_threshold + out.stats.punts_marching
+        );
+        assert_eq!(sum(|d| d.fast_corrections), out.stats.fast_corrections);
+        assert_eq!(sum(|d| d.crossing), out.stats.total_crossing);
+        assert_eq!(sum(|d| d.candidates), out.stats.candidates);
+        // Config echo carries the resolved tunables.
+        assert!(r.config.iter().any(|(name, v)| name == "k" && *v == 2.0));
+        // The artifact round-trips through its own serializer.
+        let back = crate::report::RunReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(&back, r);
+    }
+
+    #[test]
+    fn record_disabled_skips_phases_and_histograms() {
+        let pts = Workload::UniformCube.generate::<2>(600, 31);
+        let cfg = KnnDcConfig {
+            record: false,
+            ..KnnDcConfig::new(1)
+        };
+        let out = parallel_knn::<2, 3>(&pts, &cfg);
+        assert!(out.report.phases.is_empty());
+        assert!(out.report.depth.is_empty());
+        // The always-computed counters and wall time are still reported.
+        assert!(out.report.wall_ms > 0.0);
+        assert!(out.report.counter("stats.base_leaves").unwrap() > 0.0);
+        // And the result itself is unaffected.
+        out.knn
+            .same_distances(&brute_force_knn(&pts, 1), 1e-9)
+            .unwrap();
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! This module simulates `RD(n)` exactly so EXP-6 can compare the empirical
 //! tail with the lemma's bound.
 
+use crate::report::RunRecorder;
 use rand::Rng;
 
 /// Weight functions for a probabilistic `(a, b)`-tree.
@@ -63,6 +64,27 @@ impl WeightFns for ConstLog {
 /// # Panics
 /// Panics unless `n` is a power of two and at least 2.
 pub fn sample_rd<W: WeightFns, R: Rng>(n: usize, w: &W, rng: &mut R) -> f64 {
+    sample_rd_recorded(n, w, rng, &RunRecorder::disabled())
+}
+
+/// [`sample_rd`] with an observability recorder: every internal node is
+/// counted at its level (`RunRecorder::node`), and every punt draw —
+/// the probability-`1/m` event that takes the `b(m)` weight — is recorded
+/// as a punt event at that level, giving EXP-6 the per-depth punt
+/// histogram the Punting Lemma is about.
+///
+/// Draw order is identical to [`sample_rd`] (which delegates here with a
+/// disabled recorder), so both produce the same value from the same rng
+/// state.
+///
+/// # Panics
+/// Panics unless `n` is a power of two and at least 2.
+pub fn sample_rd_recorded<W: WeightFns, R: Rng>(
+    n: usize,
+    w: &W,
+    rng: &mut R,
+    rec: &RunRecorder,
+) -> f64 {
     assert!(
         n.is_power_of_two() && n >= 2,
         "n must be a power of two ≥ 2"
@@ -71,11 +93,13 @@ pub fn sample_rd<W: WeightFns, R: Rng>(n: usize, w: &W, rng: &mut R) -> f64 {
     // (leaves carry no weight in the paper's definition — weights sit on
     // the internal nodes of the recursion).
     let mut max_depth: f64 = 0.0;
-    // Stack of (subtree_leaves, accumulated weight above this node).
-    let mut stack: Vec<(usize, f64)> = vec![(n, 0.0)];
-    while let Some((m, acc)) = stack.pop() {
+    // Stack of (subtree_leaves, accumulated weight above this node, level).
+    let mut stack: Vec<(usize, f64, usize)> = vec![(n, 0.0, 0)];
+    while let Some((m, acc, level)) = stack.pop() {
+        rec.node(level);
         // Node weight: a(m) w.p. 1 - 1/m, else b(m).
         let weight = if rng.gen_range(0.0..1.0) < 1.0 / m as f64 {
+            rec.punt(level);
             w.b(m)
         } else {
             w.a(m)
@@ -85,8 +109,8 @@ pub fn sample_rd<W: WeightFns, R: Rng>(n: usize, w: &W, rng: &mut R) -> f64 {
             // Children are leaves; the path ends here.
             max_depth = max_depth.max(total);
         } else {
-            stack.push((m / 2, total));
-            stack.push((m / 2, total));
+            stack.push((m / 2, total, level + 1));
+            stack.push((m / 2, total, level + 1));
         }
     }
     max_depth
@@ -241,6 +265,31 @@ mod tests {
         let w = ConstLog(2.0);
         assert_eq!(w.a(100), 2.0);
         assert!((w.b(8) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recorded_variant_matches_plain_and_profiles_levels() {
+        // Same rng state → identical RD value (sample_rd delegates with a
+        // disabled recorder, so the draw order cannot diverge).
+        let n = 256usize;
+        let levels = (n as f64).log2() as usize; // internal levels: 0..=7
+        let mut rng_a = ChaCha8Rng::seed_from_u64(6);
+        let mut rng_b = ChaCha8Rng::seed_from_u64(6);
+        let rec = RunRecorder::new(true, levels);
+        let plain = sample_rd(n, &ZeroLog, &mut rng_a);
+        let recorded = sample_rd_recorded(n, &ZeroLog, &mut rng_b, &rec);
+        assert_eq!(plain, recorded);
+        // The complete binary tree has 2^level internal nodes per level,
+        // down to the m = 2 level (n/2 nodes).
+        let rows = rec.depth_rows();
+        assert_eq!(rows.len(), levels);
+        for (level, row) in rows.iter().enumerate() {
+            assert_eq!(row.nodes, 1 << level, "level {level}");
+            assert!(row.punts <= row.nodes, "level {level}");
+        }
+        // Punts exist somewhere: the m = 2 level alone flips b() with
+        // probability 1/2 per node, 128 nodes here.
+        assert!(rows.iter().map(|r| r.punts).sum::<u64>() > 0);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! rounds w.h.p. (Theorem 3.1).
 
 use crate::error::SepdcError;
+use crate::report::{cost_counters, Phase, RunRecorder, RunReport};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use sepdc_geom::ball::Ball;
@@ -35,6 +36,12 @@ pub struct QueryTreeConfig {
     pub separator: SeparatorConfig,
     /// Subtree size below which construction stops forking rayon tasks.
     pub parallel_cutoff: usize,
+    /// Whether to record build phase timings and the per-depth histogram
+    /// into [`QueryTree::run_report`]. Defaults to `false`: the Section 5/6
+    /// punt paths build throwaway query trees whose time is already
+    /// attributed to their caller's `punt-correction` phase, so per-node
+    /// instrumentation inside those builds would only add overhead.
+    pub record: bool,
 }
 
 impl Default for QueryTreeConfig {
@@ -43,6 +50,7 @@ impl Default for QueryTreeConfig {
             leaf_size: 48,
             separator: SeparatorConfig::default(),
             parallel_cutoff: 4096,
+            record: false,
         }
     }
 }
@@ -85,11 +93,13 @@ pub struct QueryTree<const D: usize> {
     balls: Vec<Ball<D>>,
     stats: QueryTreeStats,
     cost: CostProfile,
+    report: RunReport,
 }
 
 struct BuildCtx<'a, const D: usize> {
     balls: &'a [Ball<D>],
     cfg: &'a QueryTreeConfig,
+    obs: &'a RunRecorder,
 }
 
 /// Outcome of one recursive build: node plus accumulated stats/cost.
@@ -143,14 +153,68 @@ impl<const D: usize> QueryTree<D> {
         {
             return Err(SepdcError::NonFiniteBall { idx });
         }
+        let t_run = std::time::Instant::now();
         let ids: Vec<u32> = (0..balls.len() as u32).collect();
-        let ctx = BuildCtx { balls, cfg: &cfg };
-        let built = build_rec::<D, E>(&ctx, ids, seed);
+        // Depth cap: accepted δ-splits keep the height O(log n); the
+        // recorder clamps anything deeper into its last cell.
+        let depth_cap = 8 * ((balls.len().max(2) as f64).log2().ceil() as usize) + 64;
+        let obs = RunRecorder::new(cfg.record, depth_cap);
+        let ctx = BuildCtx {
+            balls,
+            cfg: &cfg,
+            obs: &obs,
+        };
+        let built = build_rec::<D, E>(&ctx, ids, seed, 0);
+        let mut counters = vec![
+            ("stats.height".to_string(), built.stats.height as f64),
+            ("stats.leaves".to_string(), built.stats.leaves as f64),
+            ("stats.internals".to_string(), built.stats.internals as f64),
+            (
+                "stats.stored_balls".to_string(),
+                built.stats.stored_balls as f64,
+            ),
+            (
+                "stats.candidates".to_string(),
+                built.stats.candidates as f64,
+            ),
+            ("stats.fallbacks".to_string(), built.stats.fallbacks as f64),
+            (
+                "stats.forced_leaves".to_string(),
+                built.stats.forced_leaves as f64,
+            ),
+        ];
+        counters.extend(cost_counters(&built.cost));
+        let report = RunReport {
+            version: crate::report::RUN_REPORT_VERSION,
+            algo: "query-build".to_string(),
+            dim: D,
+            n: balls.len(),
+            k: 0,
+            seed,
+            threads: rayon::current_num_threads(),
+            wall_ms: 0.0,
+            config: vec![
+                ("leaf_size".to_string(), cfg.leaf_size as f64),
+                ("parallel_cutoff".to_string(), cfg.parallel_cutoff as f64),
+                ("separator.epsilon".to_string(), cfg.separator.epsilon),
+                ("separator.tol".to_string(), cfg.separator.tol),
+                (
+                    "separator.max_attempts".to_string(),
+                    cfg.separator.max_attempts as f64,
+                ),
+                ("record".to_string(), f64::from(u8::from(cfg.record))),
+            ],
+            phases: obs.phases(),
+            counters,
+            depth: obs.depth_rows(),
+        }
+        .finish(t_run.elapsed());
         Ok(QueryTree {
             root: built.node,
             balls: balls.to_vec(),
             stats: built.stats,
             cost: built.cost,
+            report,
         })
     }
 
@@ -236,6 +300,16 @@ impl<const D: usize> QueryTree<D> {
         self.cost
     }
 
+    /// The construction's [`RunReport`] (`algo = "query-build"`). The
+    /// per-depth histogram's `crossing` column counts the ball references
+    /// *duplicated* into both subtrees at each level — exactly the crossing
+    /// balls `B_O(S)` whose duplication drives the Lemma 3.1 space bound.
+    /// Phase timings and the histogram are recorded only when
+    /// [`QueryTreeConfig::record`] is set.
+    pub fn run_report(&self) -> &RunReport {
+        &self.report
+    }
+
     /// Number of balls indexed.
     pub fn len(&self) -> usize {
         self.balls.len()
@@ -280,26 +354,33 @@ fn build_rec<const D: usize, const E: usize>(
     ctx: &BuildCtx<'_, D>,
     ids: Vec<u32>,
     seed: u64,
+    depth: usize,
 ) -> Built<D> {
     let m = ids.len();
+    ctx.obs.node(depth);
     if m <= ctx.cfg.leaf_size {
+        ctx.obs.leaf(depth);
         return Built {
             node: QNode::Leaf { ball_ids: ids },
             stats: leaf_stats(m, false),
             cost: CostProfile::round(m as u64),
         };
     }
+    let t_split = ctx.obs.start();
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let centers: Vec<Point<D>> = ids.iter().map(|&i| ctx.balls[i as usize].center).collect();
     let found = find_good_separator::<D, E, _>(&centers, &ctx.cfg.separator, &mut rng);
     let Some(found) = found else {
         // Unsplittable (e.g. all centers identical): oversized leaf.
+        ctx.obs.stop(Phase::Split, t_split);
+        ctx.obs.leaf(depth);
         return Built {
             node: QNode::Leaf { ball_ids: ids },
             stats: leaf_stats(m, true),
             cost: CostProfile::round(m as u64),
         };
     };
+    ctx.obs.add_candidates(depth, found.attempts as u64);
     let sep = found.separator;
     // Route balls: closed-interior contact goes left, closed-exterior goes
     // right; crossers go both ways (B₀ = B_I ∪ B_O, B₁ = B_E ∪ B_O).
@@ -317,16 +398,22 @@ fn build_rec<const D: usize, const E: usize>(
             right_ids.push(i);
         }
     }
+    ctx.obs.stop(Phase::Split, t_split);
     if left_ids.len() >= m || right_ids.len() >= m {
         // No progress (every ball crosses): oversized leaf. With k-ply
         // systems and good separators this fires only on adversarial
         // degenerate inputs.
+        ctx.obs.leaf(depth);
         return Built {
             node: QNode::Leaf { ball_ids: ids },
             stats: leaf_stats(m, true),
             cost: CostProfile::round(m as u64),
         };
     }
+    // Ball references duplicated into both subtrees = the crossing set
+    // B_O(S) at this node.
+    ctx.obs
+        .add_crossing(depth, (left_ids.len() + right_ids.len() - m) as u64);
     let fallback = found.outcome == SearchOutcome::Fallback;
     let attempts = found.attempts as u64;
     let (lseed, rseed) = (seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1), {
@@ -334,13 +421,13 @@ fn build_rec<const D: usize, const E: usize>(
     });
     let (lb, rb) = if m > ctx.cfg.parallel_cutoff {
         rayon::join(
-            || build_rec::<D, E>(ctx, left_ids, lseed),
-            || build_rec::<D, E>(ctx, right_ids, rseed),
+            || build_rec::<D, E>(ctx, left_ids, lseed, depth + 1),
+            || build_rec::<D, E>(ctx, right_ids, rseed, depth + 1),
         )
     } else {
         (
-            build_rec::<D, E>(ctx, left_ids, lseed),
-            build_rec::<D, E>(ctx, right_ids, rseed),
+            build_rec::<D, E>(ctx, left_ids, lseed, depth + 1),
+            build_rec::<D, E>(ctx, right_ids, rseed, depth + 1),
         )
     };
     // Cost: the candidate rounds plus one scan (the split) at this node,
@@ -498,6 +585,41 @@ mod tests {
         assert!(cost.separator_candidates >= stats.internals as u64);
         // Work is near-linear-ish: O(n log n) with small constants here.
         assert!(cost.work < 80 * 2000 * 11);
+    }
+
+    #[test]
+    fn build_report_records_depth_profile_when_enabled() {
+        let (_, sys) = knn_system(2000, 1, 9);
+        let cfg = QueryTreeConfig {
+            record: true,
+            ..QueryTreeConfig::default()
+        };
+        let tree = QueryTree::build::<3>(sys.balls(), cfg, 17);
+        let r = tree.run_report();
+        assert_eq!(r.algo, "query-build");
+        assert_eq!(r.n, 2000);
+        assert!(r.wall_ms > 0.0);
+        // One root; per-level node totals equal internals + leaves.
+        assert_eq!(r.depth[0].nodes, 1);
+        let stats = tree.stats();
+        let nodes: u64 = r.depth.iter().map(|d| d.nodes).sum();
+        assert_eq!(nodes as usize, stats.internals + stats.leaves);
+        let leaves: u64 = r.depth.iter().map(|d| d.leaves).sum();
+        assert_eq!(leaves as usize, stats.leaves);
+        // Duplicated (crossing) references account exactly for the space
+        // blow-up beyond n.
+        let crossing: u64 = r.depth.iter().map(|d| d.crossing).sum();
+        assert_eq!(crossing as usize, stats.stored_balls - 2000);
+        assert!(r.phase("split").unwrap().calls >= stats.internals as u64);
+        assert_eq!(r.counter("stats.leaves"), Some(stats.leaves as f64));
+        // Default config records nothing but still reports counters.
+        let quiet = QueryTree::build::<3>(sys.balls(), QueryTreeConfig::default(), 17);
+        assert!(quiet.run_report().depth.is_empty());
+        assert!(quiet.run_report().phases.is_empty());
+        assert_eq!(
+            quiet.run_report().counter("stats.leaves"),
+            Some(stats.leaves as f64)
+        );
     }
 
     #[test]

@@ -29,7 +29,25 @@ pub(crate) struct SharedLists {
     /// concurrent merges may target a row, this value only decreases, so a
     /// stale read can only *over-admit* a candidate (which the locked merge
     /// then rejects) — never wrongly reject one.
+    ///
+    /// [`Self::set_list`] *can* raise the value back to `INFINITY`
+    /// (overwriting a full row with a short list), so the monotonicity
+    /// above holds only because of the call-window discipline: `set_list`
+    /// runs exclusively in leaf base-cases, and every `merge_candidate`
+    /// happens during corrections at an *ancestor* node, i.e. after
+    /// `rayon::join` on the subtree containing the leaf has returned.
+    /// `join`'s happens-before edge orders the leaf's `set_list` before any
+    /// merge that can target the row, so no merge window ever observes a
+    /// raise. The `merged` flags below turn a violation of that discipline
+    /// into a debug panic instead of a silent wrong-reject race.
     radius_bits: Vec<AtomicU64>,
+    /// Debug builds only: set once row `i` has received any
+    /// `merge_candidate` attempt (even a fast-rejected one — the reject
+    /// consumed the cached radius). `set_list` asserts the flag is still
+    /// clear, pinning the "set_list strictly precedes the row's merge
+    /// window" invariant at runtime.
+    #[cfg(debug_assertions)]
+    merged: Vec<AtomicBool>,
 }
 
 // SAFETY: every access to a row of `entries` happens while holding that
@@ -56,6 +74,8 @@ impl SharedLists {
             radius_bits: (0..n)
                 .map(|_| AtomicU64::new(f64::INFINITY.to_bits()))
                 .collect(),
+            #[cfg(debug_assertions)]
+            merged: (0..n).map(|_| AtomicBool::new(false)).collect(),
         }
     }
 
@@ -89,7 +109,20 @@ impl SharedLists {
     }
 
     /// Replace the list of point `i` (base-case solve); truncates to `k`.
+    ///
+    /// Must be called *before* any [`Self::merge_candidate`] targets row
+    /// `i`: a short list resets the cached radius to `INFINITY`, which
+    /// would break the only-decreases contract the lock-free fast reject
+    /// relies on if a merge window were already open. The recursion
+    /// guarantees this ordering structurally (leaf solves happen-before
+    /// ancestor corrections via `rayon::join`); debug builds assert it.
     pub(crate) fn set_list(&self, i: usize, list: &[Neighbor]) {
+        #[cfg(debug_assertions)]
+        debug_assert!(
+            !self.merged[i].load(Ordering::Relaxed),
+            "SharedLists::set_list on row {i} after merge_candidate opened its merge window; \
+             this may raise the cached radius mid-race and break the fast-reject invariant"
+        );
         let m = list.len().min(self.k);
         self.lock(i);
         let row = unsafe { self.row_mut(i) };
@@ -113,6 +146,11 @@ impl SharedLists {
     /// Offer a candidate; same semantics as [`KnnResult::merge_candidate`].
     pub(crate) fn merge_candidate(&self, i: usize, j: u32, dist_sq: f64) -> bool {
         debug_assert_ne!(i as u32, j);
+        // Mark the row's merge window open before the fast reject: even a
+        // rejected offer consumed the cached radius, so a later set_list
+        // raising it would already be a (debug-checked) ordering violation.
+        #[cfg(debug_assertions)]
+        self.merged[i].store(true, Ordering::Relaxed);
         // Lock-free fast reject: strictly worse than the cached tail
         // distance can never be inserted (the cache only shrinks while
         // merges race, so over-admission is the only possible staleness).
@@ -269,6 +307,75 @@ mod tests {
             }
         }
         assert_eq!(got.neighbors(0), oracle.neighbors(0));
+    }
+
+    /// Pin the call-window invariant: overwriting a row *after* its merge
+    /// window opened could raise the cached radius back to `INFINITY`
+    /// mid-race, breaking the only-decreases contract the lock-free fast
+    /// reject depends on. Debug builds must refuse it loudly. (On the
+    /// pre-guard code this sequence was silently accepted.)
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "set_list on row 0 after merge_candidate")]
+    fn set_list_after_merge_window_is_rejected_in_debug() {
+        let s = SharedLists::new(1, 1);
+        assert!(s.merge_candidate(0, 1, 2.0));
+        // Row 0 is full (radius 2.0); this overwrite with a short list
+        // would publish radius INFINITY into an already-open merge window.
+        s.set_list(0, &[]);
+    }
+
+    /// The radius cache must be non-increasing while a row's merge window
+    /// is open, no matter how merges interleave: a reader samples the
+    /// radius concurrently with racing writers and asserts monotonicity.
+    #[test]
+    fn stress_radius_cache_monotone_during_merge_window() {
+        use std::sync::atomic::AtomicBool as Flag;
+        let k = 4;
+        let s = SharedLists::new(1, k);
+        let done = Flag::new(false);
+        std::thread::scope(|scope| {
+            let writers: Vec<_> = (0..4u32)
+                .map(|t| {
+                    let s = &s;
+                    scope.spawn(move || {
+                        // Strictly decreasing candidate quality over time
+                        // so the cache keeps moving while threads race.
+                        for j in 0..2000u32 {
+                            let id = 1 + t * 2000 + j;
+                            s.merge_candidate(0, id, 4000.0 - j as f64 + (t as f64) * 0.25);
+                        }
+                    })
+                })
+                .collect();
+            let (s, done) = (&s, &done);
+            let reader = scope.spawn(move || {
+                let mut last = f64::INFINITY;
+                while !done.load(Ordering::Acquire) {
+                    let r = s.radius_sq(0);
+                    assert!(
+                        r <= last,
+                        "radius cache increased mid-window: {last} -> {r}"
+                    );
+                    last = r;
+                    std::hint::spin_loop();
+                }
+                // One deterministic final sample: the writers are done, so
+                // the row is full and the cache must be finite.
+                let r = s.radius_sq(0);
+                assert!(r <= last, "final radius {r} above last observed {last}");
+                r
+            });
+            for w in writers {
+                w.join().unwrap();
+            }
+            done.store(true, Ordering::Release);
+            let final_seen = reader.join().unwrap();
+            assert!(final_seen.is_finite(), "reader never saw a full row");
+        });
+        let r = s.into_result();
+        r.check_invariants().unwrap();
+        assert_eq!(r.neighbors(0).len(), k);
     }
 
     /// Race `set_list` on one row against merges on another: rows are

@@ -18,7 +18,9 @@ use crate::config::KnnDcConfig;
 use crate::correction::{collect_crossing, correct_unbounded, correct_via_query};
 use crate::error::{validate_points, SepdcError};
 use crate::knn::{brute_list_into, KnnResult};
+use crate::parallel::config_echo;
 use crate::partition_tree::partition_in_place;
+use crate::report::{cost_counters, Phase, RunRecorder, RunReport};
 use crate::shared::SharedLists;
 use sepdc_geom::point::Point;
 use sepdc_scan::CostProfile;
@@ -86,12 +88,18 @@ pub struct SimpleDcOutput {
     pub cost: CostProfile,
     /// Structural statistics.
     pub stats: SimpleDcStats,
+    /// The merged observability artifact (same schema as the Section 6
+    /// report; this algorithm has no event meter, so only `stats.*` and
+    /// `cost.*` counters appear). Phase timings and the depth histogram
+    /// are empty when [`KnnDcConfig::record`] is `false`.
+    pub report: RunReport,
 }
 
 struct Ctx<'a, const D: usize> {
     points: &'a [Point<D>],
     lists: &'a SharedLists,
     cfg: &'a KnnDcConfig,
+    obs: &'a RunRecorder,
     base: usize,
     /// Depth at which the recursion stops subdividing.
     depth_limit: usize,
@@ -128,15 +136,19 @@ pub fn try_simple_parallel_knn<const D: usize, const E: usize>(
     assert_eq!(E, D + 1, "simple_parallel_knn requires E = D + 1");
     cfg.validate()?;
     validate_points(points)?;
+    let t_run = std::time::Instant::now();
     let n = points.len();
     let lists = SharedLists::new(n, cfg.k);
     let base = cfg.resolve_base_case(n, D);
+    let depth_limit = cfg.resolve_depth_limit(n);
+    let obs = RunRecorder::new(cfg.record, depth_limit);
     let ctx = Ctx {
         points,
         lists: &lists,
         cfg,
+        obs: &obs,
         base,
-        depth_limit: cfg.resolve_depth_limit(n),
+        depth_limit,
         strict_depth: cfg.max_depth.is_some(),
     };
     // Permutation arena: the recursion partitions this buffer in place and
@@ -144,10 +156,55 @@ pub fn try_simple_parallel_knn<const D: usize, const E: usize>(
     // id-set clones.
     let mut perm: Vec<u32> = (0..n as u32).collect();
     let (cost, stats) = rec::<D, E>(&ctx, &mut perm, cfg.seed, 0)?;
+    let mut counters = vec![
+        ("stats.height".to_string(), stats.height as f64),
+        (
+            "stats.total_crossing".to_string(),
+            stats.total_crossing as f64,
+        ),
+        (
+            "stats.max_node_crossing".to_string(),
+            stats.max_node_crossing as f64,
+        ),
+        (
+            "stats.max_crossing_fraction".to_string(),
+            stats.max_crossing_fraction,
+        ),
+        ("stats.base_leaves".to_string(), stats.base_leaves as f64),
+        (
+            "stats.forced_leaves".to_string(),
+            stats.forced_leaves as f64,
+        ),
+        (
+            "stats.degenerate_splits".to_string(),
+            stats.degenerate_splits as f64,
+        ),
+        (
+            "stats.depth_forced_leaves".to_string(),
+            stats.depth_forced_leaves as f64,
+        ),
+    ];
+    counters.extend(cost_counters(&cost));
+    let report = RunReport {
+        version: crate::report::RUN_REPORT_VERSION,
+        algo: "simple".to_string(),
+        dim: D,
+        n,
+        k: cfg.k,
+        seed: cfg.seed,
+        threads: rayon::current_num_threads(),
+        wall_ms: 0.0,
+        config: config_echo(cfg, base, depth_limit, D),
+        phases: obs.phases(),
+        counters,
+        depth: obs.depth_rows(),
+    }
+    .finish(t_run.elapsed());
     Ok(SimpleDcOutput {
         knn: lists.into_result(),
         cost,
         stats,
+        report,
     })
 }
 
@@ -158,8 +215,9 @@ fn rec<const D: usize, const E: usize>(
     depth: usize,
 ) -> Result<(CostProfile, SimpleDcStats), SepdcError> {
     let m = ids.len();
+    ctx.obs.node(depth);
     if m <= ctx.base {
-        solve_subset_into(ctx, ids);
+        solve_subset_into(ctx, ids, depth);
         return Ok((
             CostProfile::rounds(m as u64, m as u64),
             SimpleDcStats::leaf(false),
@@ -174,25 +232,28 @@ fn rec<const D: usize, const E: usize>(
                 limit: ctx.depth_limit,
             });
         }
-        solve_subset_into(ctx, ids);
+        solve_subset_into(ctx, ids, depth);
         let mut stats = SimpleDcStats::leaf(true);
         stats.depth_forced_leaves = 1;
         return Ok((CostProfile::rounds(m as u64, m as u64), stats));
     }
+    let t_split = ctx.obs.start();
     let subset_points: Vec<Point<D>> = ids.iter().map(|&i| ctx.points[i as usize]).collect();
     let Some(sep) = median_cut_cycling(&subset_points, depth) else {
         // All points identical: brute leaf.
-        solve_subset_into(ctx, ids);
+        ctx.obs.stop(Phase::Split, t_split);
+        solve_subset_into(ctx, ids, depth);
         return Ok((
             CostProfile::rounds(m as u64, m as u64),
             SimpleDcStats::leaf(true),
         ));
     };
     let nl = partition_in_place(ids, |i| sep.side(&ctx.points[i as usize]).routes_interior());
+    ctx.obs.stop(Phase::Split, t_split);
     if nl == 0 || nl == m {
         // The cut routed every point to one side: brute leaf instead of
         // recursing on an unshrunk slice.
-        solve_subset_into(ctx, ids);
+        solve_subset_into(ctx, ids, depth);
         let mut stats = SimpleDcStats::leaf(true);
         stats.degenerate_splits = 1;
         return Ok((CostProfile::rounds(m as u64, m as u64), stats));
@@ -217,15 +278,22 @@ fn rec<const D: usize, const E: usize>(
     // Correction: query structure over all crossing balls (both sides).
     // The child calls permuted their halves but the id sets are unchanged.
     let (left, right) = ids.split_at(nl);
+    let t_cc = ctx.obs.start();
     let (mut crossing, unbounded_l) = collect_crossing(ctx.points, ctx.lists, left, &sep);
     let (cross_r, unbounded_r) = collect_crossing(ctx.points, ctx.lists, right, &sep);
     crossing.extend(cross_r);
     correct_unbounded(ctx.points, ctx.lists, &unbounded_l, right);
     correct_unbounded(ctx.points, ctx.lists, &unbounded_r, left);
+    ctx.obs.stop(Phase::CollectCrossing, t_cc);
     let node_crossing = crossing.len();
+    ctx.obs.add_crossing(depth, node_crossing as u64);
     let qseed = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(3);
-    let corr_cost =
-        correct_via_query::<D, E>(ctx.points, ctx.lists, ids, &crossing, ctx.cfg.query, qseed);
+    // Every internal node corrects through the query structure here (the
+    // Section 5 combine step), so its time lands in the same
+    // `punt-correction` phase the Section 6 punt path uses.
+    let corr_cost = ctx.obs.time(Phase::PuntCorrection, || {
+        correct_via_query::<D, E>(ctx.points, ctx.lists, ids, &crossing, ctx.cfg.query, qseed)
+    });
 
     let local = CostProfile::scan(m as u64); // the split
     let cost = local.then(lcost.alongside(rcost)).then(corr_cost);
@@ -233,7 +301,8 @@ fn rec<const D: usize, const E: usize>(
     Ok((cost, stats))
 }
 
-fn solve_subset_into<const D: usize>(ctx: &Ctx<'_, D>, ids: &[u32]) {
+fn solve_subset_into<const D: usize>(ctx: &Ctx<'_, D>, ids: &[u32], depth: usize) {
+    let t0 = ctx.obs.start();
     // Straight into the shared store through one reused scratch buffer; an
     // n-point scratch KnnResult here would cost O(n) per leaf (O(n²/base)
     // across the recursion).
@@ -243,6 +312,8 @@ fn solve_subset_into<const D: usize>(ctx: &Ctx<'_, D>, ids: &[u32]) {
         brute_list_into(ctx.points, i, ids, k, &mut scratch);
         ctx.lists.set_list(i as usize, &scratch);
     }
+    ctx.obs.stop(Phase::LeafSolve, t0);
+    ctx.obs.leaf(depth);
 }
 
 #[cfg(test)]
@@ -406,6 +477,35 @@ mod tests {
             .unwrap();
         assert_eq!(out.stats.depth_forced_leaves, 0);
         assert_eq!(out.stats.degenerate_splits, 0);
+    }
+
+    #[test]
+    fn run_report_is_populated() {
+        let pts = Workload::UniformCube.generate::<2>(1500, 17);
+        let cfg = KnnDcConfig::new(2);
+        let out = simple_parallel_knn::<2, 3>(&pts, &cfg);
+        let r = &out.report;
+        assert_eq!(r.algo, "simple");
+        assert_eq!((r.dim, r.n, r.k), (2, 1500, 2));
+        assert!(r.wall_ms > 0.0);
+        assert_eq!(
+            r.counter("stats.base_leaves"),
+            Some(out.stats.base_leaves as f64)
+        );
+        assert_eq!(r.counter("cost.work"), Some(out.cost.work as f64));
+        // The simple algorithm corrects through the query structure at
+        // every internal node, so the punt-correction phase is hot.
+        assert!(r.phase("punt-correction").unwrap().calls > 0);
+        assert_eq!(
+            r.depth.iter().map(|d| d.leaves).sum::<u64>() as usize,
+            out.stats.base_leaves
+        );
+        assert_eq!(
+            r.depth.iter().map(|d| d.crossing).sum::<u64>(),
+            out.stats.total_crossing
+        );
+        let back = crate::report::RunReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(&back, r);
     }
 
     #[test]

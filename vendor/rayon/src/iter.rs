@@ -4,7 +4,7 @@
 //! length and can produce the item at index `i` (or `None` when a `filter`
 //! removed it). Terminal operations partition the index space into
 //! contiguous chunks, run each chunk on a scoped worker thread (within the
-//! global thread budget of [`crate::pool`]), and combine per-chunk
+//! global thread budget of `crate::pool`), and combine per-chunk
 //! accumulators in chunk order — so order-sensitive terminals like
 //! `collect` match their sequential counterparts exactly.
 
