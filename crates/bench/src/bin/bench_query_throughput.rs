@@ -1,0 +1,167 @@
+//! Batch-query serving throughput bench for the Section 3 structure
+//! (the `sepdc_core::serve` engine behind `sepdc query`).
+//!
+//! ```sh
+//! cargo run --release -p sepdc-bench --bin bench_query_throughput          # full
+//! cargo run --release -p sepdc-bench --bin bench_query_throughput -- --smoke
+//! ```
+//!
+//! Builds one query tree (UniformCube 2d, n = 100k, k = 4 — the PR-1
+//! acceptance workload) and sweeps probe batch sizes 1..64k against
+//! thread counts 1/2/4/8, reporting probes/sec per cell. Every
+//! multi-thread cell is parity-checked byte-for-byte against the
+//! 1-thread answer for the same batch — the serve engine's determinism
+//! contract, enforced here on every run. Writes
+//! `BENCH_query_throughput.json` (override with `SEPDC_BENCH_OUT`)
+//! embedding, under `"reports"`, one full serve [`sepdc_core::RunReport`]
+//! per batch size (a separate `record = true` run so instrumentation
+//! never taints the timed cells).
+
+use sepdc_bench::harness::{json_str, timed, Table};
+use sepdc_core::serve::{BatchResult, CoverPredicate, ServeConfig};
+use sepdc_core::{kdtree_all_knn, NeighborhoodSystem, QueryTree, QueryTreeConfig};
+use sepdc_workloads::Workload;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// One embedded run report: (row label, median seconds, RunReport JSON).
+type CaseReport = (String, f64, String);
+
+fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut secs = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let ((), dt) = timed(&mut f);
+        secs.push(dt);
+    }
+    secs.sort_by(f64::total_cmp);
+    secs[secs.len() / 2]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (reps, scale) = if smoke { (1, 25) } else { (5, 1) };
+    let n = 100_000 / scale;
+    let k = 4;
+    let batch_sizes: &[usize] = if smoke {
+        &[1, 64, 1024, 4096]
+    } else {
+        &[1, 64, 1024, 16_384, 65_536]
+    };
+
+    let pts = Workload::UniformCube.generate::<2>(n, 7);
+    let (tree, build_s) = timed(|| {
+        let knn = kdtree_all_knn(&pts, k);
+        let system = NeighborhoodSystem::from_knn(&pts, &knn);
+        QueryTree::build::<3>(system.balls(), QueryTreeConfig::default(), 3)
+    });
+    let probes = Workload::UniformCube.generate::<2>(*batch_sizes.last().unwrap(), 11);
+    let cfg = ServeConfig::default();
+
+    let mut headers: Vec<String> = vec!["batch".into()];
+    headers.extend(THREADS.iter().map(|t| format!("{t}T probes/s")));
+    headers.push("4T/1T".into());
+    headers.push("mean cost".into());
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new("BENCH query serving throughput", &header_refs);
+
+    let mut reports: Vec<CaseReport> = Vec::new();
+    let mut accept_speedup: Option<f64> = None;
+    for &batch in batch_sizes {
+        let slice = &probes[..batch];
+        let mut rates: Vec<f64> = Vec::new();
+        let mut baseline: Option<BatchResult> = None;
+        for &t in &THREADS {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(t)
+                .build()
+                .unwrap();
+            let sec = pool.install(|| {
+                median_secs(reps, || {
+                    let out = tree.try_serve(slice, CoverPredicate::Closed, &cfg).unwrap();
+                    std::hint::black_box(&out.result);
+                })
+            });
+            // Determinism: the answer must be byte-identical to 1 thread.
+            let res = pool
+                .install(|| tree.try_serve(slice, CoverPredicate::Closed, &cfg))
+                .unwrap()
+                .result;
+            match &baseline {
+                None => baseline = Some(res),
+                Some(b) => {
+                    assert_eq!(b.offsets(), res.offsets(), "batch={batch} threads={t}");
+                    assert_eq!(b.ids(), res.ids(), "batch={batch} threads={t}");
+                }
+            }
+            rates.push(batch as f64 / sec.max(1e-12));
+        }
+        // Instrumented run (separate from the timed cells) for the report.
+        let rec_cfg = ServeConfig {
+            record: true,
+            ..ServeConfig::default()
+        };
+        let (out, rec_s) = timed(|| tree.try_serve(slice, CoverPredicate::Closed, &rec_cfg));
+        let out = out.unwrap();
+        let speedup = rates[2] / rates[0].max(1e-12);
+        if batch == *batch_sizes.last().unwrap() {
+            accept_speedup = Some(speedup);
+        }
+        reports.push((format!("batch={batch}"), rec_s, out.report.to_json()));
+        let mut cells: Vec<String> = rates.iter().map(|r| format!("{r:.0}")).collect();
+        cells.push(format!("{speedup:.2}x"));
+        cells.push(format!("{:.1}", out.stats.mean_cost()));
+        table.row(batch.to_string(), cells);
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    table.note(format!(
+        "tree: UniformCube 2d n={n} k={k}, built in {:.1} ms; closed predicate, \
+         chunk_size={}, reps={reps}, median reported",
+        build_s * 1e3,
+        cfg.chunk_size,
+    ));
+    table.note(format!(
+        "host has {cores} core(s); thread-count scaling (the 4T/1T column) is \
+         only physically observable with >=4 cores — on fewer cores the \
+         column measures oversubscription overhead, not speedup"
+    ));
+    table.note(
+        "every multi-thread cell parity-checked byte-for-byte against the \
+         1-thread answer (serve determinism contract)"
+            .to_string(),
+    );
+    if let Some(s) = accept_speedup {
+        table.note(format!(
+            "acceptance cell (largest batch): 4T/1T = {s:.2}x on this host"
+        ));
+    }
+    if smoke {
+        table.note("--smoke run: n scaled down 25x, 1 rep (CI sanity only)".to_string());
+    }
+    table.print();
+
+    let out_path = std::env::var("SEPDC_BENCH_OUT")
+        .unwrap_or_else(|_| "BENCH_query_throughput.json".to_string());
+    std::fs::write(&out_path, bench_json(&table, &reports)).expect("write bench json");
+    eprintln!("[wrote {out_path}]");
+}
+
+/// Same combined shape as `bench_parallel_knn`: the human-oriented table
+/// plus one full serve run report per batch size, so schema validators and
+/// the `sepdc report` pretty-printer both work off the same file.
+fn bench_json(table: &Table, reports: &[CaseReport]) -> String {
+    let mut s = String::from("{\n\"table\":\n");
+    s.push_str(table.to_json().trim_end());
+    s.push_str(",\n\"reports\": [\n");
+    for (i, (label, secs, report)) in reports.iter().enumerate() {
+        s.push_str(&format!(
+            "{{ \"label\": {}, \"median_ms\": {:.3}, \"report\":\n{} }}{}\n",
+            json_str(label),
+            secs * 1e3,
+            report.trim_end(),
+            if i + 1 < reports.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("]\n}\n");
+    s
+}

@@ -5,10 +5,11 @@ use crate::io::{format_edges, format_points, parse_points, sniff_dimension};
 use crate::CliResult;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use sepdc_core::serve::{CoverPredicate, ServeConfig};
 use sepdc_core::{
     kdtree_all_knn, try_brute_force_knn, try_kdtree_all_knn, try_parallel_knn,
-    try_simple_parallel_knn, KnnDcConfig, KnnGraph, KnnResult, NeighborhoodSystem, RunReport,
-    SepdcError,
+    try_simple_parallel_knn, KnnDcConfig, KnnGraph, KnnResult, NeighborhoodSystem, QueryTree,
+    QueryTreeConfig, RunReport, SepdcError,
 };
 use sepdc_separator::{find_good_separator, SeparatorConfig};
 use sepdc_workloads::Workload;
@@ -152,6 +153,121 @@ pub fn knn(
         })
     }
     with_dim!(dim, run(input, k, algo, seed))
+}
+
+/// Output of the `query` command.
+#[derive(Debug)]
+pub struct QueryCommandOutput {
+    /// Hit lists CSV: `probe,count,ball_ids` (ids space-separated).
+    pub hits_csv: String,
+    /// Human-readable serving summary (throughput, cost, tree shape).
+    pub summary: String,
+    /// Serialized [`RunReport`] of the serve run (`algo = "query-serve"`).
+    pub report_json: String,
+}
+
+/// `query`: build the §3 search structure over a point file's k-NN
+/// neighborhood system, then serve a probe batch against it through the
+/// [`sepdc_core::serve`] engine.
+///
+/// Probes come either from a probe file (`probes_text`, same format and
+/// dimension as the input) or from a generated workload
+/// (`probe_workload` × `probe_n`, seeded off the main seed so probes are
+/// off-sample but reproducible).
+#[allow(clippy::too_many_arguments)]
+pub fn query(
+    input: &str,
+    dim_flag: Option<usize>,
+    k: usize,
+    probes_text: Option<&str>,
+    probe_workload: &str,
+    probe_n: usize,
+    interior: bool,
+    seed: u64,
+    chunk: usize,
+) -> CliResult<QueryCommandOutput> {
+    let dim = resolve_dim(input, dim_flag)?;
+    let probe_w = workload_by_name(probe_workload)?;
+    #[allow(clippy::too_many_arguments)]
+    fn run<const D: usize, const E: usize>(
+        input: &str,
+        k: usize,
+        probes_text: Option<&str>,
+        probe_w: Workload,
+        probe_n: usize,
+        interior: bool,
+        seed: u64,
+        chunk: usize,
+    ) -> CliResult<QueryCommandOutput> {
+        let points = parse_points::<D>(input)?;
+        if points.is_empty() {
+            return Err(SepdcError::EmptyInput.to_string());
+        }
+        let probes = match probes_text {
+            Some(text) => parse_points::<D>(text)?,
+            None => probe_w.generate::<D>(probe_n, seed ^ 0x5EED_BA7C),
+        };
+        let t_build = std::time::Instant::now();
+        let knn = try_kdtree_all_knn(&points, k).map_err(|e| e.to_string())?;
+        let system = NeighborhoodSystem::from_knn(&points, &knn);
+        let tree = QueryTree::try_build::<E>(system.balls(), QueryTreeConfig::default(), seed)
+            .map_err(|e| e.to_string())?;
+        let build_s = t_build.elapsed().as_secs_f64();
+        let pred = if interior {
+            CoverPredicate::Open
+        } else {
+            CoverPredicate::Closed
+        };
+        let cfg = ServeConfig {
+            chunk_size: chunk,
+            record: true,
+            ..ServeConfig::default()
+        };
+        let out = tree
+            .try_serve(&probes, pred, &cfg)
+            .map_err(|e| e.to_string())?;
+        let serve_s = out.report.wall_ms / 1e3;
+        let mut hits_csv = String::from("# probe,count,ball_ids\n");
+        for (i, hits) in out.result.iter().enumerate() {
+            let ids: Vec<String> = hits.iter().map(u32::to_string).collect();
+            hits_csv.push_str(&format!("{i},{},{}\n", hits.len(), ids.join(" ")));
+        }
+        let stats = tree.stats();
+        let summary = format!(
+            "{} balls (d={D}, k={k}), tree height {} / {} leaves, built in {:.1} ms; \
+             served {} probes ({} predicate) in {:.2} ms: {} hits, \
+             {:.0} probes/s, query cost mean {:.1} max {}",
+            tree.len(),
+            stats.height,
+            stats.leaves,
+            build_s * 1e3,
+            out.stats.probes,
+            pred.name(),
+            serve_s * 1e3,
+            out.stats.hits,
+            out.stats.probes as f64 / serve_s.max(1e-9),
+            out.stats.mean_cost(),
+            out.stats.cost_max,
+        );
+        Ok(QueryCommandOutput {
+            hits_csv,
+            summary,
+            report_json: out.report.to_json(),
+        })
+    }
+    with_dim!(
+        dim,
+        run(
+            input,
+            k,
+            probes_text,
+            probe_w,
+            probe_n,
+            interior,
+            seed,
+            chunk
+        )
+    )
 }
 
 /// `report`: pretty-print a previously saved run report (`sepdc knn
@@ -339,6 +455,73 @@ mod tests {
             assert!(!rep.phases.is_empty(), "{algo}: recording is on by default");
             assert!(rep.counter("stats.base_leaves").unwrap() >= 1.0);
         }
+    }
+
+    #[test]
+    fn query_serves_probes_and_reports() {
+        let pts = generate("uniform-cube", 300, 2, 11).unwrap();
+        let out = query(&pts, None, 2, None, "uniform-cube", 100, false, 11, 32).unwrap();
+        assert!(out.summary.contains("served 100 probes"), "{}", out.summary);
+        assert!(out.summary.contains("closed predicate"), "{}", out.summary);
+        // Header + one row per probe.
+        assert_eq!(out.hits_csv.lines().count(), 101);
+        let rep = RunReport::from_json(&out.report_json).unwrap();
+        assert_eq!(rep.algo, "query-serve");
+        assert_eq!(rep.counter("serve.probes").unwrap(), 100.0);
+        assert!(rep.counter("serve.chunks").unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn query_hits_match_pointwise_interior() {
+        let pts_csv = generate("clusters", 200, 2, 5).unwrap();
+        let probes_csv = generate("uniform-cube", 60, 2, 6).unwrap();
+        let out = query(&pts_csv, None, 1, Some(&probes_csv), "grid", 0, true, 5, 7).unwrap();
+        assert!(out.summary.contains("open predicate"), "{}", out.summary);
+        // Rebuild the same structures directly; every CSV row must equal
+        // the pointwise interior query.
+        let points = parse_points::<2>(&pts_csv).unwrap();
+        let probes = parse_points::<2>(&probes_csv).unwrap();
+        let knn = try_kdtree_all_knn(&points, 1).unwrap();
+        let system = NeighborhoodSystem::from_knn(&points, &knn);
+        let tree =
+            QueryTree::try_build::<3>(system.balls(), QueryTreeConfig::default(), 5).unwrap();
+        let rows: Vec<&str> = out.hits_csv.lines().skip(1).collect();
+        assert_eq!(rows.len(), probes.len());
+        for (i, row) in rows.iter().enumerate() {
+            let mut parts = row.splitn(3, ',');
+            assert_eq!(parts.next().unwrap().parse::<usize>().unwrap(), i);
+            let count: usize = parts.next().unwrap().parse().unwrap();
+            let ids: Vec<u32> = parts
+                .next()
+                .unwrap()
+                .split_whitespace()
+                .map(|s| s.parse().unwrap())
+                .collect();
+            assert_eq!(ids.len(), count);
+            assert_eq!(ids, tree.covering_interior(&probes[i]), "probe {i}");
+        }
+    }
+
+    #[test]
+    fn query_rejects_bad_probe_files_and_config() {
+        let pts = generate("grid", 50, 2, 1).unwrap();
+        // Non-finite probe coordinates are rejected with the line number.
+        let err = query(
+            &pts,
+            None,
+            1,
+            Some("0.5,0.5\nnan,0.2\n"),
+            "uniform-cube",
+            0,
+            false,
+            1,
+            8,
+        )
+        .unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        // A zero chunk size is a typed config error from the serve engine.
+        let err = query(&pts, None, 1, None, "uniform-cube", 10, false, 1, 0).unwrap_err();
+        assert!(err.contains("serve.chunk_size"), "{err}");
     }
 
     #[test]

@@ -214,6 +214,84 @@ fn knn_report_flag_then_pretty_printer() {
 }
 
 #[test]
+fn query_serves_probes_end_to_end() {
+    let dir = tmpdir("query");
+    let pts = dir.join("pts.csv");
+    let hits = dir.join("hits.csv");
+    let report = dir.join("serve.json");
+
+    let out = bin()
+        .args([
+            "generate",
+            "--workload",
+            "uniform-cube",
+            "--n",
+            "400",
+            "--dim",
+            "2",
+            "--seed",
+            "9",
+            "--out",
+            pts.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let out = bin()
+        .args([
+            "query",
+            "--input",
+            pts.to_str().unwrap(),
+            "--k",
+            "2",
+            "--probe-workload",
+            "clusters",
+            "--probe-n",
+            "150",
+            "--interior",
+            "--chunk",
+            "64",
+            "--out",
+            hits.to_str().unwrap(),
+            "--report",
+            report.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let summary = String::from_utf8_lossy(&out.stderr);
+    assert!(summary.contains("served 150 probes"), "{summary}");
+    assert!(summary.contains("open predicate"), "{summary}");
+
+    // Hit lists: header + one row per probe.
+    let csv = std::fs::read_to_string(&hits).unwrap();
+    assert_eq!(csv.lines().count(), 151, "{csv}");
+    assert!(csv.starts_with("# probe,count,ball_ids"), "{csv}");
+
+    // Serve run report round-trips through the pretty-printer.
+    let json = std::fs::read_to_string(&report).unwrap();
+    assert!(json.contains("\"algo\": \"query-serve\""), "{json}");
+    let out = bin()
+        .args(["report", "--input", report.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("query-serve"), "{text}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn missing_input_is_a_clean_error() {
     let out = bin()
         .args(["knn", "--input", "/nonexistent/file.csv"])

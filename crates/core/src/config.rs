@@ -56,6 +56,54 @@ pub struct KnnDcConfig {
     pub record: bool,
 }
 
+/// Tuning knobs of the batch serving engine ([`crate::serve`]).
+///
+/// The engine's output is a pure function of `(tree, probes)` — none of
+/// these knobs can change a single returned id; they only move work
+/// between threads and allocations. That invariant is pinned by the
+/// thread-count / chunk-size parity tests in `tests/serve_parity.rs`.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Probes per work unit. Each chunk is served by one task that reuses
+    /// a single output arena across all its probes (no per-probe `Vec`),
+    /// so larger chunks amortize allocation further while smaller chunks
+    /// load-balance better across threads. Must be nonzero
+    /// ([`SepdcError::InvalidConfig`] otherwise).
+    pub chunk_size: usize,
+    /// Batch size below which the engine stays on the calling thread:
+    /// forking rayon tasks for a handful of `O(log n + m₀)` descents
+    /// costs more than it buys.
+    pub parallel_threshold: usize,
+    /// Whether to record the `serve` phase timing and the query-cost
+    /// histogram into the returned [`RunReport`](crate::RunReport).
+    /// Defaults to `false`: a high-throughput read path should not pay
+    /// two clock reads per chunk unless asked to explain itself.
+    pub record: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            chunk_size: 1024,
+            parallel_threshold: 1024,
+            record: false,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validate the tunables (called once per batch by the serve engine).
+    pub fn validate(&self) -> Result<(), SepdcError> {
+        if self.chunk_size == 0 {
+            return Err(SepdcError::InvalidConfig {
+                param: "serve.chunk_size",
+                value: 0.0,
+            });
+        }
+        Ok(())
+    }
+}
+
 impl KnnDcConfig {
     /// Default configuration for a given `k`.
     pub fn new(k: usize) -> Self {

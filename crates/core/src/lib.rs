@@ -12,6 +12,7 @@
 //! | §6 Parallel Nearest Neighborhood (`O(log n)`) | [`parallel`] |
 //! | §6.2 Fast Correction / reachability marching | [`partition_tree`], [`correction`] |
 //! | Def 1.1 k-NN graph | [`graph`] |
+//! | §3 batch serving (read path over [`query`]) | [`serve`] |
 //!
 //! Baselines and substrates: [`brute`] (the `O(n²)` oracle), [`kdtree`]
 //! (the sequential `O(n log n)`-class baseline standing in for Vaidya's
@@ -31,7 +32,7 @@
 //! assert!(out.stats.fast_corrections > 0);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod balltree;
 pub mod brute;
@@ -48,12 +49,13 @@ pub mod partition_tree;
 pub mod punting;
 pub mod query;
 pub mod report;
+pub mod serve;
 mod shared;
 pub mod simple_parallel;
 pub mod validate;
 
 pub use brute::{brute_force_knn, try_brute_force_knn};
-pub use config::KnnDcConfig;
+pub use config::{KnnDcConfig, ServeConfig};
 pub use error::SepdcError;
 pub use graph::KnnGraph;
 pub use graph_separator::{sphere_graph_separator, GraphSeparator};
@@ -66,6 +68,7 @@ pub use query::{QueryTree, QueryTreeConfig, QueryTreeStats};
 pub use report::{
     DepthRow, Phase, PhaseSample, ReportError, RunRecorder, RunReport, RUN_REPORT_VERSION,
 };
+pub use serve::{BatchResult, CoverPredicate, ServeOutput, ServeStats};
 pub use simple_parallel::{
     simple_parallel_knn, try_simple_parallel_knn, SimpleDcOutput, SimpleDcStats,
 };

@@ -240,30 +240,19 @@ impl<const D: usize> QueryTree<D> {
 
     /// The leaf ball-id list a query point lands in.
     fn descend(&self, p: &Point<D>) -> &[u32] {
-        let mut node = &self.root;
-        loop {
-            match node {
-                QNode::Leaf { ball_ids } => return ball_ids,
-                QNode::Internal { sep, left, right } => {
-                    node = if sep.side(p).routes_interior() {
-                        left
-                    } else {
-                        right
-                    };
-                }
-            }
-        }
+        self.descend_counted(p).0
     }
 
-    /// Number of tree nodes visited plus leaf balls scanned for `p` —
-    /// the measured query cost `O(log n + m₀)`.
-    pub fn query_cost(&self, p: &Point<D>) -> usize {
+    /// The leaf list plus the number of tree nodes visited reaching it —
+    /// the instrumented descent the [`serve`](crate::serve) engine uses to
+    /// bill each probe's `O(log n + m₀)` cost without a second walk.
+    pub(crate) fn descend_counted(&self, p: &Point<D>) -> (&[u32], usize) {
         let mut node = &self.root;
         let mut visited = 0;
         loop {
             visited += 1;
             match node {
-                QNode::Leaf { ball_ids } => return visited + ball_ids.len(),
+                QNode::Leaf { ball_ids } => return (ball_ids, visited),
                 QNode::Internal { sep, left, right } => {
                     node = if sep.side(p).routes_interior() {
                         left
@@ -275,19 +264,16 @@ impl<const D: usize> QueryTree<D> {
         }
     }
 
-    /// Batch query: open-interior covering sets for many probes, in
-    /// parallel — the shape the correction steps consume ("for all p ∈ P,
-    /// in parallel").
-    pub fn batch_covering_interior(&self, probes: &[Point<D>]) -> Vec<Vec<u32>> {
-        use rayon::prelude::*;
-        if probes.len() < 1024 {
-            probes.iter().map(|p| self.covering_interior(p)).collect()
-        } else {
-            probes
-                .par_iter()
-                .map(|p| self.covering_interior(p))
-                .collect()
-        }
+    /// The indexed ball array (leaf hit ids index into it).
+    pub(crate) fn balls_slice(&self) -> &[Ball<D>] {
+        &self.balls
+    }
+
+    /// Number of tree nodes visited plus leaf balls scanned for `p` —
+    /// the measured query cost `O(log n + m₀)`.
+    pub fn query_cost(&self, p: &Point<D>) -> usize {
+        let (leaf, visited) = self.descend_counted(p);
+        visited + leaf.len()
     }
 
     /// Structural statistics.

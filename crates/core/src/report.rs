@@ -14,8 +14,8 @@
 //!
 //! * [`RunRecorder`] — the lightweight instrument threaded through the
 //!   recursions. Wall-clock **phase timers** (split / leaf-solve /
-//!   collect-crossing / fast-correction / punt-correction, summed across
-//!   rayon workers) and **per-depth histograms** (node counts, crossing
+//!   collect-crossing / fast-correction / punt-correction / serve, summed
+//!   across rayon workers) and **per-depth histograms** (node counts, crossing
 //!   balls, separator candidate attempts, punt events, fast corrections,
 //!   leaves, keyed by recursion depth). All counters are relaxed atomics;
 //!   when disabled ([`KnnDcConfig::record`](crate::KnnDcConfig::record)
@@ -54,15 +54,20 @@ pub enum Phase {
     FastCorrection = 3,
     /// Punt correction: query-structure build + sweep (Section 3 via §4).
     PuntCorrection = 4,
+    /// Batch serving: probe descent + leaf scan in the
+    /// [`serve`](crate::serve) read-path engine (one timed interval per
+    /// probe chunk, summed across rayon workers).
+    Serve = 5,
 }
 
-const PHASE_COUNT: usize = 5;
+const PHASE_COUNT: usize = 6;
 const PHASE_NAMES: [&str; PHASE_COUNT] = [
     "split",
     "leaf-solve",
     "collect-crossing",
     "fast-correction",
     "punt-correction",
+    "serve",
 ];
 
 /// Per-depth atomic counters (one cell per recursion depth).
@@ -1019,7 +1024,7 @@ mod tests {
         assert_eq!(split.calls, 2);
         assert!(split.ms >= 2.0, "split {} ms", split.ms);
         // Untouched phases stay zero but are present in the snapshot.
-        assert_eq!(phases.len(), 5);
+        assert_eq!(phases.len(), 6);
         assert_eq!(rec.phases().iter().filter(|p| p.calls > 0).count(), 1);
     }
 

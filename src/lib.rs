@@ -29,3 +29,9 @@ pub use sepdc_workloads as workloads;
 pub mod prelude {
     pub use sepdc_geom::{Ball, Hyperplane, Point, Separator, Side, Sphere};
 }
+
+// Compile the README's code blocks as doctests so the front-page
+// examples (including the serving quickstart) cannot silently rot.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+struct ReadmeDoctests;

@@ -80,7 +80,8 @@ fn batch_query_matches_pointwise() {
     let tree = QueryTree::build::<3>(sys.balls(), QueryTreeConfig::default(), 3);
     let probes = Workload::UniformCube.generate::<2>(200, 31);
     let batch = tree.batch_covering_interior(&probes);
+    assert_eq!(batch.len(), probes.len());
     for (p, got) in probes.iter().zip(&batch) {
-        assert_eq!(*got, tree.covering_interior(p));
+        assert_eq!(got, tree.covering_interior(p));
     }
 }

@@ -1,0 +1,120 @@
+//! Determinism contract of the batch serving engine: the answer to a
+//! probe batch is a pure function of (tree, probes, predicate, chunk
+//! size) — never of the thread count or the scheduler. These tests pin
+//! that contract byte-for-byte through the public facade, plus the
+//! edge-case behavior of the typed-error path.
+
+use sepdc::core::serve::{BatchResult, CoverPredicate, ServeConfig};
+use sepdc::core::{kdtree_all_knn, NeighborhoodSystem, QueryTree, QueryTreeConfig, SepdcError};
+use sepdc::geom::Point;
+use sepdc::workloads::Workload;
+
+fn build_tree(n: usize, k: usize, seed: u64) -> QueryTree<2> {
+    let pts = Workload::Clusters.generate::<2>(n, seed);
+    let knn = kdtree_all_knn(&pts, k);
+    let sys = NeighborhoodSystem::from_knn(&pts, &knn);
+    QueryTree::build::<3>(sys.balls(), QueryTreeConfig::default(), seed)
+}
+
+fn assert_identical(a: &BatchResult, b: &BatchResult, ctx: &str) {
+    assert_eq!(a.offsets(), b.offsets(), "{ctx}: offsets differ");
+    assert_eq!(a.ids(), b.ids(), "{ctx}: ids differ");
+}
+
+#[test]
+fn thread_count_cannot_change_the_answer() {
+    let tree = build_tree(2000, 3, 17);
+    let probes = Workload::UniformCube.generate::<2>(3000, 23);
+    // Small chunk + zero threshold forces the parallel join path even for
+    // modest batches, so the sweep actually exercises scheduling.
+    let cfg = ServeConfig {
+        chunk_size: 64,
+        parallel_threshold: 0,
+        ..ServeConfig::default()
+    };
+    for pred in [CoverPredicate::Closed, CoverPredicate::Open] {
+        let baseline = tree.try_serve(&probes, pred, &cfg).unwrap();
+        for threads in [1, 2, 7] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let out = pool
+                .install(|| tree.try_serve(&probes, pred, &cfg))
+                .unwrap();
+            assert_identical(
+                &out.result,
+                &baseline.result,
+                &format!("{} predicate, {threads} threads", pred.name()),
+            );
+            assert_eq!(
+                out.stats,
+                baseline.stats,
+                "{} predicate, {threads} threads",
+                pred.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn batch_answers_match_pointwise_queries() {
+    let tree = build_tree(1200, 2, 5);
+    let probes = Workload::UniformCube.generate::<2>(400, 9);
+    let closed = tree.batch_covering(&probes);
+    let open = tree.batch_covering_interior(&probes);
+    assert_eq!(closed.len(), probes.len());
+    assert_eq!(open.len(), probes.len());
+    for (i, p) in probes.iter().enumerate() {
+        assert_eq!(closed.hits(i), tree.covering(p), "closed, probe {i}");
+        assert_eq!(open.hits(i), tree.covering_interior(p), "open, probe {i}");
+    }
+    // The open predicate can only ever shed hits relative to closed.
+    assert!(open.total_hits() <= closed.total_hits());
+}
+
+#[test]
+fn empty_batch_and_empty_tree_are_total() {
+    let tree = build_tree(300, 1, 3);
+    let none: [Point<2>; 0] = [];
+    let out = tree
+        .try_serve(&none, CoverPredicate::Closed, &ServeConfig::default())
+        .unwrap();
+    assert!(out.result.is_empty());
+    assert_eq!(out.result.offsets(), &[0]);
+    assert_eq!(out.result.total_hits(), 0);
+
+    let empty: QueryTree<2> = QueryTree::build::<3>(&[], QueryTreeConfig::default(), 1);
+    let probes = Workload::UniformCube.generate::<2>(25, 8);
+    let res = empty.batch_covering(&probes);
+    assert_eq!(res.len(), probes.len());
+    assert!(res.iter().all(<[u32]>::is_empty));
+}
+
+#[test]
+fn non_finite_probes_are_typed_errors_not_panics() {
+    let tree = build_tree(300, 1, 7);
+    let mut probes = Workload::UniformCube.generate::<2>(20, 2);
+    probes[13] = Point::from([f64::INFINITY, 0.25]);
+    for (label, got) in [
+        ("covering", tree.try_batch_covering(&probes)),
+        ("interior", tree.try_batch_covering_interior(&probes)),
+        (
+            "serve",
+            tree.try_serve(&probes, CoverPredicate::Open, &ServeConfig::default())
+                .map(|o| o.result),
+        ),
+    ] {
+        assert_eq!(got, Err(SepdcError::NonFinitePoint { idx: 13 }), "{label}");
+    }
+    // Validation happens before any work: a bad config surfaces first as
+    // its own typed error.
+    let bad = ServeConfig {
+        chunk_size: 0,
+        ..ServeConfig::default()
+    };
+    let err = tree
+        .try_serve(&probes, CoverPredicate::Open, &bad)
+        .unwrap_err();
+    assert!(matches!(err, SepdcError::InvalidConfig { .. }), "{err}");
+}
