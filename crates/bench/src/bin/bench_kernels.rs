@@ -1,0 +1,124 @@
+//! Microbench for the SoA blocked distance kernels (DESIGN.md §12):
+//! one query against `n` candidates, scalar AoS loop vs `dist_sq_range`
+//! (contiguous) vs `dist_sq_gather` (shuffled ids), per dimension.
+//!
+//! ```sh
+//! cargo run --release -p sepdc-bench --bin bench_kernels            # full
+//! cargo run --release -p sepdc-bench --bin bench_kernels -- --smoke
+//! ```
+//!
+//! Every variant's distance sums are compared bitwise before a rate is
+//! reported — a kernel that drifted from the scalar reference aborts the
+//! bench rather than printing a wrong-but-fast number.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sepdc_bench::harness::{timed, Table};
+use sepdc_geom::soa::SoaPoints;
+use sepdc_workloads::Workload;
+
+/// Median of `reps` timings of `f`. Each variant fills a caller-observed
+/// distance buffer, so the work cannot be discarded; the reduction and the
+/// parity check happen *outside* the timed region for every variant alike.
+fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut secs = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let ((), dt) = timed(&mut f);
+        secs.push(dt);
+    }
+    secs.sort_by(f64::total_cmp);
+    secs[secs.len() / 2]
+}
+
+fn run_dim<const D: usize>(table: &mut Table, n: usize, reps: usize) {
+    let pts = Workload::UniformCube.generate::<D>(n, 11);
+    let soa = SoaPoints::from_points(&pts);
+    let q = pts[n / 2];
+    let mut ids: Vec<u32> = (0..n as u32).collect();
+    ids.shuffle(&mut ChaCha8Rng::seed_from_u64(42));
+    let mut buf = vec![0.0f64; n];
+    let mut want = vec![0.0f64; n];
+
+    // Scalar AoS reference: one strided dist_sq per candidate, written to
+    // the same kind of output buffer the kernels fill.
+    let t_scalar = median_secs(reps, || {
+        for (j, p) in pts.iter().enumerate() {
+            buf[j] = q.dist_sq(p);
+        }
+    });
+    want.copy_from_slice(&buf);
+    // Blocked contiguous kernel.
+    let t_range = median_secs(reps, || soa.dist_sq_range(&q, 0, &mut buf));
+    for j in 0..n {
+        assert_eq!(
+            buf[j].to_bits(),
+            want[j].to_bits(),
+            "range kernel diverged from scalar reference at {j}"
+        );
+    }
+    // Scalar gather reference: same shuffled id walk, AoS loads.
+    let t_sgather = median_secs(reps, || {
+        for (j, &i) in ids.iter().enumerate() {
+            buf[j] = q.dist_sq(&pts[i as usize]);
+        }
+    });
+    want.copy_from_slice(&buf);
+    // Blocked gather kernel over the shuffled id permutation.
+    let t_gather = median_secs(reps, || soa.dist_sq_gather(&q, &ids, &mut buf));
+    for j in 0..n {
+        assert_eq!(
+            buf[j].to_bits(),
+            want[j].to_bits(),
+            "gather kernel diverged from scalar reference at {j}"
+        );
+    }
+
+    let rate = |t: f64| format!("{:.1}", n as f64 / t / 1e6);
+    table.row(
+        format!("uniform-cube {D}d n={n}"),
+        vec![
+            rate(t_scalar),
+            rate(t_range),
+            rate(t_sgather),
+            rate(t_gather),
+            format!("{:.2}", t_scalar / t_range),
+            format!("{:.2}", t_sgather / t_gather),
+        ],
+    );
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (n, reps) = if smoke { (40_000, 3) } else { (1_000_000, 9) };
+
+    let mut table = Table::new(
+        "BENCH SoA distance kernels (one query vs n candidates)",
+        &[
+            "case",
+            "scalar Md/s",
+            "range Md/s",
+            "scalar-gather Md/s",
+            "gather Md/s",
+            "range x",
+            "gather x",
+        ],
+    );
+    run_dim::<2>(&mut table, n, reps);
+    run_dim::<3>(&mut table, n, reps);
+    run_dim::<8>(&mut table, n, reps);
+    table.note(format!(
+        "reps={reps}, median; Md/s = million squared distances per second; \
+         range x = range kernel vs contiguous scalar loop, gather x = gather \
+         kernel vs scalar loop over the same shuffled ids"
+    ));
+    table.note(
+        "all variants are bitwise-parity-gated against Point::dist_sq before \
+         a rate is printed"
+            .to_string(),
+    );
+    if smoke {
+        table.note("--smoke run: n scaled down 25x (CI sanity only)".to_string());
+    }
+    table.print();
+}

@@ -101,7 +101,8 @@ pub fn knn(
                 // the summary would mask a degraded run.
                 let extra = format!(
                     ", depth {} rounds, {} fast / {} punts ({} threshold, {} marching), \
-                     {} forced leaves ({} degenerate splits, {} depth-capped)",
+                     {} forced leaves ({} degenerate splits, {} depth-capped), \
+                     {} march steps ({} pruned), {} correction dist evals",
                     out.cost.depth,
                     out.stats.fast_corrections,
                     out.stats.punts_threshold + out.stats.punts_marching,
@@ -110,6 +111,9 @@ pub fn knn(
                     out.stats.forced_leaves,
                     out.stats.degenerate_splits,
                     out.stats.depth_forced_leaves,
+                    out.meter.marching_balls,
+                    out.meter.march_pruned,
+                    out.meter.correction_dist_evals,
                 );
                 (out.knn, extra, Some(out.report.to_json()))
             }),
@@ -423,6 +427,9 @@ mod tests {
             "forced leaves",
             "degenerate splits",
             "depth-capped",
+            "march steps",
+            "pruned",
+            "correction dist evals",
         ] {
             assert!(out.summary.contains(needle), "{}", out.summary);
         }

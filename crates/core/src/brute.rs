@@ -4,6 +4,12 @@ use crate::error::{validate_k, validate_points, SepdcError};
 use crate::knn::{KnnResult, Neighbor};
 use rayon::prelude::*;
 use sepdc_geom::point::Point;
+use sepdc_geom::soa::SoaPoints;
+
+/// Stack tile for the blocked scan: distances for `TILE` candidates are
+/// materialized at a time so the inner loop auto-vectorizes while the
+/// buffer never leaves the stack.
+const TILE: usize = 64;
 
 /// Exact all-k-NN by scanning all pairs. `O(n² k)` work; parallel over
 /// points. This is the oracle every other algorithm is tested against.
@@ -24,34 +30,37 @@ pub fn try_brute_force_knn<const D: usize>(
     validate_k(k)?;
     validate_points(points)?;
     let n = points.len();
+    let soa = SoaPoints::from_points(points);
     let lists: Vec<Vec<Neighbor>> = points
         .par_iter()
         .enumerate()
         .map(|(i, pi)| {
             let mut list: Vec<Neighbor> = Vec::with_capacity(k + 1);
-            for (j, pj) in points.iter().enumerate() {
-                if i == j {
-                    continue;
-                }
-                let d = pi.dist_sq(pj);
-                if list.len() == k {
-                    let tail = list[k - 1];
-                    if d > tail.dist_sq || (d == tail.dist_sq && j as u32 >= tail.idx) {
+            let mut buf = [0.0f64; TILE];
+            let mut base = 0;
+            while base < n {
+                let m = (n - base).min(TILE);
+                let dists = &mut buf[..m];
+                soa.dist_sq_range(pi, base, dists);
+                for (off, &d) in dists.iter().enumerate() {
+                    let j = (base + off) as u32;
+                    if i as u32 == j {
                         continue;
                     }
+                    if list.len() == k {
+                        let tail = list[k - 1];
+                        if d > tail.dist_sq || (d == tail.dist_sq && j >= tail.idx) {
+                            continue;
+                        }
+                    }
+                    let pos = list
+                        .iter()
+                        .position(|n| d < n.dist_sq || (d == n.dist_sq && j < n.idx))
+                        .unwrap_or(list.len());
+                    list.insert(pos, Neighbor { idx: j, dist_sq: d });
+                    list.truncate(k);
                 }
-                let pos = list
-                    .iter()
-                    .position(|n| d < n.dist_sq || (d == n.dist_sq && (j as u32) < n.idx))
-                    .unwrap_or(list.len());
-                list.insert(
-                    pos,
-                    Neighbor {
-                        idx: j as u32,
-                        dist_sq: d,
-                    },
-                );
-                list.truncate(k);
+                base += m;
             }
             list
         })

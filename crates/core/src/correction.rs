@@ -21,6 +21,7 @@ use rayon::prelude::*;
 use sepdc_geom::ball::Ball;
 use sepdc_geom::point::Point;
 use sepdc_geom::shape::Separator;
+use sepdc_geom::soa::SoaPoints;
 use sepdc_scan::CostProfile;
 
 /// A crossing ball together with its owning point id.
@@ -83,16 +84,20 @@ pub(crate) fn collect_crossing<const D: usize>(
 /// pair count is large — each owner writes only its own list, and
 /// `merge_candidate` is order-independent, so the result is deterministic.
 pub(crate) fn correct_unbounded<const D: usize>(
-    points: &[Point<D>],
+    soa: &SoaPoints<D>,
     lists: &SharedLists,
     unbounded: &[u32],
     opposite: &[u32],
 ) {
     let one = |&o: &u32| {
-        let po = points[o as usize];
-        for &j in opposite {
-            lists.merge_candidate(o as usize, j, po.dist_sq(&points[j as usize]));
-        }
+        // One blocked distance sweep per owner, then a batched merge (the
+        // cached radius is loaded once per batch; `merge_candidate`
+        // re-checks under the lock, so the lists are identical to the
+        // per-candidate path).
+        let po = soa.point(o as usize);
+        let mut dists = vec![0.0; opposite.len()];
+        soa.dist_sq_gather(&po, opposite, &mut dists);
+        lists.merge_batch(o as usize, opposite, &dists, f64::INFINITY);
     };
     if unbounded.len().saturating_mul(opposite.len()) >= PAR_SCAN_CUTOFF && unbounded.len() > 1 {
         unbounded.par_iter().for_each(one);
@@ -109,7 +114,7 @@ pub(crate) fn correct_unbounded<const D: usize>(
 ///
 /// Returns the work–depth cost of the build plus the query sweep.
 pub(crate) fn correct_via_query<const D: usize, const E: usize>(
-    points: &[Point<D>],
+    soa: &SoaPoints<D>,
     lists: &SharedLists,
     subset: &[u32],
     crossing: &[CrossingBall<D>],
@@ -124,25 +129,42 @@ pub(crate) fn correct_via_query<const D: usize, const E: usize>(
     let height = tree.stats().height as u64;
 
     // Every subset point queries the structure; merges go through the
-    // shared lists (order-independent).
-    let process = |&p_id: &u32| {
-        let p = points[p_id as usize];
-        // Which side is this point on? Determined by ownership: a point
-        // corrects only balls owned by the *other* side. We recover the
-        // side from the crossing metadata at merge time instead of
-        // re-classifying against the separator (robust to surface ties).
-        for ball_local in tree.covering_interior(&p) {
-            let c = &crossing[ball_local as usize];
-            if c.owner == p_id {
+    // shared lists (order-independent). Chunks reuse one set of scratch
+    // buffers: the leaf cover test and the owner-distance evaluation both
+    // run through the blocked SoA kernels.
+    let process = |ids: &[u32]| {
+        let mut scratch: Vec<f64> = Vec::new();
+        let mut hits: Vec<u32> = Vec::new();
+        let mut owners: Vec<u32> = Vec::new();
+        let mut dists: Vec<f64> = Vec::new();
+        for &p_id in ids {
+            let p = soa.point(p_id as usize);
+            hits.clear();
+            tree.covering_into(&p, true, &mut scratch, &mut hits);
+            // Which side is this point on? Determined by ownership: a point
+            // corrects only balls owned by the *other* side. We recover the
+            // side from the crossing metadata at merge time instead of
+            // re-classifying against the separator (robust to surface ties).
+            owners.clear();
+            for &ball_local in &hits {
+                let o = crossing[ball_local as usize].owner;
+                if o != p_id {
+                    owners.push(o);
+                }
+            }
+            if owners.is_empty() {
                 continue;
             }
-            lists.merge_candidate(c.owner as usize, p_id, points[c.owner as usize].dist_sq(&p));
+            soa.dist_sq_gather_into(&p, &owners, &mut dists);
+            for (&o, &d) in owners.iter().zip(&dists) {
+                lists.merge_candidate(o as usize, p_id, d);
+            }
         }
     };
-    if subset.len() >= 2048 {
-        subset.par_iter().for_each(process);
+    if subset.len() >= PAR_SCAN_CUTOFF {
+        subset.par_chunks(PAR_SCAN_CUTOFF).for_each(process);
     } else {
-        subset.iter().for_each(process);
+        process(subset);
     }
 
     // Build cost, then one query round of depth = tree height + leaf scan,
@@ -202,8 +224,9 @@ mod tests {
             crossing.extend(c);
         }
         let subset: Vec<u32> = (0..20).collect();
+        let soa = SoaPoints::from_points(&points);
         correct_via_query::<1, 2>(
-            &points,
+            &soa,
             &lists,
             &subset,
             &crossing,
@@ -230,7 +253,8 @@ mod tests {
         let sep: Separator<1> = Hyperplane::axis_aligned(0, 0.5).into();
         let (_, unbounded) = collect_crossing(&points, &lists, &left, &sep);
         assert_eq!(unbounded, vec![0]);
-        correct_unbounded(&points, &lists, &unbounded, &right);
+        let soa = SoaPoints::from_points(&points);
+        correct_unbounded(&soa, &lists, &unbounded, &right);
         assert_eq!(lists.radius_sq(0), 1.0);
     }
 
@@ -238,8 +262,9 @@ mod tests {
     fn empty_crossing_is_free() {
         let points: Vec<Point<1>> = (0..4).map(|i| Point::from([i as f64])).collect();
         let lists = SharedLists::new(4, 1);
+        let soa = SoaPoints::from_points(&points);
         let cost = correct_via_query::<1, 2>(
-            &points,
+            &soa,
             &lists,
             &[0, 1, 2, 3],
             &[],

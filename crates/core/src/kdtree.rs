@@ -6,6 +6,7 @@ use crate::error::{validate_k, validate_points, SepdcError};
 use crate::knn::{KnnResult, Neighbor};
 use rayon::prelude::*;
 use sepdc_geom::point::Point;
+use sepdc_geom::soa::SoaPoints;
 
 const LEAF_SIZE: usize = 16;
 
@@ -24,6 +25,10 @@ enum Node {
 pub struct KdTree<'a, const D: usize> {
     points: &'a [Point<D>],
     ids: Vec<u32>,
+    /// Coordinates in `ids` (permuted) order, so every leaf is a
+    /// contiguous column range and scans run through the blocked SoA
+    /// kernel without gather indirection.
+    soa: SoaPoints<D>,
     nodes: Vec<Node>,
     root: u32,
 }
@@ -40,6 +45,7 @@ impl<'a, const D: usize> KdTree<'a, D> {
         let mut tree = KdTree {
             points,
             ids: Vec::new(),
+            soa: SoaPoints::from_points(&[]),
             nodes: Vec::new(),
             root: 0,
         };
@@ -49,6 +55,8 @@ impl<'a, const D: usize> KdTree<'a, D> {
         }
         let n = ids.len();
         let root = tree.build_rec(&mut ids, 0, 0, n, 0);
+        let permuted: Vec<Point<D>> = ids.iter().map(|&i| points[i as usize]).collect();
+        tree.soa = SoaPoints::from_points(&permuted);
         tree.ids = ids;
         tree.root = root;
         tree
@@ -142,23 +150,37 @@ impl<'a, const D: usize> KdTree<'a, D> {
     ) {
         match &self.nodes[node as usize] {
             Node::Leaf { start, end } => {
-                for &i in &self.ids[*start as usize..*end as usize] {
-                    if i == exclude {
-                        continue;
-                    }
-                    let d = query.dist_sq(&self.points[i as usize]);
-                    if best.len() == k {
-                        let tail = best[k - 1];
-                        if d > tail.dist_sq || (d == tail.dist_sq && i >= tail.idx) {
+                // Distances for the whole leaf through the blocked SoA
+                // kernel (leaves are contiguous in permuted order), then a
+                // scalar insertion pass. Oversized all-identical leaves are
+                // walked in LEAF_SIZE tiles so the buffer stays on the
+                // stack.
+                let (s, e) = (*start as usize, *end as usize);
+                let mut buf = [0.0f64; LEAF_SIZE];
+                let mut pos = s;
+                while pos < e {
+                    let m = (e - pos).min(LEAF_SIZE);
+                    let dists = &mut buf[..m];
+                    self.soa.dist_sq_range(query, pos, dists);
+                    for (off, &d) in dists.iter().enumerate() {
+                        let i = self.ids[pos + off];
+                        if i == exclude {
                             continue;
                         }
+                        if best.len() == k {
+                            let tail = best[k - 1];
+                            if d > tail.dist_sq || (d == tail.dist_sq && i >= tail.idx) {
+                                continue;
+                            }
+                        }
+                        let ins = best
+                            .iter()
+                            .position(|n| d < n.dist_sq || (d == n.dist_sq && i < n.idx))
+                            .unwrap_or(best.len());
+                        best.insert(ins, Neighbor { idx: i, dist_sq: d });
+                        best.truncate(k);
                     }
-                    let pos = best
-                        .iter()
-                        .position(|n| d < n.dist_sq || (d == n.dist_sq && i < n.idx))
-                        .unwrap_or(best.len());
-                    best.insert(pos, Neighbor { idx: i, dist_sq: d });
-                    best.truncate(k);
+                    pos += m;
                 }
             }
             Node::Internal {
@@ -215,10 +237,20 @@ impl<'a, const D: usize> KdTree<'a, D> {
     ) {
         match &self.nodes[node as usize] {
             Node::Leaf { start, end } => {
-                for &i in &self.ids[*start as usize..*end as usize] {
-                    if i != exclude && center.dist_sq(&self.points[i as usize]) < radius_sq {
-                        out.push(i);
+                let (s, e) = (*start as usize, *end as usize);
+                let mut buf = [0.0f64; LEAF_SIZE];
+                let mut pos = s;
+                while pos < e {
+                    let m = (e - pos).min(LEAF_SIZE);
+                    let dists = &mut buf[..m];
+                    self.soa.dist_sq_range(center, pos, dists);
+                    for (off, &d) in dists.iter().enumerate() {
+                        let i = self.ids[pos + off];
+                        if i != exclude && d < radius_sq {
+                            out.push(i);
+                        }
                     }
+                    pos += m;
                 }
             }
             Node::Internal {

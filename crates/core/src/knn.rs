@@ -262,6 +262,40 @@ pub(crate) fn brute_list_into<const D: usize>(
     }
 }
 
+/// [`brute_list_into`] on the SoA arena: one blocked distance sweep over
+/// `ids` into `dists`, then the identical capped insertion pass. The
+/// distances are bit-for-bit the scalar kernel's and the candidate order is
+/// unchanged, so the resulting list is identical to the AoS path.
+pub(crate) fn brute_list_soa_into<const D: usize>(
+    soa: &sepdc_geom::SoaPoints<D>,
+    i: u32,
+    ids: &[u32],
+    k: usize,
+    dists: &mut Vec<f64>,
+    out: &mut Vec<Neighbor>,
+) {
+    out.clear();
+    let pi = soa.point(i as usize);
+    soa.dist_sq_gather_into(&pi, ids, dists);
+    for (&j, &d) in ids.iter().zip(dists.iter()) {
+        if i == j {
+            continue;
+        }
+        if out.len() == k {
+            let tail = out[out.len() - 1];
+            if d > tail.dist_sq || (d == tail.dist_sq && j >= tail.idx) {
+                continue;
+            }
+        }
+        let pos = out
+            .iter()
+            .position(|n| d < n.dist_sq || (d == n.dist_sq && j < n.idx))
+            .unwrap_or(out.len());
+        out.insert(pos, Neighbor { idx: j, dist_sq: d });
+        out.truncate(k);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -357,5 +391,29 @@ mod tests {
     #[should_panic(expected = "k must be positive")]
     fn zero_k_rejected() {
         KnnResult::new(3, 0);
+    }
+
+    #[test]
+    fn soa_leaf_solve_matches_scalar_exactly() {
+        // Duplicates included: tie-breaking must agree bit-for-bit.
+        let mut pts: Vec<Point<2>> = (0..37)
+            .map(|i| Point::from([(i as f64 * 0.83).sin(), (i % 5) as f64]))
+            .collect();
+        pts.push(pts[3]);
+        pts.push(pts[3]);
+        let soa = sepdc_geom::SoaPoints::from_points(&pts);
+        let ids: Vec<u32> = (0..pts.len() as u32).collect();
+        let (mut a, mut b, mut dists) = (Vec::new(), Vec::new(), Vec::new());
+        for k in [1usize, 3, 8] {
+            for &i in &ids {
+                brute_list_into(&pts, i, &ids, k, &mut a);
+                brute_list_soa_into(&soa, i, &ids, k, &mut dists, &mut b);
+                assert_eq!(a.len(), b.len(), "i={i} k={k}");
+                for (x, y) in a.iter().zip(&b) {
+                    assert_eq!(x.idx, y.idx, "i={i} k={k}");
+                    assert_eq!(x.dist_sq.to_bits(), y.dist_sq.to_bits(), "i={i} k={k}");
+                }
+            }
+        }
     }
 }

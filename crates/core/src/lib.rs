@@ -63,7 +63,9 @@ pub use kdtree::{kdtree_all_knn, try_kdtree_all_knn, KdTree};
 pub use knn::{KnnResult, Neighbor};
 pub use neighborhood::NeighborhoodSystem;
 pub use parallel::{parallel_knn, try_parallel_knn, ParallelDcOutput, ParallelDcStats};
-pub use partition_tree::{march_balls, MarchOutcome, PartitionNode, PartitionTree};
+pub use partition_tree::{
+    march_balls, march_balls_unpruned, MarchOutcome, PartitionNode, PartitionTree,
+};
 pub use query::{QueryTree, QueryTreeConfig, QueryTreeStats};
 pub use report::{
     DepthRow, Phase, PhaseSample, ReportError, RunRecorder, RunReport, RUN_REPORT_VERSION,

@@ -20,11 +20,13 @@
 use crate::config::KnnDcConfig;
 use crate::correction::{collect_crossing, correct_unbounded, correct_via_query, CrossingBall};
 use crate::error::{validate_points, SepdcError};
-use crate::knn::{brute_list_into, KnnResult};
+use crate::knn::{brute_list_soa_into, KnnResult};
 use crate::partition_tree::{march_arena, partition_in_place, PartitionNode, PartitionTree};
 use crate::report::{cost_counters, meter_counters, Phase, RunRecorder, RunReport};
 use crate::shared::SharedLists;
+use sepdc_geom::aabb::Aabb;
 use sepdc_geom::point::Point;
+use sepdc_geom::soa::SoaPoints;
 use sepdc_scan::cost::{CostMeter, MeterSnapshot};
 use sepdc_scan::CostProfile;
 use sepdc_separator::find_good_separator;
@@ -119,6 +121,9 @@ pub struct ParallelDcOutput<const D: usize> {
 
 struct Ctx<'a, const D: usize> {
     points: &'a [Point<D>],
+    /// Column-major copy of `points` — the batched distance kernels
+    /// (leaf solves, Fast-Correction candidate evaluation) read this.
+    soa: &'a SoaPoints<D>,
     lists: &'a SharedLists,
     cfg: &'a KnnDcConfig,
     meter: &'a CostMeter,
@@ -170,8 +175,10 @@ pub fn try_parallel_knn<const D: usize, const E: usize>(
     let base = cfg.resolve_base_case(n, D);
     let depth_limit = cfg.resolve_depth_limit(n);
     let obs = RunRecorder::new(cfg.record, depth_limit);
+    let soa = SoaPoints::from_points(points);
     let ctx = Ctx {
         points,
+        soa: &soa,
         lists: &lists,
         cfg,
         meter: &meter,
@@ -184,7 +191,7 @@ pub fn try_parallel_knn<const D: usize, const E: usize>(
     // place, handing each recursive call a disjoint `&mut` slice — no
     // per-level id-set clones.
     let mut perm: Vec<u32> = (0..n as u32).collect();
-    let (nodes, cost, stats) = rec::<D, E>(&ctx, &mut perm, cfg.seed, 0)?;
+    let (nodes, bounds, cost, stats) = rec::<D, E>(&ctx, &mut perm, cfg.seed, 0)?;
     let snapshot = meter.snapshot();
     let report = build_report::<D>(cfg, n, base, depth_limit, &stats, &snapshot, &cost, &obs)
         .finish(t_run.elapsed());
@@ -193,7 +200,7 @@ pub fn try_parallel_knn<const D: usize, const E: usize>(
         cost,
         stats,
         meter: snapshot,
-        tree: PartitionTree::from_parts(nodes, perm),
+        tree: PartitionTree::from_parts_with_bounds(nodes, perm, bounds),
         report,
     })
 }
@@ -258,6 +265,21 @@ fn build_report<const D: usize>(
     ];
     counters.extend(meter_counters(meter));
     counters.extend(cost_counters(cost));
+    // Correction-engine view of the meter (same numbers, task-oriented
+    // names): total march steps, subtrees skipped by AABB-vs-ball
+    // rejection, and distance evaluations spent on marched candidates.
+    counters.push((
+        "correction.march_steps".to_string(),
+        meter.marching_balls as f64,
+    ));
+    counters.push((
+        "correction.march_pruned".to_string(),
+        meter.march_pruned as f64,
+    ));
+    counters.push((
+        "correction.dist_evals".to_string(),
+        meter.correction_dist_evals as f64,
+    ));
     RunReport {
         version: crate::report::RUN_REPORT_VERSION,
         algo: "parallel".to_string(),
@@ -308,17 +330,24 @@ fn leaf_case<const D: usize>(
     ids: &[u32],
     depth: usize,
     forced: bool,
-) -> (Vec<PartitionNode<D>>, CostProfile, ParallelDcStats) {
+) -> (
+    Vec<PartitionNode<D>>,
+    Vec<Aabb<D>>,
+    CostProfile,
+    ParallelDcStats,
+) {
     let m = ids.len();
     let t0 = ctx.obs.start();
     // Write each leaf list straight into the shared store through one
     // reused scratch buffer: allocating a full n-point KnnResult here
     // costs O(n) per leaf, which dominates the whole recursion
-    // (O(n²/base) total) once n is large.
+    // (O(n²/base) total) once n is large. Distances come from the SoA
+    // arena's blocked kernel (bit-identical to the scalar scan).
     let k = ctx.lists.k();
     let mut scratch = Vec::with_capacity(k + 1);
+    let mut dists = Vec::with_capacity(m);
     for &i in ids {
-        brute_list_into(ctx.points, i, ids, k, &mut scratch);
+        brute_list_soa_into(ctx.soa, i, ids, k, &mut dists, &mut scratch);
         ctx.lists.set_list(i as usize, &scratch);
     }
     ctx.meter.add_distance_evals((m * m) as u64);
@@ -331,14 +360,22 @@ fn leaf_case<const D: usize>(
             start: 0,
             len: m as u32,
         }],
+        vec![ctx.soa.aabb_of_ids(ids)],
         // Paper base case: "compute in m time using m processors".
         CostProfile::rounds(m as u64, m as u64),
         ParallelDcStats::leaf(forced),
     )
 }
 
-type RecResult<const D: usize> =
-    Result<(Vec<PartitionNode<D>>, CostProfile, ParallelDcStats), SepdcError>;
+type RecResult<const D: usize> = Result<
+    (
+        Vec<PartitionNode<D>>,
+        Vec<Aabb<D>>,
+        CostProfile,
+        ParallelDcStats,
+    ),
+    SepdcError,
+>;
 
 fn rec<const D: usize, const E: usize>(
     ctx: &Ctx<'_, D>,
@@ -363,7 +400,7 @@ fn rec<const D: usize, const E: usize>(
             });
         }
         let mut out = leaf_case(ctx, ids, depth, true);
-        out.2.depth_forced_leaves = 1;
+        out.3.depth_forced_leaves = 1;
         return Ok(out);
     }
     let t_split = ctx.obs.start();
@@ -389,7 +426,7 @@ fn rec<const D: usize, const E: usize>(
         // re-run this call on an unshrunk slice forever; fall back to a
         // brute-force leaf instead.
         let mut out = leaf_case(ctx, ids, depth, true);
-        out.2.degenerate_splits = 1;
+        out.3.degenerate_splits = 1;
         return Ok(out);
     }
 
@@ -407,15 +444,19 @@ fn rec<const D: usize, const E: usize>(
             rec::<D, E>(ctx, rslice, rseed, depth + 1),
         )
     };
-    let ((lnodes, lcost, lstats), (rnodes, rcost, rstats)) = (lres?, rres?);
+    let ((lnodes, lbounds, lcost, lstats), (rnodes, rbounds, rcost, rstats)) = (lres?, rres?);
 
     // Merge the child arenas into one postorder node vec: the right
     // child's node indices shift by the left arena's length, and its leaf
     // ranges (relative to `rslice`) shift by `nl` to become relative to
-    // this call's slice.
+    // this call's slice. The bounds arena is positional (bounds[i] boxes
+    // the subtree rooted at node i), so it concatenates with no rewriting.
     let node_off = lnodes.len() as u32;
     let mut nodes = lnodes;
     nodes.reserve(rnodes.len() + 1);
+    let mut bounds = lbounds;
+    bounds.reserve(rbounds.len() + 1);
+    bounds.extend(rbounds);
     nodes.extend(rnodes.into_iter().map(|nd| match nd {
         PartitionNode::Internal {
             sep: csep,
@@ -444,8 +485,8 @@ fn rec<const D: usize, const E: usize>(
     let t_cc = ctx.obs.start();
     let (cross_l, unbounded_l) = collect_crossing(ctx.points, ctx.lists, left, &sep);
     let (cross_r, unbounded_r) = collect_crossing(ctx.points, ctx.lists, right, &sep);
-    correct_unbounded(ctx.points, ctx.lists, &unbounded_l, right);
-    correct_unbounded(ctx.points, ctx.lists, &unbounded_r, left);
+    correct_unbounded(ctx.soa, ctx.lists, &unbounded_l, right);
+    correct_unbounded(ctx.soa, ctx.lists, &unbounded_r, left);
     ctx.obs.stop(Phase::CollectCrossing, t_cc);
 
     let crossing_total = cross_l.len() + cross_r.len();
@@ -469,7 +510,7 @@ fn rec<const D: usize, const E: usize>(
         let mut crossing = cross_l;
         crossing.extend(cross_r);
         ctx.obs.time(Phase::PuntCorrection, || {
-            correct_via_query::<D, E>(ctx.points, ctx.lists, ids, &crossing, ctx.cfg.query, qseed)
+            correct_via_query::<D, E>(ctx.soa, ctx.lists, ids, &crossing, ctx.cfg.query, qseed)
         })
     } else {
         // Fast Correction: march each side's crossers down the opposite
@@ -477,7 +518,9 @@ fn rec<const D: usize, const E: usize>(
         // call's id slice).
         let limit = ctx.cfg.marching_limit(m);
         match ctx.obs.time(Phase::FastCorrection, || {
-            try_fast_correction(ctx, &cross_l, &cross_r, &nodes, l_root, r_root, ids, limit)
+            try_fast_correction(
+                ctx, &cross_l, &cross_r, &nodes, &bounds, l_root, r_root, ids, limit,
+            )
         }) {
             Some((work, max_ratio)) => {
                 ctx.meter.add_fast_correction();
@@ -502,7 +545,7 @@ fn rec<const D: usize, const E: usize>(
                 crossing.extend(cross_r);
                 ctx.obs.time(Phase::PuntCorrection, || {
                     correct_via_query::<D, E>(
-                        ctx.points,
+                        ctx.soa,
                         ctx.lists,
                         ids,
                         &crossing,
@@ -516,13 +559,14 @@ fn rec<const D: usize, const E: usize>(
 
     let local = CostProfile::scan(m as u64).with_candidates(found.attempts as u64);
     let cost = local.then(lcost.alongside(rcost)).then(corr_cost);
+    bounds.push(bounds[l_root as usize].union(&bounds[r_root as usize]));
     nodes.push(PartitionNode::Internal {
         sep,
         size: m as u32,
         left: l_root,
         right: r_root,
     });
-    Ok((nodes, cost, stats))
+    Ok((nodes, bounds, cost, stats))
 }
 
 /// March both crossing sets down the opposite subtrees and merge the
@@ -538,6 +582,7 @@ fn try_fast_correction<const D: usize>(
     cross_l: &[CrossingBall<D>],
     cross_r: &[CrossingBall<D>],
     nodes: &[PartitionNode<D>],
+    bounds: &[Aabb<D>],
     l_root: u32,
     r_root: u32,
     perm: &[u32],
@@ -546,31 +591,40 @@ fn try_fast_correction<const D: usize>(
     let mut work = 0u64;
     let mut max_ratio = 0.0f64;
     let limit_f = limit as f64;
+    let mut dists: Vec<f64> = Vec::new();
     for (crossers, opposite_root) in [(cross_l, r_root), (cross_r, l_root)] {
         if crossers.is_empty() {
             continue;
         }
         let balls: Vec<_> = crossers.iter().map(|c| c.ball).collect();
-        let out = march_arena(nodes, opposite_root, perm, &balls, limit);
+        // Marching descends only into children whose subtree box the ball
+        // intersects: a pruned subtree holds no in-ball points, so the
+        // merged lists are identical to the unpruned march's (only the
+        // step/abort accounting changes).
+        let out = march_arena(nodes, opposite_root, perm, &balls, limit, Some(bounds));
         ctx.meter.add_marching(out.total_steps);
+        ctx.meter.add_march_pruned(out.pruned);
         if out.aborted {
             return None;
         }
         work += out.total_steps;
         max_ratio = max_ratio.max(out.max_active_per_level as f64 / limit_f);
-        // Candidate fix: keep the k closest (merge handles it).
+        // Candidate fix: one blocked distance sweep per crosser, then a
+        // batched merge (radius loaded once per batch; `merge_candidate`
+        // re-checks under the row lock, so lists are unchanged). Keep the
+        // k closest (merge handles it).
         for (c, cands) in crossers.iter().zip(&out.candidates) {
-            let owner_pt = ctx.points[c.owner as usize];
-            let r_sq = c.ball.radius * c.ball.radius;
+            #[cfg(debug_assertions)]
             for &q in cands {
                 debug_assert_ne!(q, c.owner, "opposite subtree cannot contain the owner");
-                let d = owner_pt.dist_sq(&ctx.points[q as usize]);
-                if d < r_sq {
-                    ctx.lists.merge_candidate(c.owner as usize, q, d);
-                }
             }
+            let owner_pt = ctx.points[c.owner as usize];
+            let r_sq = c.ball.radius * c.ball.radius;
+            ctx.soa.dist_sq_gather_into(&owner_pt, cands, &mut dists);
+            ctx.lists.merge_batch(c.owner as usize, cands, &dists, r_sq);
             work += cands.len() as u64;
             ctx.meter.add_distance_evals(cands.len() as u64);
+            ctx.meter.add_correction_dist_evals(cands.len() as u64);
         }
     }
     Some((work, max_ratio))

@@ -17,6 +17,7 @@
 //! range. This removes per-node `Box`es and per-leaf `Vec`s, and makes
 //! marching a pure array walk.
 
+use sepdc_geom::aabb::Aabb;
 use sepdc_geom::ball::Ball;
 use sepdc_geom::shape::Separator;
 
@@ -50,6 +51,11 @@ pub enum PartitionNode<const D: usize> {
 pub struct PartitionTree<const D: usize> {
     nodes: Vec<PartitionNode<D>>,
     perm: Vec<u32>,
+    /// Optional per-node bounding boxes, parallel to `nodes` (`bounds[i]`
+    /// bounds every point in the subtree rooted at `i`). Present on trees
+    /// built by the parallel recursion; marching uses them for ball-vs-box
+    /// pruning.
+    bounds: Option<Vec<Aabb<D>>>,
 }
 
 impl<const D: usize> PartitionTree<D> {
@@ -71,7 +77,32 @@ impl<const D: usize> PartitionTree<D> {
                 }
             }
         }
-        PartitionTree { nodes, perm }
+        PartitionTree {
+            nodes,
+            perm,
+            bounds: None,
+        }
+    }
+
+    /// Assemble a tree with per-node bounding boxes (`bounds[i]` must
+    /// bound every point of the subtree rooted at node `i`).
+    ///
+    /// # Panics
+    /// Panics when `bounds` is not parallel to `nodes`.
+    pub fn from_parts_with_bounds(
+        nodes: Vec<PartitionNode<D>>,
+        perm: Vec<u32>,
+        bounds: Vec<Aabb<D>>,
+    ) -> Self {
+        assert_eq!(nodes.len(), bounds.len(), "bounds must parallel nodes");
+        let mut t = Self::from_parts(nodes, perm);
+        t.bounds = Some(bounds);
+        t
+    }
+
+    /// Per-node bounding boxes, when the tree carries them.
+    pub fn bounds(&self) -> Option<&[Aabb<D>]> {
+        self.bounds.as_deref()
     }
 
     /// Arena index of the root (always the last node).
@@ -173,6 +204,10 @@ pub struct MarchOutcome {
     pub levels: usize,
     /// Total (ball, node) steps — the marching work.
     pub total_steps: u64,
+    /// Subtrees a ball would have descended into by the separator
+    /// predicates alone, skipped because the ball misses the subtree's
+    /// bounding box (0 when the tree carries no bounds).
+    pub pruned: u64,
     /// `true` when the active-ball limit was exceeded and the march was
     /// abandoned (the caller must punt).
     pub aborted: bool,
@@ -187,7 +222,34 @@ pub fn march_balls<const D: usize>(
     balls: &[Ball<D>],
     active_limit: usize,
 ) -> MarchOutcome {
-    march_arena(&tree.nodes, tree.root(), &tree.perm, balls, active_limit)
+    march_arena(
+        &tree.nodes,
+        tree.root(),
+        &tree.perm,
+        balls,
+        active_limit,
+        tree.bounds.as_deref(),
+    )
+}
+
+/// [`march_balls`] with AABB pruning disabled even when the tree carries
+/// bounds. The pruned and unpruned marches agree on every in-ball
+/// candidate (pruning only removes subtrees whose box the ball misses, and
+/// such subtrees cannot contain in-ball points) — the soundness tests pin
+/// this equivalence.
+pub fn march_balls_unpruned<const D: usize>(
+    tree: &PartitionTree<D>,
+    balls: &[Ball<D>],
+    active_limit: usize,
+) -> MarchOutcome {
+    march_arena(
+        &tree.nodes,
+        tree.root(),
+        &tree.perm,
+        balls,
+        active_limit,
+        None,
+    )
 }
 
 /// March over raw arena parts, starting from `root`. Lets the recursion
@@ -199,12 +261,14 @@ pub(crate) fn march_arena<const D: usize>(
     perm: &[u32],
     balls: &[Ball<D>],
     active_limit: usize,
+    bounds: Option<&[Aabb<D>]>,
 ) -> MarchOutcome {
     let mut candidates: Vec<Vec<u32>> = vec![Vec::new(); balls.len()];
     let mut frontier: Vec<(u32, u32)> = (0..balls.len()).map(|b| (root, b as u32)).collect();
     let mut levels = 0usize;
     let mut max_active = frontier.len();
     let mut total_steps = 0u64;
+    let mut pruned = 0u64;
     let mut next: Vec<(u32, u32)> = Vec::new();
 
     while !frontier.is_empty() {
@@ -214,6 +278,7 @@ pub(crate) fn march_arena<const D: usize>(
                 max_active_per_level: frontier.len(),
                 levels,
                 total_steps,
+                pruned,
                 aborted: true,
             };
         }
@@ -231,11 +296,26 @@ pub(crate) fn march_arena<const D: usize>(
                 PartitionNode::Internal {
                     sep, left, right, ..
                 } => {
-                    if ball.touches_interior_of(sep) {
-                        next.push((*left, b));
-                    }
-                    if ball.touches_exterior_of(sep) {
-                        next.push((*right, b));
+                    // Ball-vs-box rejection: a child whose subtree box the
+                    // ball misses cannot contain an in-ball point, so
+                    // skipping it never loses a candidate that could pass
+                    // the strict `d < r^2` merge test downstream. Sound for
+                    // empty boxes too (distance +inf => always pruned, and
+                    // an empty subtree has no candidates).
+                    for (reaches, child) in [
+                        (ball.touches_interior_of(sep), *left),
+                        (ball.touches_exterior_of(sep), *right),
+                    ] {
+                        if !reaches {
+                            continue;
+                        }
+                        if let Some(bs) = bounds {
+                            if !bs[child as usize].intersects_ball(ball) {
+                                pruned += 1;
+                                continue;
+                            }
+                        }
+                        next.push((child, b));
                     }
                 }
             }
@@ -248,6 +328,7 @@ pub(crate) fn march_arena<const D: usize>(
         max_active_per_level: max_active,
         levels,
         total_steps,
+        pruned,
         aborted: false,
     }
 }
@@ -397,5 +478,90 @@ mod tests {
         assert!(!out.aborted);
         assert_eq!(out.levels, 0);
         assert!(out.candidates.is_empty());
+        assert_eq!(out.pruned, 0);
+    }
+
+    /// `line_tree` with correct per-subtree boxes (points 0..8 at x = i).
+    fn line_tree_with_bounds() -> PartitionTree<1> {
+        let t = line_tree();
+        let span = |a: f64, b: f64| Aabb {
+            lo: Point::<1>::from([a]),
+            hi: Point::from([b]),
+        };
+        let bounds = vec![
+            span(0.0, 1.0),
+            span(2.0, 3.0),
+            span(0.0, 3.0),
+            span(4.0, 5.0),
+            span(6.0, 7.0),
+            span(4.0, 7.0),
+            span(0.0, 7.0),
+        ];
+        let mut perm = Vec::new();
+        t.collect_point_ids(&mut perm);
+        let nodes = vec![
+            PartitionNode::Leaf { start: 0, len: 2 },
+            PartitionNode::Leaf { start: 2, len: 2 },
+            clone_internal(t.node(2)),
+            PartitionNode::Leaf { start: 4, len: 2 },
+            PartitionNode::Leaf { start: 6, len: 2 },
+            clone_internal(t.node(5)),
+            clone_internal(t.node(6)),
+        ];
+        PartitionTree::from_parts_with_bounds(nodes, perm, bounds)
+    }
+
+    fn clone_internal(n: &PartitionNode<1>) -> PartitionNode<1> {
+        match n {
+            PartitionNode::Internal {
+                sep,
+                size,
+                left,
+                right,
+            } => PartitionNode::Internal {
+                sep: *sep,
+                size: *size,
+                left: *left,
+                right: *right,
+            },
+            PartitionNode::Leaf { start, len } => PartitionNode::Leaf {
+                start: *start,
+                len: *len,
+            },
+        }
+    }
+
+    #[test]
+    fn pruned_march_skips_unreachable_boxes_but_keeps_in_ball_points() {
+        let t = line_tree_with_bounds();
+        // Ball at x=4.5, r=1: the root's halfspace predicates send it both
+        // ways, but the left subtree's box [0,3] is 1.5 away — pruned.
+        let balls = vec![Ball::new(Point::<1>::from([4.5]), 1.0)];
+        let pruned = march_balls(&t, &balls, 100);
+        let full = march_balls_unpruned(&t, &balls, 100);
+        assert!(!pruned.aborted && !full.aborted);
+        assert!(pruned.pruned > 0, "left subtree should be pruned");
+        assert_eq!(full.pruned, 0, "unpruned march never prunes");
+        assert!(pruned.total_steps < full.total_steps);
+        // Every candidate the pruned march keeps is also in the full set,
+        // and every *in-ball* point survives the pruning.
+        for c in &pruned.candidates[0] {
+            assert!(full.candidates[0].contains(c));
+        }
+        for i in 0u32..8 {
+            let p = Point::<1>::from([i as f64]);
+            if balls[0].contains(&p) {
+                assert!(pruned.candidates[0].contains(&i), "lost in-ball point {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_absent_means_no_pruning() {
+        let t = line_tree();
+        assert!(t.bounds().is_none());
+        let balls = vec![Ball::new(Point::<1>::from([4.5]), 1.0)];
+        let out = march_balls(&t, &balls, 100);
+        assert_eq!(out.pruned, 0);
     }
 }

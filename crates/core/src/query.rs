@@ -20,6 +20,7 @@ use rand_chacha::ChaCha8Rng;
 use sepdc_geom::ball::Ball;
 use sepdc_geom::point::Point;
 use sepdc_geom::shape::Separator;
+use sepdc_geom::soa::SoaBalls;
 use sepdc_scan::CostProfile;
 use sepdc_separator::{find_good_separator, SearchOutcome, SeparatorConfig};
 
@@ -91,6 +92,8 @@ pub struct QueryTreeStats {
 pub struct QueryTree<const D: usize> {
     root: QNode<D>,
     balls: Vec<Ball<D>>,
+    /// Columnar centers + squared radii for the batched leaf cover tests.
+    soa: SoaBalls<D>,
     stats: QueryTreeStats,
     cost: CostProfile,
     report: RunReport,
@@ -212,6 +215,7 @@ impl<const D: usize> QueryTree<D> {
         Ok(QueryTree {
             root: built.node,
             balls: balls.to_vec(),
+            soa: SoaBalls::from_balls(balls),
             stats: built.stats,
             cost: built.cost,
             report,
@@ -220,27 +224,36 @@ impl<const D: usize> QueryTree<D> {
 
     /// Indices of all balls whose *closed* body contains `p`.
     pub fn covering(&self, p: &Point<D>) -> Vec<u32> {
-        let leaf = self.descend(p);
-        leaf.iter()
-            .copied()
-            .filter(|&i| self.balls[i as usize].contains(p))
-            .collect()
+        let mut out = Vec::new();
+        self.covering_into(p, false, &mut Vec::new(), &mut out);
+        out
     }
 
     /// Indices of all balls whose *open interior* contains `p` — the
     /// predicate the correction step needs (a point strictly inside a
     /// k-neighborhood ball invalidates its radius).
     pub fn covering_interior(&self, p: &Point<D>) -> Vec<u32> {
-        let leaf = self.descend(p);
-        leaf.iter()
-            .copied()
-            .filter(|&i| self.balls[i as usize].contains_interior(p))
-            .collect()
+        let mut out = Vec::new();
+        self.covering_into(p, true, &mut Vec::new(), &mut out);
+        out
     }
 
-    /// The leaf ball-id list a query point lands in.
-    fn descend(&self, p: &Point<D>) -> &[u32] {
-        self.descend_counted(p).0
+    /// Scratch-reusing cover query: appends to `out` the ids of all balls
+    /// containing `p` (open interior when `open`), in leaf order, and
+    /// returns the number of tree nodes visited. The leaf scan runs through
+    /// the blocked [`SoaBalls`] kernel; `scratch` is a reusable distance
+    /// buffer so batch callers ([`serve`](crate::serve), the punt
+    /// correction) do no per-probe allocation.
+    pub(crate) fn covering_into(
+        &self,
+        p: &Point<D>,
+        open: bool,
+        scratch: &mut Vec<f64>,
+        out: &mut Vec<u32>,
+    ) -> usize {
+        let (leaf, visited) = self.descend_counted(p);
+        self.soa.filter_covering_into(p, leaf, open, scratch, out);
+        visited
     }
 
     /// The leaf list plus the number of tree nodes visited reaching it —
@@ -264,9 +277,9 @@ impl<const D: usize> QueryTree<D> {
         }
     }
 
-    /// The indexed ball array (leaf hit ids index into it).
-    pub(crate) fn balls_slice(&self) -> &[Ball<D>] {
-        &self.balls
+    /// Columnar view of the indexed balls (the batched cover kernel).
+    pub(crate) fn soa_balls(&self) -> &SoaBalls<D> {
+        &self.soa
     }
 
     /// Number of tree nodes visited plus leaf balls scanned for `p` —

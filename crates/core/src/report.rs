@@ -339,8 +339,13 @@ pub fn meter_counters(m: &MeterSnapshot) -> Vec<(String, f64)> {
         ("meter.punts".into(), m.punts as f64),
         ("meter.fast_corrections".into(), m.fast_corrections as f64),
         ("meter.marching_balls".into(), m.marching_balls as f64),
+        ("meter.march_pruned".into(), m.march_pruned as f64),
         ("meter.query_builds".into(), m.query_builds as f64),
         ("meter.distance_evals".into(), m.distance_evals as f64),
+        (
+            "meter.correction_dist_evals".into(),
+            m.correction_dist_evals as f64,
+        ),
     ]
 }
 

@@ -69,7 +69,6 @@ pub use crate::config::ServeConfig;
 use crate::error::{validate_points, SepdcError};
 use crate::query::QueryTree;
 use crate::report::{Phase, RunRecorder, RunReport, RUN_REPORT_VERSION};
-use sepdc_geom::ball::Ball;
 use sepdc_geom::point::Point;
 
 /// Which containment predicate a batch evaluates.
@@ -256,28 +255,16 @@ fn serve_chunk<const D: usize>(
             ..ServeStats::default()
         },
     };
-    let balls: &[Ball<D>] = tree.balls_slice();
+    let soa = tree.soa_balls();
+    let open = pred == CoverPredicate::Open;
+    // One distance buffer for the whole chunk: the leaf filter runs through
+    // the blocked SoA kernel, appending hits in leaf order (so the CSR
+    // assembly stays byte-identical to the scalar filter).
+    let mut scratch: Vec<f64> = Vec::new();
     for p in chunk {
         let (leaf, visited) = tree.descend_counted(p);
         let before = part.ids.len();
-        // Predicate hoisted out of the id scan: the leaf filter is the
-        // hottest loop of the read path.
-        match pred {
-            CoverPredicate::Closed => {
-                for &i in leaf {
-                    if balls[i as usize].contains(p) {
-                        part.ids.push(i);
-                    }
-                }
-            }
-            CoverPredicate::Open => {
-                for &i in leaf {
-                    if balls[i as usize].contains_interior(p) {
-                        part.ids.push(i);
-                    }
-                }
-            }
-        }
+        soa.filter_covering_into(p, leaf, open, &mut scratch, &mut part.ids);
         let hits = (part.ids.len() - before) as u64;
         let cost = visited as u64 + leaf.len() as u64;
         part.lens.push(hits as u32);

@@ -171,6 +171,30 @@ impl SharedLists {
         inserted.is_some()
     }
 
+    /// Batched [`SharedLists::merge_candidate`]: offer `cands[j]` at
+    /// distance `dists[j]` for every `j` with `dists[j] < cap_sq` (the
+    /// caller's crossing-ball radius cap, strict — matching the Fast
+    /// Correction merge condition).
+    ///
+    /// The cached row radius is loaded **once per batch** instead of once
+    /// per candidate, and refreshed only after a merge actually ran. This
+    /// is sound because the cached radius is monotone non-increasing while
+    /// the merge window is open: a stale (larger) value can only
+    /// *over*-admit, and `merge_candidate` re-checks under the row lock, so
+    /// the resulting lists are identical to the per-candidate path.
+    pub(crate) fn merge_batch(&self, i: usize, cands: &[u32], dists: &[f64], cap_sq: f64) {
+        debug_assert_eq!(cands.len(), dists.len());
+        let mut cached = f64::from_bits(self.radius_bits[i].load(Ordering::Relaxed));
+        for (&q, &d) in cands.iter().zip(dists) {
+            // Same admission predicate as merge_candidate's fast reject
+            // (`> cached` rejects, so `<= cached` admits).
+            if d < cap_sq && d <= cached {
+                self.merge_candidate(i, q, d);
+                cached = f64::from_bits(self.radius_bits[i].load(Ordering::Relaxed));
+            }
+        }
+    }
+
     /// Unwrap into a plain result once all parallel work is done. The entry
     /// buffer is handed over in place — no per-point copies.
     pub(crate) fn into_result(self) -> KnnResult {

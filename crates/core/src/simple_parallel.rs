@@ -17,7 +17,7 @@
 use crate::config::KnnDcConfig;
 use crate::correction::{collect_crossing, correct_unbounded, correct_via_query};
 use crate::error::{validate_points, SepdcError};
-use crate::knn::{brute_list_into, KnnResult};
+use crate::knn::{brute_list_soa_into, KnnResult};
 use crate::parallel::config_echo;
 use crate::partition_tree::partition_in_place;
 use crate::report::{cost_counters, Phase, RunRecorder, RunReport};
@@ -97,6 +97,9 @@ pub struct SimpleDcOutput {
 
 struct Ctx<'a, const D: usize> {
     points: &'a [Point<D>],
+    /// Column-major copy of `points` for the batched leaf-solve and
+    /// unbounded-correction kernels.
+    soa: &'a sepdc_geom::SoaPoints<D>,
     lists: &'a SharedLists,
     cfg: &'a KnnDcConfig,
     obs: &'a RunRecorder,
@@ -142,8 +145,10 @@ pub fn try_simple_parallel_knn<const D: usize, const E: usize>(
     let base = cfg.resolve_base_case(n, D);
     let depth_limit = cfg.resolve_depth_limit(n);
     let obs = RunRecorder::new(cfg.record, depth_limit);
+    let soa = sepdc_geom::SoaPoints::from_points(points);
     let ctx = Ctx {
         points,
+        soa: &soa,
         lists: &lists,
         cfg,
         obs: &obs,
@@ -282,8 +287,8 @@ fn rec<const D: usize, const E: usize>(
     let (mut crossing, unbounded_l) = collect_crossing(ctx.points, ctx.lists, left, &sep);
     let (cross_r, unbounded_r) = collect_crossing(ctx.points, ctx.lists, right, &sep);
     crossing.extend(cross_r);
-    correct_unbounded(ctx.points, ctx.lists, &unbounded_l, right);
-    correct_unbounded(ctx.points, ctx.lists, &unbounded_r, left);
+    correct_unbounded(ctx.soa, ctx.lists, &unbounded_l, right);
+    correct_unbounded(ctx.soa, ctx.lists, &unbounded_r, left);
     ctx.obs.stop(Phase::CollectCrossing, t_cc);
     let node_crossing = crossing.len();
     ctx.obs.add_crossing(depth, node_crossing as u64);
@@ -292,7 +297,7 @@ fn rec<const D: usize, const E: usize>(
     // Section 5 combine step), so its time lands in the same
     // `punt-correction` phase the Section 6 punt path uses.
     let corr_cost = ctx.obs.time(Phase::PuntCorrection, || {
-        correct_via_query::<D, E>(ctx.points, ctx.lists, ids, &crossing, ctx.cfg.query, qseed)
+        correct_via_query::<D, E>(ctx.soa, ctx.lists, ids, &crossing, ctx.cfg.query, qseed)
     });
 
     let local = CostProfile::scan(m as u64); // the split
@@ -308,8 +313,9 @@ fn solve_subset_into<const D: usize>(ctx: &Ctx<'_, D>, ids: &[u32], depth: usize
     // across the recursion).
     let k = ctx.lists.k();
     let mut scratch = Vec::with_capacity(k + 1);
+    let mut dists = Vec::with_capacity(ids.len());
     for &i in ids {
-        brute_list_into(ctx.points, i, ids, k, &mut scratch);
+        brute_list_soa_into(ctx.soa, i, ids, k, &mut dists, &mut scratch);
         ctx.lists.set_list(i as usize, &scratch);
     }
     ctx.obs.stop(Phase::LeafSolve, t0);

@@ -49,6 +49,17 @@ impl<const D: usize> Aabb<D> {
         }
     }
 
+    /// Smallest box containing both operands (the empty box is the
+    /// identity; component-wise min/max, so inverted bounds never poison a
+    /// non-empty partner).
+    #[must_use]
+    pub fn union(&self, other: &Aabb<D>) -> Self {
+        Aabb {
+            lo: self.lo.min(&other.lo),
+            hi: self.hi.max(&other.hi),
+        }
+    }
+
     /// Box center (undefined on empty boxes).
     pub fn center(&self) -> Point<D> {
         (self.lo + self.hi) / 2.0
@@ -164,6 +175,24 @@ mod tests {
         assert_eq!(b.hi.coords(), &[2.0, 5.0, 4.0]);
         assert_eq!(b.widest_axis(), 1);
         assert_eq!(b.max_extent(), 8.0);
+    }
+
+    #[test]
+    fn union_of_boxes() {
+        let a = Aabb {
+            lo: Point::<2>::from([0.0, 0.0]),
+            hi: Point::from([1.0, 1.0]),
+        };
+        let b = Aabb {
+            lo: Point::from([-1.0, 0.5]),
+            hi: Point::from([0.5, 3.0]),
+        };
+        let u = a.union(&b);
+        assert_eq!(u.lo.coords(), &[-1.0, 0.0]);
+        assert_eq!(u.hi.coords(), &[1.0, 3.0]);
+        // Empty is the identity on both sides.
+        assert_eq!(a.union(&Aabb::empty()), a);
+        assert_eq!(Aabb::empty().union(&a), a);
     }
 
     #[test]

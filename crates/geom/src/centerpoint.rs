@@ -11,7 +11,7 @@
 //! (stochastically) the Tukey depth of the surviving mass.
 
 use crate::point::Point;
-use crate::radon::radon_point;
+use crate::radon::radon_point_value;
 use rand::Rng;
 
 /// Options for the iterated-Radon centerpoint computation.
@@ -77,9 +77,9 @@ pub fn approximate_centerpoint<const D: usize, R: Rng>(
         for (slot, &i) in idx[..group].iter().enumerate() {
             chosen[slot] = buf[i];
         }
-        if let Some(r) = radon_point(&chosen, 1e-12) {
+        if let Some(r) = radon_point_value(&chosen, 1e-12) {
             for &i in &idx[..group] {
-                buf[i] = r.point;
+                buf[i] = r;
             }
         }
     }

@@ -36,6 +36,7 @@ pub mod point;
 pub mod predicates;
 pub mod radon;
 pub mod shape;
+pub mod soa;
 pub mod sphere;
 pub mod stereo;
 
@@ -44,6 +45,7 @@ pub use ball::Ball;
 pub use halfspace::Hyperplane;
 pub use point::Point;
 pub use shape::{Separator, Side};
+pub use soa::{SoaBalls, SoaPoints};
 pub use sphere::Sphere;
 
 /// Default absolute tolerance used by geometric predicates.

@@ -117,8 +117,10 @@ pub struct CostMeter {
     punts: AtomicU64,
     fast_corrections: AtomicU64,
     marching_balls: AtomicU64,
+    march_pruned: AtomicU64,
     query_builds: AtomicU64,
     distance_evals: AtomicU64,
+    correction_dist_evals: AtomicU64,
 }
 
 /// A point-in-time copy of a [`CostMeter`]'s counters.
@@ -134,10 +136,15 @@ pub struct MeterSnapshot {
     pub fast_corrections: u64,
     /// Total ball-node marching steps performed.
     pub marching_balls: u64,
+    /// Subtrees skipped by AABB-vs-ball rejection during marching.
+    pub march_pruned: u64,
     /// Query structures built (punt path).
     pub query_builds: u64,
     /// Point-to-point distance evaluations.
     pub distance_evals: u64,
+    /// Distance evaluations spent on Fast-Correction candidates (a subset
+    /// of [`MeterSnapshot::distance_evals`]).
+    pub correction_dist_evals: u64,
 }
 
 impl CostMeter {
@@ -171,6 +178,11 @@ impl CostMeter {
         self.marching_balls.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Record `n` subtrees pruned off the march by AABB rejection.
+    pub fn add_march_pruned(&self, n: u64) {
+        self.march_pruned.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Record a query-structure build.
     pub fn add_query_build(&self) {
         self.query_builds.fetch_add(1, Ordering::Relaxed);
@@ -181,6 +193,12 @@ impl CostMeter {
         self.distance_evals.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Record `n` Fast-Correction candidate distance evaluations (also
+    /// counted in the global `distance_evals` by the caller).
+    pub fn add_correction_dist_evals(&self, n: u64) {
+        self.correction_dist_evals.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Copy out all counters.
     pub fn snapshot(&self) -> MeterSnapshot {
         MeterSnapshot {
@@ -189,8 +207,10 @@ impl CostMeter {
             punts: self.punts.load(Ordering::Relaxed),
             fast_corrections: self.fast_corrections.load(Ordering::Relaxed),
             marching_balls: self.marching_balls.load(Ordering::Relaxed),
+            march_pruned: self.march_pruned.load(Ordering::Relaxed),
             query_builds: self.query_builds.load(Ordering::Relaxed),
             distance_evals: self.distance_evals.load(Ordering::Relaxed),
+            correction_dist_evals: self.correction_dist_evals.load(Ordering::Relaxed),
         }
     }
 }
