@@ -14,7 +14,7 @@
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use sepdc_bench::harness::{timed, Table};
+use sepdc_bench::harness::{host_info, timed, Table};
 use sepdc_geom::soa::SoaPoints;
 use sepdc_workloads::Workload;
 
@@ -120,5 +120,8 @@ fn main() {
     if smoke {
         table.note("--smoke run: n scaled down 25x (CI sanity only)".to_string());
     }
+    let host = host_info();
+    host.warn_if_single_core();
+    table.note(host.describe());
     table.print();
 }

@@ -18,7 +18,7 @@
 //! phase timings and per-depth histograms behind every table row travel
 //! with the numbers.
 
-use sepdc_bench::harness::{json_str, timed, Table};
+use sepdc_bench::harness::{host_info, json_str, timed, HostInfo, Table};
 use sepdc_core::{parallel_knn, KnnDcConfig, ParallelDcOutput};
 use sepdc_workloads::Workload;
 
@@ -200,19 +200,24 @@ fn main() {
     if acceptance_only {
         table.note("--acceptance run: acceptance case only, 1 rep (CI perf smoke)".to_string());
     }
+    let host = host_info();
+    host.warn_if_single_core();
+    table.note(host.describe());
     table.print();
 
     let out_path =
         std::env::var("SEPDC_BENCH_OUT").unwrap_or_else(|_| "BENCH_parallel_knn.json".to_string());
-    std::fs::write(&out_path, bench_json(&table, &reports)).expect("write bench json");
+    std::fs::write(&out_path, bench_json(&table, &reports, &host)).expect("write bench json");
     eprintln!("[wrote {out_path}]");
 }
 
 /// Combined artifact: the human-oriented table plus one full run report
 /// per case, so `python3 -c "json.load(...)"`-style consumers and the
 /// `sepdc report` pretty-printer both work off the same file.
-fn bench_json(table: &Table, reports: &[CaseReport]) -> String {
-    let mut s = String::from("{\n\"table\":\n");
+fn bench_json(table: &Table, reports: &[CaseReport], host: &HostInfo) -> String {
+    let mut s = String::from("{\n\"host\": ");
+    s.push_str(&host.to_json());
+    s.push_str(",\n\"table\":\n");
     s.push_str(table.to_json().trim_end());
     s.push_str(",\n\"reports\": [\n");
     for (i, (label, median, report)) in reports.iter().enumerate() {

@@ -17,7 +17,7 @@
 //! per batch size (a separate `record = true` run so instrumentation
 //! never taints the timed cells).
 
-use sepdc_bench::harness::{json_str, timed, Table};
+use sepdc_bench::harness::{host_info, json_str, timed, HostInfo, Table};
 use sepdc_core::serve::{BatchResult, CoverPredicate, ServeConfig};
 use sepdc_core::{kdtree_all_knn, NeighborhoodSystem, QueryTree, QueryTreeConfig};
 use sepdc_workloads::Workload;
@@ -113,7 +113,10 @@ fn main() {
         table.row(batch.to_string(), cells);
     }
 
-    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let host = host_info();
+    host.warn_if_single_core();
+    table.note(host.describe());
+    let cores = host.cores;
     table.note(format!(
         "tree: UniformCube 2d n={n} k={k}, built in {:.1} ms; closed predicate, \
          chunk_size={}, reps={reps}, median reported",
@@ -142,15 +145,17 @@ fn main() {
 
     let out_path = std::env::var("SEPDC_BENCH_OUT")
         .unwrap_or_else(|_| "BENCH_query_throughput.json".to_string());
-    std::fs::write(&out_path, bench_json(&table, &reports)).expect("write bench json");
+    std::fs::write(&out_path, bench_json(&table, &reports, &host)).expect("write bench json");
     eprintln!("[wrote {out_path}]");
 }
 
 /// Same combined shape as `bench_parallel_knn`: the human-oriented table
 /// plus one full serve run report per batch size, so schema validators and
 /// the `sepdc report` pretty-printer both work off the same file.
-fn bench_json(table: &Table, reports: &[CaseReport]) -> String {
-    let mut s = String::from("{\n\"table\":\n");
+fn bench_json(table: &Table, reports: &[CaseReport], host: &HostInfo) -> String {
+    let mut s = String::from("{\n\"host\": ");
+    s.push_str(&host.to_json());
+    s.push_str(",\n\"table\":\n");
     s.push_str(table.to_json().trim_end());
     s.push_str(",\n\"reports\": [\n");
     for (i, (label, secs, report)) in reports.iter().enumerate() {

@@ -1,0 +1,299 @@
+//! Strong-scaling matrix for the three end-to-end engines: the Section 6
+//! `parallel_knn` construction, the Section 3 query-structure build, and
+//! the batch-serve engine — each swept across explicit rayon pool sizes.
+//!
+//! ```sh
+//! cargo run --release -p sepdc-bench --bin bench_scaling            # full
+//! cargo run --release -p sepdc-bench --bin bench_scaling -- --smoke # tiny
+//! cargo run --release -p sepdc-bench --bin bench_scaling -- --ci    # 1T/2T gate
+//! ```
+//!
+//! Every multi-thread cell is parity-checked against the 1-thread run
+//! before a time is reported: knn lists byte-identical, structural stats
+//! equal, work/depth cost profiles equal (the work-depth meter is pinned
+//! — thread count moves wall-clock only, never the counted work). Writes
+//! `BENCH_scaling.json` (override with `SEPDC_BENCH_OUT`):
+//!
+//! ```json
+//! { "bench_scaling_version": 1, "host": {...},
+//!   "rows": [ { "phase", "case", "n", "threads", "median_ms",
+//!               "speedup_vs_1t", "work", "depth" }, ... ],
+//!   "notes": [...], "table": {...} }
+//! ```
+//!
+//! On a single-core host the JSON carries `host.single_core = true` and an
+//! explicit oversubscription note: the thread columns then measure pool
+//! overhead, not speedup, and no scaling claim is made.
+
+use sepdc_bench::harness::{host_info, json_str, timed, HostInfo, Table};
+use sepdc_core::serve::{CoverPredicate, ServeConfig};
+use sepdc_core::{parallel_knn, KnnDcConfig, NeighborhoodSystem, QueryTree, QueryTreeConfig};
+use sepdc_workloads::Workload;
+
+/// One machine-readable result row.
+struct ScalingRow {
+    phase: &'static str,
+    case: String,
+    n: usize,
+    threads: usize,
+    median_ms: f64,
+    speedup_vs_1t: f64,
+    work: u64,
+    depth: u64,
+}
+
+fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut secs = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let ((), dt) = timed(&mut f);
+        secs.push(dt);
+    }
+    secs.sort_by(f64::total_cmp);
+    secs[secs.len() / 2]
+}
+
+fn pool(t: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(t)
+        .build()
+        .expect("build rayon pool")
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let ci = std::env::args().any(|a| a == "--ci");
+    // --ci keeps the full problem size so the 1-thread row is directly
+    // comparable to the checked-in baseline artifact, but only sweeps the
+    // 1T/2T columns (the CI perf gate reads the 1T knn row).
+    let (n, threads, reps): (usize, Vec<usize>, usize) = if smoke {
+        (4_000, vec![1, 2], 1)
+    } else if ci {
+        (100_000, vec![1, 2], 1)
+    } else {
+        (100_000, vec![1, 2, 4, 8], 3)
+    };
+    let k = 4;
+    let case = format!("uniform-cube 2d k={k}");
+    let host = host_info();
+    host.warn_if_single_core();
+
+    let pts = Workload::UniformCube.generate::<2>(n, 7);
+    let knn_cfg = KnnDcConfig::new(k).with_seed(3);
+    let serve_cfg = ServeConfig::default();
+    let probes = Workload::UniformCube.generate::<2>(16_384.min(n), 11);
+
+    let mut rows: Vec<ScalingRow> = Vec::new();
+
+    // ---- phase "knn": the Section 6 end-to-end construction ----
+    let baseline = pool(1).install(|| parallel_knn::<2, 3>(&pts, &knn_cfg));
+    baseline.knn.check_invariants().expect("knn invariants");
+    let mut knn_1t_ms = 0.0;
+    for &t in &threads {
+        let p = pool(t);
+        let sec = p.install(|| {
+            median_secs(reps, || {
+                std::hint::black_box(parallel_knn::<2, 3>(&pts, &knn_cfg));
+            })
+        });
+        let out = p.install(|| parallel_knn::<2, 3>(&pts, &knn_cfg));
+        // Determinism contract: the build is a pure function of
+        // (points, config) — every pool size must reproduce the 1-thread
+        // output and the 1-thread work/depth meter exactly.
+        out.knn
+            .same_distances(&baseline.knn, 0.0)
+            .unwrap_or_else(|e| panic!("knn parity at {t} threads: {e}"));
+        assert_eq!(out.stats, baseline.stats, "knn stats at {t} threads");
+        assert_eq!(out.cost, baseline.cost, "knn work/depth at {t} threads");
+        assert_eq!(
+            out.tree.nodes().len(),
+            baseline.tree.nodes().len(),
+            "knn tree shape at {t} threads"
+        );
+        if t == 1 {
+            knn_1t_ms = sec * 1e3;
+        }
+        rows.push(ScalingRow {
+            phase: "knn",
+            case: case.clone(),
+            n,
+            threads: t,
+            median_ms: sec * 1e3,
+            speedup_vs_1t: knn_1t_ms / (sec * 1e3),
+            work: baseline.cost.work,
+            depth: baseline.cost.depth,
+        });
+    }
+
+    // ---- phase "build": the Section 3 query structure ----
+    let system = NeighborhoodSystem::from_knn(&pts, &baseline.knn);
+    let qcfg = QueryTreeConfig::default();
+    let ref_tree = pool(1).install(|| QueryTree::build::<3>(system.balls(), qcfg, 3));
+    let ref_serve = ref_tree
+        .try_serve(&probes, CoverPredicate::Closed, &serve_cfg)
+        .expect("serve baseline");
+    let mut build_1t_ms = 0.0;
+    for &t in &threads {
+        let p = pool(t);
+        let sec = p.install(|| {
+            median_secs(reps, || {
+                std::hint::black_box(QueryTree::build::<3>(system.balls(), qcfg, 3));
+            })
+        });
+        let tree = p.install(|| QueryTree::build::<3>(system.balls(), qcfg, 3));
+        assert_eq!(tree.stats(), ref_tree.stats(), "build stats at {t} threads");
+        assert_eq!(
+            tree.build_cost(),
+            ref_tree.build_cost(),
+            "build work/depth at {t} threads"
+        );
+        // Structural parity through behavior: the tree built at t threads
+        // must answer a fixed probe batch identically to the 1-thread tree.
+        let served = tree
+            .try_serve(&probes, CoverPredicate::Closed, &serve_cfg)
+            .expect("serve parity probe");
+        assert_eq!(
+            served.result.offsets(),
+            ref_serve.result.offsets(),
+            "build->serve offsets at {t} threads"
+        );
+        assert_eq!(
+            served.result.ids(),
+            ref_serve.result.ids(),
+            "build->serve ids at {t} threads"
+        );
+        if t == 1 {
+            build_1t_ms = sec * 1e3;
+        }
+        rows.push(ScalingRow {
+            phase: "build",
+            case: case.clone(),
+            n,
+            threads: t,
+            median_ms: sec * 1e3,
+            speedup_vs_1t: build_1t_ms / (sec * 1e3),
+            work: ref_tree.build_cost().work,
+            depth: ref_tree.build_cost().depth,
+        });
+    }
+
+    // ---- phase "serve": batch queries against the 1-thread tree ----
+    let mut serve_1t_ms = 0.0;
+    for &t in &threads {
+        let p = pool(t);
+        let sec = p.install(|| {
+            median_secs(reps, || {
+                let out = ref_tree
+                    .try_serve(&probes, CoverPredicate::Closed, &serve_cfg)
+                    .expect("serve");
+                std::hint::black_box(&out.result);
+            })
+        });
+        let out = p
+            .install(|| ref_tree.try_serve(&probes, CoverPredicate::Closed, &serve_cfg))
+            .expect("serve");
+        assert_eq!(
+            out.result.offsets(),
+            ref_serve.result.offsets(),
+            "serve offsets at {t} threads"
+        );
+        assert_eq!(
+            out.result.ids(),
+            ref_serve.result.ids(),
+            "serve ids at {t} threads"
+        );
+        if t == 1 {
+            serve_1t_ms = sec * 1e3;
+        }
+        rows.push(ScalingRow {
+            phase: "serve",
+            case: case.clone(),
+            n,
+            threads: t,
+            median_ms: sec * 1e3,
+            speedup_vs_1t: serve_1t_ms / (sec * 1e3),
+            work: ref_serve.stats.cost_total,
+            depth: ref_serve.stats.cost_max,
+        });
+    }
+
+    // ---- table + artifact ----
+    let mut table = Table::new(
+        "BENCH strong scaling (build / knn / serve x threads)",
+        &["row", "n", "median ms", "speedup vs 1T", "work", "depth"],
+    );
+    for r in &rows {
+        table.row(
+            format!("{} {}T", r.phase, r.threads),
+            vec![
+                r.n.to_string(),
+                format!("{:.1}", r.median_ms),
+                format!("{:.2}x", r.speedup_vs_1t),
+                r.work.to_string(),
+                r.depth.to_string(),
+            ],
+        );
+    }
+    table.note(format!(
+        "case {case}, reps={reps}, median reported; each pool size runs in \
+         its own explicit rayon pool"
+    ));
+    table.note(
+        "determinism pinned per cell: knn lists byte-identical, structural \
+         stats equal, work/depth cost profiles equal across all pool sizes \
+         (thread count moves wall-clock only)"
+            .to_string(),
+    );
+    table.note(
+        "serve 'work'/'depth' columns are the serve engine's cost_total / \
+         cost_max node-visit counters"
+            .to_string(),
+    );
+    if host.single_core() {
+        table.note(
+            "SINGLE-CORE HOST: thread columns measure oversubscription \
+             overhead, not speedup — no scaling claim is made from this run"
+                .to_string(),
+        );
+    }
+    if smoke {
+        table.note("--smoke run: n scaled down 25x, 1 rep (CI sanity only)".to_string());
+    }
+    if ci {
+        table.note("--ci run: full n, 1T/2T only, 1 rep (CI perf gate)".to_string());
+    }
+    table.note(host.describe());
+    table.print();
+
+    let out_path =
+        std::env::var("SEPDC_BENCH_OUT").unwrap_or_else(|_| "BENCH_scaling.json".to_string());
+    std::fs::write(&out_path, scaling_json(&table, &rows, &host)).expect("write bench json");
+    eprintln!("[wrote {out_path}]");
+}
+
+/// The versioned artifact: host block, machine-readable rows, and the
+/// human-oriented table (which carries the notes).
+fn scaling_json(table: &Table, rows: &[ScalingRow], host: &HostInfo) -> String {
+    let mut s = String::from("{\n\"bench_scaling_version\": 1,\n\"host\": ");
+    s.push_str(&host.to_json());
+    s.push_str(",\n\"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "  {{ \"phase\": {}, \"case\": {}, \"n\": {}, \"threads\": {}, \
+             \"median_ms\": {:.3}, \"speedup_vs_1t\": {:.3}, \"work\": {}, \
+             \"depth\": {} }}{}\n",
+            json_str(r.phase),
+            json_str(&r.case),
+            r.n,
+            r.threads,
+            r.median_ms,
+            r.speedup_vs_1t,
+            r.work,
+            r.depth,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("],\n\"table\":\n");
+    s.push_str(table.to_json().trim_end());
+    s.push_str("\n}\n");
+    s
+}

@@ -49,6 +49,7 @@ pub mod partition_tree;
 pub mod punting;
 pub mod query;
 pub mod report;
+pub mod seeding;
 pub mod serve;
 mod shared;
 pub mod simple_parallel;

@@ -21,15 +21,34 @@ use crate::config::KnnDcConfig;
 use crate::correction::{collect_crossing, correct_unbounded, correct_via_query, CrossingBall};
 use crate::error::{validate_points, SepdcError};
 use crate::knn::{brute_list_soa_into, KnnResult};
-use crate::partition_tree::{march_arena, partition_in_place, PartitionNode, PartitionTree};
+use crate::partition_tree::{
+    march_arena_par, partition_in_place_par, PartitionNode, PartitionTree,
+};
 use crate::report::{cost_counters, meter_counters, Phase, RunRecorder, RunReport};
+use crate::seeding::{child_seed, punt_seed};
 use crate::shared::SharedLists;
+use rayon::prelude::*;
 use sepdc_geom::aabb::Aabb;
 use sepdc_geom::point::Point;
 use sepdc_geom::soa::SoaPoints;
 use sepdc_scan::cost::{CostMeter, MeterSnapshot};
 use sepdc_scan::CostProfile;
-use sepdc_separator::find_good_separator;
+use sepdc_separator::find_good_separator_par;
+
+/// Minimum node size before the centers gather runs in parallel (matches
+/// the in-place partition cutoff: below this the memcpy is cheaper than
+/// the fork).
+const GATHER_PAR_CUTOFF: usize = 1 << 14;
+/// Minimum right-subtree arena length before the postorder index remap
+/// fans out across the pool.
+const REMAP_PAR_CUTOFF: usize = 1 << 14;
+/// Chunk granularity for the parallel remap.
+const REMAP_PAR_CHUNK: usize = 1 << 12;
+/// Minimum crossing-ball count before the candidate-fix loop fans out.
+/// Per-crosser fixes are independent ([`SharedLists`] merges are
+/// order-independent and idempotent under the row lock), so the split is
+/// output-invariant.
+const FIX_PAR_MIN_CROSSERS: usize = 32;
 
 /// Statistics from one run of the Section 6 algorithm.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -318,6 +337,10 @@ pub(crate) fn config_echo(
             "separator.max_attempts".to_string(),
             cfg.separator.max_attempts as f64,
         ),
+        (
+            "separator.sweep_width".to_string(),
+            cfg.separator.sweep_width as f64,
+        ),
         ("query.leaf_size".to_string(), cfg.query.leaf_size as f64),
         ("parallel_cutoff".to_string(), cfg.parallel_cutoff as f64),
         ("depth_limit".to_string(), depth_limit as f64),
@@ -404,10 +427,23 @@ fn rec<const D: usize, const E: usize>(
         return Ok(out);
     }
     let t_split = ctx.obs.start();
-    let mut rng = rand::SeedableRng::seed_from_u64(seed);
-    let rng: &mut rand_chacha::ChaCha8Rng = &mut rng;
-    let centers: Vec<Point<D>> = ids.iter().map(|&i| ctx.points[i as usize]).collect();
-    let Some(found) = find_good_separator::<D, E, _>(&centers, &ctx.cfg.separator, rng) else {
+    // Gather this node's centers (parallel when the slice is large; the
+    // chunked collect preserves index order, so the gather is positionally
+    // identical to the serial loop).
+    let centers: Vec<Point<D>> = if m >= GATHER_PAR_CUTOFF {
+        ids.par_iter().map(|&i| ctx.points[i as usize]).collect()
+    } else {
+        ids.iter().map(|&i| ctx.points[i as usize]).collect()
+    };
+    // Speculative candidate sweep, timed as a sub-interval of the split:
+    // `separator-search` time is *contained in* `split` time, never summed
+    // with it. The sweep always returns the lowest-indexed acceptable
+    // candidate, so the output matches the serial one-at-a-time scan for
+    // every thread count.
+    let found = ctx.obs.time(Phase::SeparatorSearch, || {
+        find_good_separator_par::<D, E>(&centers, &ctx.cfg.separator, seed)
+    });
+    let Some(found) = found else {
         ctx.obs.stop(Phase::Split, t_split);
         return Ok(leaf_case(ctx, ids, depth, true));
     };
@@ -417,7 +453,7 @@ fn rec<const D: usize, const E: usize>(
     let sep = found.separator;
 
     // Carve this call's id slice in place: interior side to the front.
-    let nl = partition_in_place(ids, |i| sep.side(&ctx.points[i as usize]).routes_interior());
+    let nl = partition_in_place_par(ids, |i| sep.side(&ctx.points[i as usize]).routes_interior());
     ctx.obs.stop(Phase::Split, t_split);
     if nl == 0 || nl == m {
         // The separator was *accepted* — its tolerance-counted split looked
@@ -430,8 +466,11 @@ fn rec<const D: usize, const E: usize>(
         return Ok(out);
     }
 
-    let lseed = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
-    let rseed = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(2);
+    // Per-node seeds are a pure function of the root seed and the node's
+    // root-to-node path (see [`crate::seeding`]): sibling subtrees draw
+    // from unrelated streams no matter which thread builds them.
+    let lseed = child_seed(seed, false);
+    let rseed = child_seed(seed, true);
     let (lslice, rslice) = ids.split_at_mut(nl);
     let (lres, rres) = if m > ctx.cfg.parallel_cutoff {
         rayon::join(
@@ -457,23 +496,22 @@ fn rec<const D: usize, const E: usize>(
     let mut bounds = lbounds;
     bounds.reserve(rbounds.len() + 1);
     bounds.extend(rbounds);
-    nodes.extend(rnodes.into_iter().map(|nd| match nd {
-        PartitionNode::Internal {
-            sep: csep,
-            size,
-            left,
-            right,
-        } => PartitionNode::Internal {
-            sep: csep,
-            size,
-            left: left + node_off,
-            right: right + node_off,
-        },
-        PartitionNode::Leaf { start, len } => PartitionNode::Leaf {
-            start: start + nl as u32,
-            len,
-        },
-    }));
+    let mut rnodes = rnodes;
+    let shift = |nd: &mut PartitionNode<D>| match nd {
+        PartitionNode::Internal { left, right, .. } => {
+            *left += node_off;
+            *right += node_off;
+        }
+        PartitionNode::Leaf { start, .. } => *start += nl as u32,
+    };
+    if rnodes.len() >= REMAP_PAR_CUTOFF {
+        rnodes
+            .par_chunks_mut(REMAP_PAR_CHUNK)
+            .for_each(|chunk| chunk.iter_mut().for_each(shift));
+    } else {
+        rnodes.iter_mut().for_each(shift);
+    }
+    nodes.append(&mut rnodes);
     let l_root = node_off - 1;
     let r_root = nodes.len() as u32 - 1;
 
@@ -500,7 +538,7 @@ fn rec<const D: usize, const E: usize>(
     stats.max_crossing_vs_threshold = stats.max_crossing_vs_threshold.max(crossing_ratio);
     stats.candidates += found.attempts as u64;
 
-    let qseed = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(3);
+    let qseed = punt_seed(seed);
     let corr_cost = if (crossing_total as f64) >= threshold {
         // Unlucky separator: punt straight to the query structure.
         ctx.meter.add_punt();
@@ -600,8 +638,11 @@ fn try_fast_correction<const D: usize>(
         // Marching descends only into children whose subtree box the ball
         // intersects: a pruned subtree holds no in-ball points, so the
         // merged lists are identical to the unpruned march's (only the
-        // step/abort accounting changes).
-        let out = march_arena(nodes, opposite_root, perm, &balls, limit, Some(bounds));
+        // step/abort accounting changes). The parallel driver shards the
+        // balls and recombines per-level counts exactly, so steps, prune
+        // counts, the active-level high-water mark, and the abort decision
+        // all match the monolithic march bit for bit.
+        let out = march_arena_par(nodes, opposite_root, perm, &balls, limit, Some(bounds));
         ctx.meter.add_marching(out.total_steps);
         ctx.meter.add_march_pruned(out.pruned);
         if out.aborted {
@@ -612,20 +653,50 @@ fn try_fast_correction<const D: usize>(
         // Candidate fix: one blocked distance sweep per crosser, then a
         // batched merge (radius loaded once per batch; `merge_candidate`
         // re-checks under the row lock, so lists are unchanged). Keep the
-        // k closest (merge handles it).
-        for (c, cands) in crossers.iter().zip(&out.candidates) {
-            #[cfg(debug_assertions)]
-            for &q in cands {
-                debug_assert_ne!(q, c.owner, "opposite subtree cannot contain the owner");
+        // k closest (merge handles it). Each crosser touches only its own
+        // owner's row and the shared-store merge is order-independent, so
+        // the fix loop fans out across the pool when the crossing set is
+        // large; meter totals are added once per side either way.
+        let evals = if crossers.len() >= FIX_PAR_MIN_CROSSERS && rayon::current_num_threads() > 1 {
+            (0..crossers.len())
+                .into_par_iter()
+                .fold(
+                    || (Vec::<f64>::new(), 0u64),
+                    |(mut dists, mut evals), ci| {
+                        let c = &crossers[ci];
+                        let cands = &out.candidates[ci];
+                        debug_assert!(
+                            !cands.contains(&c.owner),
+                            "opposite subtree cannot contain the owner"
+                        );
+                        let owner_pt = ctx.points[c.owner as usize];
+                        let r_sq = c.ball.radius * c.ball.radius;
+                        ctx.soa.dist_sq_gather_into(&owner_pt, cands, &mut dists);
+                        ctx.lists.merge_batch(c.owner as usize, cands, &dists, r_sq);
+                        evals += cands.len() as u64;
+                        (dists, evals)
+                    },
+                )
+                .reduce(|| (Vec::new(), 0u64), |a, b| (a.0, a.1 + b.1))
+                .1
+        } else {
+            let mut evals = 0u64;
+            for (c, cands) in crossers.iter().zip(&out.candidates) {
+                #[cfg(debug_assertions)]
+                for &q in cands {
+                    debug_assert_ne!(q, c.owner, "opposite subtree cannot contain the owner");
+                }
+                let owner_pt = ctx.points[c.owner as usize];
+                let r_sq = c.ball.radius * c.ball.radius;
+                ctx.soa.dist_sq_gather_into(&owner_pt, cands, &mut dists);
+                ctx.lists.merge_batch(c.owner as usize, cands, &dists, r_sq);
+                evals += cands.len() as u64;
             }
-            let owner_pt = ctx.points[c.owner as usize];
-            let r_sq = c.ball.radius * c.ball.radius;
-            ctx.soa.dist_sq_gather_into(&owner_pt, cands, &mut dists);
-            ctx.lists.merge_batch(c.owner as usize, cands, &dists, r_sq);
-            work += cands.len() as u64;
-            ctx.meter.add_distance_evals(cands.len() as u64);
-            ctx.meter.add_correction_dist_evals(cands.len() as u64);
-        }
+            evals
+        };
+        work += evals;
+        ctx.meter.add_distance_evals(evals);
+        ctx.meter.add_correction_dist_evals(evals);
     }
     Some((work, max_ratio))
 }

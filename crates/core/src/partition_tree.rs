@@ -17,12 +17,14 @@
 //! range. This removes per-node `Box`es and per-leaf `Vec`s, and makes
 //! marching a pure array walk.
 
+use rayon::prelude::*;
 use sepdc_geom::aabb::Aabb;
 use sepdc_geom::ball::Ball;
 use sepdc_geom::shape::Separator;
 
 /// One node of a [`PartitionTree`], referring to children by arena index
 /// and to leaf points by a range of the tree's permutation array.
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum PartitionNode<const D: usize> {
     /// Internal node: the separator plus the two subtree indices.
     Internal {
@@ -191,6 +193,38 @@ pub(crate) fn partition_in_place(ids: &mut [u32], mut pred: impl FnMut(u32) -> b
     lo
 }
 
+/// Slice length above which [`partition_in_place_par`] precomputes the
+/// predicate column in parallel. Gated on size only — never on the pool —
+/// but either path produces the identical layout anyway (the swap walk is
+/// a pure function of the predicate column).
+const PARTITION_PAR_CUTOFF: usize = 1 << 14;
+
+/// [`partition_in_place`] with the predicate evaluated as a parallel
+/// chunked scan first. The expensive part of a partition step is the `m`
+/// geometry tests, not the `O(m)` pointer walk; precomputing the flag
+/// column moves those tests onto the pool while the subsequent two-pointer
+/// swap — which carries ids and flags together so `flags[lo]` always
+/// describes `ids[lo]` — replays exactly the comparisons the serial
+/// predicate-driven walk would make. Byte-identical final layout.
+pub(crate) fn partition_in_place_par(ids: &mut [u32], pred: impl Fn(u32) -> bool + Sync) -> usize {
+    if ids.len() < PARTITION_PAR_CUTOFF {
+        return partition_in_place(ids, pred);
+    }
+    let mut flags: Vec<bool> = ids.par_iter().map(|&i| pred(i)).collect();
+    let mut lo = 0usize;
+    let mut hi = ids.len();
+    while lo < hi {
+        if flags[lo] {
+            lo += 1;
+        } else {
+            hi -= 1;
+            ids.swap(lo, hi);
+            flags.swap(lo, hi);
+        }
+    }
+    lo
+}
+
 /// Result of marching a batch of balls down a partition tree.
 #[derive(Clone, Debug)]
 pub struct MarchOutcome {
@@ -331,6 +365,186 @@ pub(crate) fn march_arena<const D: usize>(
         pruned,
         aborted: false,
     }
+}
+
+/// One chunk's share of a parallel march: loop-top frontier sizes per
+/// level (the aborting level's size included when `aborted`), pruned
+/// subtrees per *expanded* level, and the chunk's candidate lists.
+struct MarchChunkOutcome {
+    candidates: Vec<Vec<u32>>,
+    actives: Vec<u64>,
+    pruned: Vec<u64>,
+    aborted: bool,
+}
+
+/// March one contiguous chunk of balls, recording per-level accounting so
+/// the combiner can reconstruct the monolithic march's numbers exactly.
+/// Each ball's BFS depends only on that ball, so a level-`l` frontier of
+/// the whole batch is the disjoint union of the chunks' level-`l`
+/// frontiers — per-level sums over chunks *are* the monolithic counts.
+/// The chunk still aborts at the full `active_limit` (its frontier is a
+/// subset of the combined one, so exceeding it proves a combined abort)
+/// to bound speculative work on punting nodes.
+fn march_chunk<const D: usize>(
+    nodes: &[PartitionNode<D>],
+    root: u32,
+    perm: &[u32],
+    balls: &[Ball<D>],
+    active_limit: usize,
+    bounds: Option<&[Aabb<D>]>,
+) -> MarchChunkOutcome {
+    let mut candidates: Vec<Vec<u32>> = vec![Vec::new(); balls.len()];
+    let mut frontier: Vec<(u32, u32)> = (0..balls.len()).map(|b| (root, b as u32)).collect();
+    let mut actives: Vec<u64> = Vec::new();
+    let mut pruned: Vec<u64> = Vec::new();
+    let mut aborted = false;
+    let mut next: Vec<(u32, u32)> = Vec::new();
+
+    while !frontier.is_empty() {
+        actives.push(frontier.len() as u64);
+        if frontier.len() > active_limit {
+            aborted = true;
+            break;
+        }
+        let mut level_pruned = 0u64;
+        next.clear();
+        next.reserve(frontier.len() * 2);
+        for &(node, b) in &frontier {
+            let ball = &balls[b as usize];
+            match &nodes[node as usize] {
+                PartitionNode::Leaf { start, len } => {
+                    candidates[b as usize]
+                        .extend_from_slice(&perm[*start as usize..(*start + *len) as usize]);
+                }
+                PartitionNode::Internal {
+                    sep, left, right, ..
+                } => {
+                    for (reaches, child) in [
+                        (ball.touches_interior_of(sep), *left),
+                        (ball.touches_exterior_of(sep), *right),
+                    ] {
+                        if !reaches {
+                            continue;
+                        }
+                        if let Some(bs) = bounds {
+                            if !bs[child as usize].intersects_ball(ball) {
+                                level_pruned += 1;
+                                continue;
+                            }
+                        }
+                        next.push((child, b));
+                    }
+                }
+            }
+        }
+        pruned.push(level_pruned);
+        std::mem::swap(&mut frontier, &mut next);
+    }
+    MarchChunkOutcome {
+        candidates,
+        actives,
+        pruned,
+        aborted,
+    }
+}
+
+/// [`march_arena`] split into fixed chunks marched independently, with the
+/// per-level accounting recombined into the exact monolithic numbers:
+/// the combined march aborts at the first level whose *summed* frontier
+/// exceeds `active_limit`, `total_steps`/`pruned` count only levels
+/// strictly before it, and on success every field matches [`march_arena`]
+/// for any `chunk_size` (pinned by tests). On abort the candidate lists
+/// are empty placeholders — `MarchOutcome::candidates` is documented
+/// meaningless when `aborted`.
+pub(crate) fn march_arena_chunked<const D: usize>(
+    nodes: &[PartitionNode<D>],
+    root: u32,
+    perm: &[u32],
+    balls: &[Ball<D>],
+    active_limit: usize,
+    bounds: Option<&[Aabb<D>]>,
+    chunk_size: usize,
+) -> MarchOutcome {
+    if balls.len() > active_limit {
+        // Level-0 abort: the monolithic loop bails before expanding.
+        return MarchOutcome {
+            candidates: vec![Vec::new(); balls.len()],
+            max_active_per_level: balls.len(),
+            levels: 0,
+            total_steps: 0,
+            pruned: 0,
+            aborted: true,
+        };
+    }
+    let chunks: Vec<MarchChunkOutcome> = balls
+        .par_chunks(chunk_size.max(1))
+        .map(|c| march_chunk(nodes, root, perm, c, active_limit, bounds))
+        .collect();
+    let max_levels = chunks.iter().map(|c| c.actives.len()).max().unwrap_or(0);
+    let mut sum_act = vec![0u64; max_levels];
+    let mut sum_pruned = vec![0u64; max_levels];
+    for c in &chunks {
+        for (l, &a) in c.actives.iter().enumerate() {
+            sum_act[l] += a;
+        }
+        for (l, &p) in c.pruned.iter().enumerate() {
+            sum_pruned[l] += p;
+        }
+    }
+    if let Some(l) = sum_act.iter().position(|&a| a > active_limit as u64) {
+        return MarchOutcome {
+            candidates: vec![Vec::new(); balls.len()],
+            max_active_per_level: sum_act[l] as usize,
+            levels: l,
+            total_steps: sum_act[..l].iter().sum(),
+            pruned: sum_pruned[..l].iter().sum(),
+            aborted: true,
+        };
+    }
+    // A chunk abort implies its own level sum already exceeded the limit,
+    // which the combined scan above would have caught.
+    debug_assert!(chunks.iter().all(|c| !c.aborted));
+    let mut candidates = Vec::with_capacity(balls.len());
+    for c in chunks {
+        candidates.extend(c.candidates);
+    }
+    MarchOutcome {
+        candidates,
+        max_active_per_level: sum_act.iter().copied().max().unwrap_or(0) as usize,
+        levels: max_levels,
+        total_steps: sum_act.iter().sum(),
+        pruned: sum_pruned.iter().sum(),
+        aborted: false,
+    }
+}
+
+/// Ball count below which a parallel march costs more to fork than to run.
+/// Ball-count floor below which the march is always run serially: the
+/// chunked driver's per-chunk frontier allocations cost more than the
+/// march itself on tiny crossing sets.
+const MARCH_PAR_MIN_BALLS: usize = 64;
+
+/// Thread-count-oblivious march driver: serial [`march_arena`] on small
+/// batches or a one-worker pool, chunked parallel otherwise. Legal to gate
+/// on the pool size because both paths return identical accounting and
+/// (when not aborted) identical candidates — the chunk partition never
+/// leaks into the output.
+pub(crate) fn march_arena_par<const D: usize>(
+    nodes: &[PartitionNode<D>],
+    root: u32,
+    perm: &[u32],
+    balls: &[Ball<D>],
+    active_limit: usize,
+    bounds: Option<&[Aabb<D>]>,
+) -> MarchOutcome {
+    let threads = rayon::current_num_threads();
+    if balls.len() < MARCH_PAR_MIN_BALLS || threads <= 1 {
+        return march_arena(nodes, root, perm, balls, active_limit, bounds);
+    }
+    // ~4 chunks per worker for load balance, floored so degenerate splits
+    // never schedule per-ball tasks.
+    let chunk = balls.len().div_ceil(4 * threads).max(8);
+    march_arena_chunked(nodes, root, perm, balls, active_limit, bounds, chunk)
 }
 
 #[cfg(test)]
@@ -563,5 +777,103 @@ mod tests {
         let balls = vec![Ball::new(Point::<1>::from([4.5]), 1.0)];
         let out = march_balls(&t, &balls, 100);
         assert_eq!(out.pruned, 0);
+    }
+
+    /// A mixed batch exercising every march behavior on `line_tree`: tiny
+    /// balls (one leaf), straddlers, huge balls (every leaf), empty balls.
+    fn mixed_balls() -> Vec<Ball<1>> {
+        (0..40)
+            .map(|i| {
+                let x = (i % 11) as f64 * 0.8 - 1.0;
+                let r = match i % 4 {
+                    0 => 0.3,
+                    1 => 1.5,
+                    2 => 9.0,
+                    _ => 0.0,
+                };
+                Ball::new(Point::<1>::from([x]), r)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn chunked_march_matches_monolithic_on_success() {
+        for (t, label) in [(line_tree(), "plain"), (line_tree_with_bounds(), "boxed")] {
+            let balls = mixed_balls();
+            let serial = march_balls(&t, &balls, 1000);
+            assert!(!serial.aborted);
+            for chunk in [1usize, 3, 7, 16, 40, 100] {
+                let par = march_arena_chunked(
+                    &t.nodes,
+                    t.root(),
+                    &t.perm,
+                    &balls,
+                    1000,
+                    t.bounds.as_deref(),
+                    chunk,
+                );
+                assert!(!par.aborted, "{label} chunk {chunk}");
+                assert_eq!(par.candidates, serial.candidates, "{label} chunk {chunk}");
+                assert_eq!(
+                    par.max_active_per_level, serial.max_active_per_level,
+                    "{label} chunk {chunk}"
+                );
+                assert_eq!(par.levels, serial.levels, "{label} chunk {chunk}");
+                assert_eq!(par.total_steps, serial.total_steps, "{label} chunk {chunk}");
+                assert_eq!(par.pruned, serial.pruned, "{label} chunk {chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_march_abort_accounting_matches_monolithic() {
+        // 50 huge balls against limit 60: the frontier doubles past the
+        // limit mid-march, and every accounting field the meter ingests
+        // (total_steps, pruned, max_active, levels) must equal the
+        // monolithic abort's, whatever the chunking.
+        let t = line_tree();
+        let balls: Vec<Ball<1>> = (0..50)
+            .map(|i| Ball::new(Point::from([i as f64 * 0.1]), 50.0))
+            .collect();
+        let serial = march_balls(&t, &balls, 60);
+        assert!(serial.aborted);
+        for chunk in [1usize, 4, 13, 50] {
+            let par = march_arena_chunked(&t.nodes, t.root(), &t.perm, &balls, 60, None, chunk);
+            assert!(par.aborted, "chunk {chunk}");
+            assert_eq!(
+                par.max_active_per_level, serial.max_active_per_level,
+                "chunk {chunk}"
+            );
+            assert_eq!(par.levels, serial.levels, "chunk {chunk}");
+            assert_eq!(par.total_steps, serial.total_steps, "chunk {chunk}");
+            assert_eq!(par.pruned, serial.pruned, "chunk {chunk}");
+        }
+        // Level-0 abort: more balls than the limit allows before any step.
+        let par0 = march_arena_chunked(&t.nodes, t.root(), &t.perm, &balls, 10, None, 7);
+        let ser0 = march_balls(&t, &balls, 10);
+        assert!(par0.aborted && ser0.aborted);
+        assert_eq!(par0.total_steps, ser0.total_steps);
+        assert_eq!(par0.max_active_per_level, ser0.max_active_per_level);
+        assert_eq!(par0.levels, ser0.levels);
+    }
+
+    #[test]
+    fn partition_in_place_par_matches_serial_layout() {
+        let n = (super::PARTITION_PAR_CUTOFF + 77) as u32;
+        let pred = |i: u32| !i.wrapping_mul(0x9E3779B9).is_multiple_of(3);
+        let mut a: Vec<u32> = (0..n).collect();
+        let mut b = a.clone();
+        let nl_a = partition_in_place(&mut a, pred);
+        let nl_b = partition_in_place_par(&mut b, pred);
+        assert_eq!(nl_a, nl_b);
+        assert_eq!(a, b, "flagged partition must replay the serial walk");
+        // Below the cutoff the parallel entry point is the serial walk.
+        let mut c: Vec<u32> = (0..100).collect();
+        let mut d = c.clone();
+        assert_eq!(
+            partition_in_place(&mut c, pred),
+            partition_in_place_par(&mut d, pred)
+        );
+        assert_eq!(c, d);
     }
 }

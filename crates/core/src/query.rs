@@ -15,14 +15,19 @@
 
 use crate::error::SepdcError;
 use crate::report::{cost_counters, Phase, RunRecorder, RunReport};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use crate::seeding::child_seed;
+use rayon::prelude::*;
 use sepdc_geom::ball::Ball;
 use sepdc_geom::point::Point;
 use sepdc_geom::shape::Separator;
 use sepdc_geom::soa::SoaBalls;
 use sepdc_scan::CostProfile;
-use sepdc_separator::{find_good_separator, SearchOutcome, SeparatorConfig};
+use sepdc_separator::{find_good_separator_par, SearchOutcome, SeparatorConfig};
+
+/// Minimum node size before the centers gather and the ball-routing side
+/// tests run in parallel. Both parallel paths are positionally identical
+/// to their serial twins, so the cutoff moves wall-clock only.
+const ROUTE_PAR_CUTOFF: usize = 1 << 14;
 
 /// Build parameters for the query structure.
 #[derive(Clone, Copy, Debug)]
@@ -366,9 +371,18 @@ fn build_rec<const D: usize, const E: usize>(
         };
     }
     let t_split = ctx.obs.start();
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let centers: Vec<Point<D>> = ids.iter().map(|&i| ctx.balls[i as usize].center).collect();
-    let found = find_good_separator::<D, E, _>(&centers, &ctx.cfg.separator, &mut rng);
+    let centers: Vec<Point<D>> = if m >= ROUTE_PAR_CUTOFF {
+        ids.par_iter()
+            .map(|&i| ctx.balls[i as usize].center)
+            .collect()
+    } else {
+        ids.iter().map(|&i| ctx.balls[i as usize].center).collect()
+    };
+    // Speculative candidate sweep (lowest acceptable index wins), timed as
+    // a sub-interval of the split — identical output for any pool size.
+    let found = ctx.obs.time(Phase::SeparatorSearch, || {
+        find_good_separator_par::<D, E>(&centers, &ctx.cfg.separator, seed)
+    });
     let Some(found) = found else {
         // Unsplittable (e.g. all centers identical): oversized leaf.
         ctx.obs.stop(Phase::Split, t_split);
@@ -382,19 +396,41 @@ fn build_rec<const D: usize, const E: usize>(
     ctx.obs.add_candidates(depth, found.attempts as u64);
     let sep = found.separator;
     // Route balls: closed-interior contact goes left, closed-exterior goes
-    // right; crossers go both ways (B₀ = B_I ∪ B_O, B₁ = B_E ∪ B_O).
+    // right; crossers go both ways (B₀ = B_I ∪ B_O, B₁ = B_E ∪ B_O). The
+    // side tests are the expensive part; precompute them in parallel for
+    // large nodes (order-preserving collect), then push serially so the
+    // children receive ids in the identical order for every pool size.
     let mut left_ids = Vec::new();
     let mut right_ids = Vec::new();
-    for &i in &ids {
-        let b = &ctx.balls[i as usize];
-        let l = b.touches_interior_of(&sep);
-        let r = b.touches_exterior_of(&sep);
-        debug_assert!(l || r, "ball reaches no side of the separator");
-        if l {
-            left_ids.push(i);
+    if m >= ROUTE_PAR_CUTOFF {
+        let sides: Vec<(bool, bool)> = ids
+            .par_iter()
+            .map(|&i| {
+                let b = &ctx.balls[i as usize];
+                (b.touches_interior_of(&sep), b.touches_exterior_of(&sep))
+            })
+            .collect();
+        for (&i, &(l, r)) in ids.iter().zip(&sides) {
+            debug_assert!(l || r, "ball reaches no side of the separator");
+            if l {
+                left_ids.push(i);
+            }
+            if r {
+                right_ids.push(i);
+            }
         }
-        if r {
-            right_ids.push(i);
+    } else {
+        for &i in &ids {
+            let b = &ctx.balls[i as usize];
+            let l = b.touches_interior_of(&sep);
+            let r = b.touches_exterior_of(&sep);
+            debug_assert!(l || r, "ball reaches no side of the separator");
+            if l {
+                left_ids.push(i);
+            }
+            if r {
+                right_ids.push(i);
+            }
         }
     }
     ctx.obs.stop(Phase::Split, t_split);
@@ -415,9 +451,9 @@ fn build_rec<const D: usize, const E: usize>(
         .add_crossing(depth, (left_ids.len() + right_ids.len() - m) as u64);
     let fallback = found.outcome == SearchOutcome::Fallback;
     let attempts = found.attempts as u64;
-    let (lseed, rseed) = (seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1), {
-        seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(2)
-    });
+    // Path-derived sibling seeds (see [`crate::seeding`]): independent of
+    // which thread builds which subtree.
+    let (lseed, rseed) = (child_seed(seed, false), child_seed(seed, true));
     let (lb, rb) = if m > ctx.cfg.parallel_cutoff {
         rayon::join(
             || build_rec::<D, E>(ctx, left_ids, lseed, depth + 1),

@@ -58,9 +58,14 @@ pub enum Phase {
     /// [`serve`](crate::serve) read-path engine (one timed interval per
     /// probe chunk, summed across rayon workers).
     Serve = 5,
+    /// Separator candidate search alone (the best-of-N sweep). A
+    /// **sub-interval of [`Phase::Split`]**: split still times gather +
+    /// search + partition, so `separator-search ≤ split` and the two must
+    /// not be summed together. Additive to schema v1.
+    SeparatorSearch = 6,
 }
 
-const PHASE_COUNT: usize = 6;
+const PHASE_COUNT: usize = 7;
 const PHASE_NAMES: [&str; PHASE_COUNT] = [
     "split",
     "leaf-solve",
@@ -68,6 +73,7 @@ const PHASE_NAMES: [&str; PHASE_COUNT] = [
     "fast-correction",
     "punt-correction",
     "serve",
+    "separator-search",
 ];
 
 /// Per-depth atomic counters (one cell per recursion depth).
@@ -202,7 +208,7 @@ impl RunRecorder {
         }
     }
 
-    /// Snapshot the phase timings (all five phases, in declaration order;
+    /// Snapshot the phase timings (every [`Phase`], in declaration order;
     /// empty when the recorder is disabled).
     pub fn phases(&self) -> Vec<PhaseSample> {
         if !self.enabled {
@@ -1029,7 +1035,8 @@ mod tests {
         assert_eq!(split.calls, 2);
         assert!(split.ms >= 2.0, "split {} ms", split.ms);
         // Untouched phases stay zero but are present in the snapshot.
-        assert_eq!(phases.len(), 6);
+        assert_eq!(phases.len(), 7);
+        assert!(phases.iter().any(|p| p.name == "separator-search"));
         assert_eq!(rec.phases().iter().filter(|p| p.calls > 0).count(), 1);
     }
 

@@ -1,0 +1,113 @@
+//! Deterministic per-node seed derivation for the parallel builds.
+//!
+//! Every random draw in a construction (separator candidates at a
+//! recursion node, the query tree built by a punt) must be a pure function
+//! of the master seed and the node's **position** in the recursion tree —
+//! never of execution order — so that trees built at 1, 2, or 8 threads
+//! are structurally identical (the construction-side analogue of the serve
+//! determinism contract, DESIGN.md §11/§13).
+//!
+//! The derivation walks the recursion: a node's seed is its parent's seed
+//! pushed through the splitmix64 finalizer after XOR-ing a per-edge tag
+//! (left child, right child, or punt side-channel). [`mix`] is a bijection
+//! on `u64`, so for any fixed root-to-node path the map `root seed → node
+//! seed` is a bijection, and the three tags keep sibling edges and the
+//! punt stream decorrelated. Collision-freedom across *distinct* paths is
+//! empirical (64-bit avalanche mixing) and pinned by
+//! `tests/proptest_seeding.rs` up to the automatic depth bound.
+
+/// Edge tag for the left (interior-side) child.
+const LEFT_TAG: u64 = 0x9E37_79B9_7F4A_7C15;
+/// Edge tag for the right (exterior-side) child.
+const RIGHT_TAG: u64 = 0xC2B2_AE3D_27D4_EB4F;
+/// Tag for the punt side-channel (the query tree a punting node builds).
+const PUNT_TAG: u64 = 0x1656_67B1_9E37_79F9;
+
+/// The splitmix64 finalizer: a bijective avalanche mixer on `u64`.
+#[inline]
+pub fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+/// Seed of a child node given its parent's seed and which edge was taken
+/// (`right = false` is the interior side).
+#[inline]
+pub fn child_seed(seed: u64, right: bool) -> u64 {
+    mix(seed ^ if right { RIGHT_TAG } else { LEFT_TAG })
+}
+
+/// Seed of the query structure a punting node builds. Drawn from a tag
+/// disjoint from both child edges so the punt's randomness never aliases
+/// a descendant's separator stream.
+#[inline]
+pub fn punt_seed(seed: u64) -> u64 {
+    mix(seed ^ PUNT_TAG)
+}
+
+/// Fold a whole root-to-node path (`false` = left edge) into a seed — the
+/// closed form of iterating [`child_seed`] along the path.
+pub fn path_seed(root: u64, path: &[bool]) -> u64 {
+    path.iter().fold(root, |s, &right| child_seed(s, right))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn mix_is_injective_on_a_window() {
+        let mut seen = HashSet::new();
+        for x in 0..10_000u64 {
+            assert!(seen.insert(mix(x)));
+        }
+    }
+
+    #[test]
+    fn sibling_and_punt_streams_are_distinct() {
+        for seed in [0u64, 1, 0xC0FFEE, u64::MAX] {
+            let l = child_seed(seed, false);
+            let r = child_seed(seed, true);
+            let q = punt_seed(seed);
+            assert_ne!(l, r);
+            assert_ne!(l, q);
+            assert_ne!(r, q);
+            assert_ne!(l, seed);
+            assert_ne!(r, seed);
+        }
+    }
+
+    #[test]
+    fn path_seed_matches_iterated_child_seed() {
+        let path = [false, true, true, false, true];
+        let mut s = 42u64;
+        for &b in &path {
+            s = child_seed(s, b);
+        }
+        assert_eq!(path_seed(42, &path), s);
+    }
+
+    #[test]
+    fn exhaustive_paths_to_depth_12_never_collide() {
+        // 2^13 - 2 nonempty paths from one root: all distinct node seeds.
+        let root = 0xC0FFEEu64;
+        let mut seen = HashSet::new();
+        let mut frontier = vec![root];
+        for _ in 0..12 {
+            let mut next = Vec::with_capacity(frontier.len() * 2);
+            for s in frontier {
+                for right in [false, true] {
+                    let c = child_seed(s, right);
+                    assert!(seen.insert(c), "collision at seed {c:#x}");
+                    next.push(c);
+                }
+            }
+            frontier = next;
+        }
+    }
+}

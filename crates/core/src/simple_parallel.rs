@@ -264,8 +264,9 @@ fn rec<const D: usize, const E: usize>(
         return Ok((CostProfile::rounds(m as u64, m as u64), stats));
     }
 
-    let lseed = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
-    let rseed = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(2);
+    // Path-derived sibling seeds (see [`crate::seeding`]).
+    let lseed = crate::seeding::child_seed(seed, false);
+    let rseed = crate::seeding::child_seed(seed, true);
     let (lslice, rslice) = ids.split_at_mut(nl);
     let (lres, rres) = if m > ctx.cfg.parallel_cutoff {
         rayon::join(
@@ -292,7 +293,7 @@ fn rec<const D: usize, const E: usize>(
     ctx.obs.stop(Phase::CollectCrossing, t_cc);
     let node_crossing = crossing.len();
     ctx.obs.add_crossing(depth, node_crossing as u64);
-    let qseed = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(3);
+    let qseed = crate::seeding::punt_seed(seed);
     // Every internal node corrects through the query structure here (the
     // Section 5 combine step), so its time lands in the same
     // `punt-correction` phase the Section 6 punt path uses.

@@ -28,4 +28,6 @@ pub mod search;
 
 pub use config::SeparatorConfig;
 pub use quality::{delta_default, intersection_number, split_counts, SplitCounts};
-pub use search::{find_good_separator, FoundSeparator, SearchOutcome};
+pub use search::{
+    candidate_seed, find_good_separator, find_good_separator_par, FoundSeparator, SearchOutcome,
+};

@@ -38,9 +38,15 @@ pub fn current_num_threads() -> usize {
     if e > 0 {
         return e;
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    // Memoized: `available_parallelism` probes the OS (sched_getaffinity /
+    // cgroup limits) on every call, which is microseconds — far too slow
+    // for the per-node gates that ask for the thread count on hot paths.
+    static AVAIL: OnceLock<usize> = OnceLock::new();
+    *AVAIL.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
 }
 
 /// Try to reserve one extra worker; `true` on success.
