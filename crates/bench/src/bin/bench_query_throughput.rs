@@ -19,7 +19,10 @@
 
 use sepdc_bench::harness::{host_info, json_str, timed, HostInfo, Table};
 use sepdc_core::serve::{BatchResult, CoverPredicate, ServeConfig};
-use sepdc_core::{kdtree_all_knn, NeighborhoodSystem, QueryTree, QueryTreeConfig};
+use sepdc_core::{
+    kdtree_all_knn, load_query_tree, save_query_tree, NeighborhoodSystem, QueryTree,
+    QueryTreeConfig,
+};
 use sepdc_workloads::Workload;
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
@@ -54,6 +57,28 @@ fn main() {
         let system = NeighborhoodSystem::from_knn(&pts, &knn);
         QueryTree::build::<3>(system.balls(), QueryTreeConfig::default(), 3)
     });
+    // Snapshot round trip: how much faster is loading the frozen index
+    // than rebuilding it (the `sepdc index build` / `serve` value prop)?
+    let snapshot = save_query_tree(&tree);
+    let (loaded, load_s) = timed(|| load_query_tree::<2>(&snapshot).expect("snapshot load"));
+    assert_eq!(
+        save_query_tree(&loaded),
+        snapshot,
+        "snapshot round trip must be byte-identical"
+    );
+    let load_speedup = build_s / load_s.max(1e-12);
+    if !smoke {
+        // Acceptance: load >= 10x faster than build on the 100k workload.
+        assert!(
+            load_speedup >= 10.0,
+            "snapshot load ({:.1} ms) must be >= 10x faster than build \
+             ({:.1} ms); got {load_speedup:.1}x",
+            load_s * 1e3,
+            build_s * 1e3,
+        );
+    }
+    drop(loaded);
+
     let probes = Workload::UniformCube.generate::<2>(*batch_sizes.last().unwrap(), 11);
     let cfg = ServeConfig::default();
 
@@ -124,6 +149,12 @@ fn main() {
         cfg.chunk_size,
     ));
     table.note(format!(
+        "snapshot: {} bytes, loaded in {:.1} ms = {load_speedup:.1}x faster \
+         than build (round trip byte-identical)",
+        snapshot.len(),
+        load_s * 1e3,
+    ));
+    table.note(format!(
         "host has {cores} core(s); thread-count scaling (the 4T/1T column) is \
          only physically observable with >=4 cores — on fewer cores the \
          column measures oversubscription overhead, not speedup"
@@ -145,17 +176,39 @@ fn main() {
 
     let out_path = std::env::var("SEPDC_BENCH_OUT")
         .unwrap_or_else(|_| "BENCH_query_throughput.json".to_string());
-    std::fs::write(&out_path, bench_json(&table, &reports, &host)).expect("write bench json");
+    let timings = BuildTimings {
+        build_ms: build_s * 1e3,
+        snapshot_load_ms: load_s * 1e3,
+        snapshot_bytes: snapshot.len(),
+    };
+    std::fs::write(&out_path, bench_json(&table, &reports, &host, &timings))
+        .expect("write bench json");
     eprintln!("[wrote {out_path}]");
+}
+
+/// Build-vs-load timings surfaced as top-level artifact fields.
+struct BuildTimings {
+    build_ms: f64,
+    snapshot_load_ms: f64,
+    snapshot_bytes: usize,
 }
 
 /// Same combined shape as `bench_parallel_knn`: the human-oriented table
 /// plus one full serve run report per batch size, so schema validators and
 /// the `sepdc report` pretty-printer both work off the same file.
-fn bench_json(table: &Table, reports: &[CaseReport], host: &HostInfo) -> String {
+fn bench_json(
+    table: &Table,
+    reports: &[CaseReport],
+    host: &HostInfo,
+    timings: &BuildTimings,
+) -> String {
     let mut s = String::from("{\n\"host\": ");
     s.push_str(&host.to_json());
-    s.push_str(",\n\"table\":\n");
+    s.push_str(&format!(
+        ",\n\"build_ms\": {:.3},\n\"snapshot_load_ms\": {:.3},\n\"snapshot_bytes\": {},\n",
+        timings.build_ms, timings.snapshot_load_ms, timings.snapshot_bytes
+    ));
+    s.push_str("\"table\":\n");
     s.push_str(table.to_json().trim_end());
     s.push_str(",\n\"reports\": [\n");
     for (i, (label, secs, report)) in reports.iter().enumerate() {

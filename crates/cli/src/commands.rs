@@ -6,6 +6,7 @@ use crate::CliResult;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use sepdc_core::serve::{CoverPredicate, ServeConfig};
+use sepdc_core::snapshot::{self, SnapshotKind};
 use sepdc_core::{
     kdtree_all_knn, try_brute_force_knn, try_kdtree_all_knn, try_parallel_knn,
     try_simple_parallel_knn, KnnDcConfig, KnnGraph, KnnResult, NeighborhoodSystem, QueryTree,
@@ -272,6 +273,117 @@ pub fn query(
             chunk
         )
     )
+}
+
+/// Output of the `index build` command.
+#[derive(Debug)]
+pub struct IndexBuildOutput {
+    /// Serialized snapshot bytes (the `.snap` file contents).
+    pub snapshot: Vec<u8>,
+    /// Human-readable build summary.
+    pub summary: String,
+}
+
+/// `index build`: build the §3 query structure over a point file's k-NN
+/// neighborhood system and serialize it as a versioned snapshot.
+///
+/// Runs the exact pipeline the `query` command runs (kd-tree k-NN →
+/// neighborhood system → `QueryTree` with the default config and the
+/// given seed), so a daemon serving the snapshot answers byte-identically
+/// to `sepdc query` over the same inputs.
+pub fn index_build(
+    input: &str,
+    dim_flag: Option<usize>,
+    k: usize,
+    seed: u64,
+) -> CliResult<IndexBuildOutput> {
+    let dim = resolve_dim(input, dim_flag)?;
+    fn run<const D: usize, const E: usize>(
+        input: &str,
+        k: usize,
+        seed: u64,
+    ) -> CliResult<IndexBuildOutput> {
+        let points = parse_points::<D>(input)?;
+        if points.is_empty() {
+            return Err(SepdcError::EmptyInput.to_string());
+        }
+        let t0 = std::time::Instant::now();
+        let knn = try_kdtree_all_knn(&points, k).map_err(|e| e.to_string())?;
+        let system = NeighborhoodSystem::from_knn(&points, &knn);
+        let tree = QueryTree::try_build::<E>(system.balls(), QueryTreeConfig::default(), seed)
+            .map_err(|e| e.to_string())?;
+        let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let snapshot = snapshot::save_query_tree(&tree);
+        let stats = tree.stats();
+        let summary = format!(
+            "indexed {} balls (d={D}, k={k}, seed {seed}) in {build_ms:.1} ms: \
+             height {}, {} leaves, snapshot {} bytes",
+            tree.len(),
+            stats.height,
+            stats.leaves,
+            snapshot.len(),
+        );
+        Ok(IndexBuildOutput { snapshot, summary })
+    }
+    with_dim!(dim, run(input, k, seed))
+}
+
+/// `index inspect`: print a snapshot's header and section table, then
+/// deep-validate it by reconstructing the stored structure. Corrupt
+/// files surface their typed [`sepdc_core::snapshot::SnapshotError`]
+/// message instead of partial output.
+pub fn index_inspect(bytes: &[u8]) -> CliResult<String> {
+    let info = snapshot::inspect(bytes).map_err(|e| e.to_string())?;
+    let mut out = format!(
+        "snapshot: {} v{} (dim {}, {} bytes)\nsections:\n",
+        info.kind.name(),
+        info.version,
+        info.dim,
+        info.total_len,
+    );
+    for s in &info.sections {
+        out.push_str(&format!(
+            "  {:4}  offset {:>10}  len {:>10}  fnv1a64 {:016x}\n",
+            s.tag, s.offset, s.len, s.checksum
+        ));
+    }
+    let detail = match info.kind {
+        SnapshotKind::QueryTree => {
+            fn load<const D: usize, const E: usize>(bytes: &[u8]) -> CliResult<String> {
+                let t0 = std::time::Instant::now();
+                let tree = snapshot::load_query_tree::<D>(bytes).map_err(|e| e.to_string())?;
+                let s = tree.stats();
+                Ok(format!(
+                    "query-tree: {} balls, height {}, {} leaves, {} internals, \
+                     {} stored refs, seed {}; loaded + validated in {:.1} ms\n",
+                    tree.len(),
+                    s.height,
+                    s.leaves,
+                    s.internals,
+                    s.stored_balls,
+                    tree.run_report().seed,
+                    t0.elapsed().as_secs_f64() * 1e3,
+                ))
+            }
+            with_dim!(info.dim as usize, load(bytes))?
+        }
+        SnapshotKind::PartitionTree => {
+            fn load<const D: usize, const E: usize>(bytes: &[u8]) -> CliResult<String> {
+                let tree = snapshot::load_partition_tree::<D>(bytes).map_err(|e| e.to_string())?;
+                Ok(format!(
+                    "partition-tree: {} nodes, {} leaves, height {}, {} points, bounds: {}\n",
+                    tree.nodes().len(),
+                    tree.leaves(),
+                    tree.height(),
+                    tree.perm().len(),
+                    tree.bounds().is_some(),
+                ))
+            }
+            with_dim!(info.dim as usize, load(bytes))?
+        }
+    };
+    out.push_str(&detail);
+    Ok(out)
 }
 
 /// `report`: pretty-print a previously saved run report (`sepdc knn

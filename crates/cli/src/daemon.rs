@@ -1,0 +1,503 @@
+//! The `sepdc serve` daemon: load a snapshot once, answer probe batches
+//! forever.
+//!
+//! ## Protocol (newline-delimited, UTF-8, over stdin/stdout)
+//!
+//! One request per line; one response line per request, in request order:
+//!
+//! * **Probe** — a point in the input CSV format (`x,y,…` or
+//!   whitespace-separated, exactly `dim` coordinates). Response:
+//!   `seq,count,id id id…` — the same row shape `sepdc query --out`
+//!   writes, with `seq` the global probe sequence number since startup.
+//! * **`swap PATH`** — load, validate, and atomically install a new
+//!   snapshot (same kind and dimension). Response: `ok swapped
+//!   generation=G n=N` or `error: …` (the old index keeps serving on
+//!   failure; in-flight batches finish on the generation they started
+//!   with — old generations drain as their handles drop).
+//! * **`stats`** — `ok generation=G n=N dim=D probes=P batches=B swaps=S`.
+//! * **`quit`** — `ok bye`, then exit. EOF on stdin also exits.
+//! * Blank lines and `#` comments are ignored without a response, so a
+//!   generated point file can be piped in unmodified.
+//! * A malformed probe line answers `error: …` and poisons nothing.
+//!
+//! ## Admission batching
+//!
+//! A reader thread feeds a bounded channel; the serving loop blocks for
+//! the first pending request, then drains whatever else has already
+//! arrived — coalescing small requests into one batch, capped at a
+//! `chunk_size`-aligned maximum — and answers the whole batch through
+//! [`QueryTree::try_serve`]. Answers ride the deterministic CSR engine,
+//! so a batch's rows are byte-identical to `sepdc query` over the same
+//! probes no matter how requests were coalesced or how many threads
+//! serve them.
+
+use crate::io::parse_points;
+use crate::CliResult;
+use sepdc_core::serve::{CoverPredicate, ServeConfig};
+use sepdc_core::snapshot::{self, SnapshotKind};
+use sepdc_core::QueryTree;
+use sepdc_geom::Point;
+use std::io::{BufRead, BufWriter, Write};
+use std::sync::mpsc;
+use std::sync::{Arc, RwLock};
+
+/// Daemon tunables (`sepdc serve` flags).
+#[derive(Clone, Copy, Debug)]
+pub struct DaemonConfig {
+    /// Serve the open-interior predicate instead of the closed one.
+    pub interior: bool,
+    /// Chunk size of the underlying CSR engine ([`ServeConfig::chunk_size`]).
+    pub chunk: usize,
+    /// Maximum probes coalesced into one served batch; rounded down to a
+    /// multiple of `chunk` (and up to at least one chunk) so admission
+    /// batches stay chunk-aligned.
+    pub batch_max: usize,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            interior: false,
+            chunk: 1024,
+            batch_max: 4096,
+        }
+    }
+}
+
+impl DaemonConfig {
+    /// The chunk-aligned admission cap.
+    fn aligned_cap(&self) -> usize {
+        let chunk = self.chunk.max(1);
+        (self.batch_max / chunk).max(1) * chunk
+    }
+}
+
+/// Counters the daemon reports on `stats` and returns at exit.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DaemonStats {
+    /// Probes answered.
+    pub probes: u64,
+    /// Batches served (each one `try_serve` call).
+    pub batches: u64,
+    /// Successful snapshot swaps.
+    pub swaps: u64,
+}
+
+/// One loaded snapshot generation: the tree plus its provenance.
+struct Generation<const D: usize> {
+    tree: QueryTree<D>,
+    number: u64,
+}
+
+/// `ArcSwap`-style cell: readers clone the current `Arc` and keep serving
+/// on it while a `swap` installs a new generation; the old generation is
+/// freed when its last in-flight handle drops (drains, never torn down
+/// mid-batch).
+struct IndexCell<const D: usize> {
+    inner: RwLock<Arc<Generation<D>>>,
+}
+
+impl<const D: usize> IndexCell<D> {
+    fn new(tree: QueryTree<D>) -> Self {
+        IndexCell {
+            inner: RwLock::new(Arc::new(Generation { tree, number: 1 })),
+        }
+    }
+
+    fn current(&self) -> Arc<Generation<D>> {
+        Arc::clone(&self.inner.read().expect("index cell poisoned"))
+    }
+
+    /// Install `tree` as the next generation, returning its number.
+    fn swap(&self, tree: QueryTree<D>) -> u64 {
+        let mut slot = self.inner.write().expect("index cell poisoned");
+        let number = slot.number + 1;
+        *slot = Arc::new(Generation { tree, number });
+        number
+    }
+}
+
+/// Run the daemon over arbitrary line-based transports. The binary passes
+/// stdin/stdout; tests pass in-memory buffers. Returns the final counters
+/// when the input ends (EOF, `quit`, or the client closing the response
+/// pipe).
+pub fn run_daemon<R, W>(
+    input: R,
+    output: W,
+    index_path: &str,
+    cfg: &DaemonConfig,
+) -> CliResult<DaemonStats>
+where
+    R: BufRead + Send + 'static,
+    W: Write,
+{
+    let bytes = std::fs::read(index_path).map_err(|e| format!("cannot read {index_path}: {e}"))?;
+    let info = snapshot::inspect(&bytes).map_err(|e| format!("{index_path}: {e}"))?;
+    if info.kind != SnapshotKind::QueryTree {
+        return Err(format!(
+            "{index_path}: holds a {}, the daemon serves query-tree snapshots",
+            info.kind.name()
+        ));
+    }
+    fn run<const D: usize>(
+        bytes: &[u8],
+        input: impl BufRead + Send + 'static,
+        output: impl Write,
+        cfg: &DaemonConfig,
+    ) -> CliResult<DaemonStats> {
+        let tree = snapshot::load_query_tree::<D>(bytes).map_err(|e| e.to_string())?;
+        serve_loop::<D>(tree, input, output, cfg)
+    }
+    match info.dim {
+        1 => run::<1>(&bytes, input, output, cfg),
+        2 => run::<2>(&bytes, input, output, cfg),
+        3 => run::<3>(&bytes, input, output, cfg),
+        4 => run::<4>(&bytes, input, output, cfg),
+        5 => run::<5>(&bytes, input, output, cfg),
+        d => Err(format!(
+            "unsupported snapshot dimension {d} (supported: 1..=5)"
+        )),
+    }
+}
+
+/// What one request line asks for.
+enum Request<const D: usize> {
+    Probe(Point<D>),
+    Malformed(String),
+    Swap(String),
+    Stats,
+    Quit,
+}
+
+fn classify<const D: usize>(line: &str) -> Option<Request<D>> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return None;
+    }
+    if let Some(path) = line.strip_prefix("swap ") {
+        return Some(Request::Swap(path.trim().to_string()));
+    }
+    match line {
+        "stats" => Some(Request::Stats),
+        "quit" => Some(Request::Quit),
+        _ => Some(match parse_points::<D>(line) {
+            Ok(pts) if pts.len() == 1 => Request::Probe(pts[0]),
+            Ok(_) => Request::Malformed("expected exactly one probe per line".to_string()),
+            Err(e) => Request::Malformed(e),
+        }),
+    }
+}
+
+fn serve_loop<const D: usize>(
+    tree: QueryTree<D>,
+    input: impl BufRead + Send + 'static,
+    output: impl Write,
+    cfg: &DaemonConfig,
+) -> CliResult<DaemonStats> {
+    let pred = if cfg.interior {
+        CoverPredicate::Open
+    } else {
+        CoverPredicate::Closed
+    };
+    let serve_cfg = ServeConfig {
+        chunk_size: cfg.chunk,
+        ..ServeConfig::default()
+    };
+    serve_cfg.validate().map_err(|e| e.to_string())?;
+    let cap = cfg.aligned_cap();
+    let cell = IndexCell::new(tree);
+    {
+        let gen = cell.current();
+        eprintln!(
+            "sepdc serve: {} balls (dim {D}), generation {}, {} predicate, \
+             chunk {}, admission cap {cap}",
+            gen.tree.len(),
+            gen.number,
+            pred.name(),
+            serve_cfg.chunk_size,
+        );
+    }
+
+    // Reader thread: pull raw lines off the transport into a bounded
+    // queue. The serving loop coalesces whatever has already arrived.
+    let (tx, rx) = mpsc::sync_channel::<String>(2 * cap);
+    std::thread::spawn(move || {
+        for line in input.lines() {
+            let Ok(line) = line else { break };
+            if tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+
+    let mut out = BufWriter::new(output);
+    let mut stats = DaemonStats::default();
+    let mut seq: u64 = 0;
+    let mut batch: Vec<Point<D>> = Vec::new();
+
+    // Serve the buffered probes as one batch; write one CSR row per probe.
+    // A write error means the client hung up — finish cleanly.
+    let flush_batch = |batch: &mut Vec<Point<D>>,
+                       out: &mut BufWriter<_>,
+                       seq: &mut u64,
+                       stats: &mut DaemonStats|
+     -> CliResult<bool> {
+        if batch.is_empty() {
+            return Ok(true);
+        }
+        let gen = cell.current();
+        let served = gen
+            .tree
+            .try_serve(batch, pred, &serve_cfg)
+            .map_err(|e| e.to_string())?;
+        for hits in served.result.iter() {
+            let ids: Vec<String> = hits.iter().map(u32::to_string).collect();
+            if writeln!(out, "{seq},{},{}", hits.len(), ids.join(" ")).is_err() {
+                return Ok(false);
+            }
+            *seq += 1;
+        }
+        stats.probes += batch.len() as u64;
+        stats.batches += 1;
+        batch.clear();
+        Ok(true)
+    };
+
+    // Block for the first pending request, then drain what's queued.
+    'serve: while let Ok(first) = rx.recv() {
+        let mut lines = vec![first];
+        while let Ok(line) = rx.try_recv() {
+            lines.push(line);
+        }
+        for line in &lines {
+            let Some(req) = classify::<D>(line) else {
+                continue;
+            };
+            // Control requests and errors flush first so responses stay
+            // in request order.
+            let control = !matches!(req, Request::Probe(_));
+            if control && !flush_batch(&mut batch, &mut out, &mut seq, &mut stats)? {
+                break 'serve;
+            }
+            let ok = match req {
+                Request::Probe(p) => {
+                    batch.push(p);
+                    if batch.len() >= cap
+                        && !flush_batch(&mut batch, &mut out, &mut seq, &mut stats)?
+                    {
+                        break 'serve;
+                    }
+                    true
+                }
+                Request::Malformed(msg) => writeln!(out, "error: {msg}").is_ok(),
+                Request::Stats => {
+                    let gen = cell.current();
+                    writeln!(
+                        out,
+                        "ok generation={} n={} dim={D} probes={} batches={} swaps={}",
+                        gen.number,
+                        gen.tree.len(),
+                        stats.probes,
+                        stats.batches,
+                        stats.swaps,
+                    )
+                    .is_ok()
+                }
+                Request::Swap(path) => {
+                    match std::fs::read(&path)
+                        .map_err(|e| format!("cannot read {path}: {e}"))
+                        .and_then(|bytes| {
+                            snapshot::load_query_tree::<D>(&bytes).map_err(|e| e.to_string())
+                        }) {
+                        Ok(tree) => {
+                            let n = tree.len();
+                            let number = cell.swap(tree);
+                            stats.swaps += 1;
+                            writeln!(out, "ok swapped generation={number} n={n}").is_ok()
+                        }
+                        Err(e) => writeln!(out, "error: {e}").is_ok(),
+                    }
+                }
+                Request::Quit => {
+                    let _ = writeln!(out, "ok bye");
+                    let _ = out.flush();
+                    return Ok(stats);
+                }
+            };
+            if !ok {
+                break 'serve;
+            }
+        }
+        if !flush_batch(&mut batch, &mut out, &mut seq, &mut stats)? {
+            break;
+        }
+        if out.flush().is_err() {
+            break;
+        }
+    }
+    let _ = flush_batch(&mut batch, &mut out, &mut seq, &mut stats);
+    let _ = out.flush();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands;
+    use std::io::Cursor;
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("sepdc-daemon-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Build a small snapshot on disk plus the matching in-process hit
+    /// rows for the same probes.
+    fn fixture(dir: &std::path::Path) -> (String, String, Vec<String>) {
+        let pts = commands::generate("uniform-cube", 400, 2, 3).unwrap();
+        let probes = commands::generate("clusters", 120, 2, 9).unwrap();
+        let built = commands::index_build(&pts, Some(2), 2, 5).unwrap();
+        let snap = dir.join("index.snap");
+        std::fs::write(&snap, &built.snapshot).unwrap();
+        let q = commands::query(
+            &pts,
+            Some(2),
+            2,
+            Some(&probes),
+            "uniform-cube",
+            0,
+            false,
+            5,
+            1024,
+        )
+        .unwrap();
+        let rows: Vec<String> = q
+            .hits_csv
+            .lines()
+            .filter(|l| !l.starts_with('#'))
+            .map(String::from)
+            .collect();
+        (snap.to_string_lossy().into_owned(), probes, rows)
+    }
+
+    #[test]
+    fn daemon_rows_match_in_process_answers() {
+        let dir = tmpdir("parity");
+        let (snap, probes, want) = fixture(&dir);
+        // Pipe the raw probe file through, with control lines mixed in.
+        let input = format!("stats\n{probes}quit\n");
+        let mut out = Vec::new();
+        let stats = run_daemon(
+            Cursor::new(input.into_bytes()),
+            &mut out,
+            &snap,
+            &DaemonConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(stats.probes, 120);
+        let text = String::from_utf8(out).unwrap();
+        let mut lines = text.lines();
+        let first = lines.next().unwrap();
+        assert!(first.starts_with("ok generation=1 n=400 dim=2"), "{first}");
+        let rows: Vec<&str> = lines.clone().take(120).collect();
+        assert_eq!(rows, want, "daemon CSR rows must match sepdc query");
+        assert_eq!(lines.nth(120), Some("ok bye"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batching_is_invisible_in_the_answers() {
+        let dir = tmpdir("batching");
+        let (snap, probes, want) = fixture(&dir);
+        // Tiny admission cap: many small batches, identical rows.
+        let cfg = DaemonConfig {
+            chunk: 7,
+            batch_max: 7,
+            ..DaemonConfig::default()
+        };
+        let mut out = Vec::new();
+        let stats = run_daemon(Cursor::new(probes.into_bytes()), &mut out, &snap, &cfg).unwrap();
+        assert_eq!(stats.probes, 120);
+        assert!(stats.batches >= 120 / 7, "cap must bound batch size");
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text.lines().collect::<Vec<_>>(), want);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn swap_and_errors() {
+        let dir = tmpdir("swap");
+        let (snap, _, _) = fixture(&dir);
+        // A second, different snapshot to swap in.
+        let pts2 = commands::generate("grid", 200, 2, 21).unwrap();
+        let built2 = commands::index_build(&pts2, Some(2), 2, 5).unwrap();
+        let snap2 = dir.join("index2.snap");
+        std::fs::write(&snap2, &built2.snapshot).unwrap();
+        // A corrupt file the swap must reject while the old index serves on.
+        let garbage = dir.join("garbage.snap");
+        std::fs::write(&garbage, b"not a snapshot").unwrap();
+
+        let input = format!(
+            "0.5,0.5\nswap {missing}\nswap {garbage}\nnot,a,probe\n0.5,0.5\nswap {snap2}\nstats\n",
+            missing = dir.join("missing.snap").display(),
+            garbage = garbage.display(),
+            snap2 = snap2.display(),
+        );
+        let mut out = Vec::new();
+        let stats = run_daemon(
+            Cursor::new(input.into_bytes()),
+            &mut out,
+            &snap,
+            &DaemonConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(stats.swaps, 1);
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("0,"), "probe row first: {}", lines[0]);
+        assert!(lines[1].starts_with("error: cannot read"), "{}", lines[1]);
+        assert!(lines[2].starts_with("error:"), "{}", lines[2]);
+        assert!(lines[3].starts_with("error:"), "{}", lines[3]);
+        assert!(lines[4].starts_with("1,"), "probe rows keep numbering");
+        assert_eq!(lines[5], "ok swapped generation=2 n=200");
+        assert!(
+            lines[6].starts_with("ok generation=2 n=200"),
+            "{}",
+            lines[6]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_dimension_swap_is_rejected() {
+        let dir = tmpdir("dim");
+        let (snap, _, _) = fixture(&dir);
+        let pts3 = commands::generate("uniform-cube", 100, 3, 4).unwrap();
+        let built3 = commands::index_build(&pts3, Some(3), 2, 5).unwrap();
+        let snap3 = dir.join("index3.snap");
+        std::fs::write(&snap3, &built3.snapshot).unwrap();
+        let input = format!("swap {}\nstats\n", snap3.display());
+        let mut out = Vec::new();
+        run_daemon(
+            Cursor::new(input.into_bytes()),
+            &mut out,
+            &snap,
+            &DaemonConfig::default(),
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(
+            lines[0].starts_with("error:") && lines[0].contains("dimension"),
+            "{}",
+            lines[0]
+        );
+        assert!(
+            lines[1].starts_with("ok generation=1"),
+            "old index serves on"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

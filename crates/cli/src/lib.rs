@@ -14,6 +14,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod daemon;
 pub mod io;
 
 /// CLI result type: user-facing error strings.

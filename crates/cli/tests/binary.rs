@@ -300,3 +300,137 @@ fn missing_input_is_a_clean_error() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
 }
+
+#[test]
+fn index_build_inspect_serve_pipeline() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::process::Stdio;
+
+    let dir = tmpdir("index");
+    let pts = dir.join("pts.csv");
+    let probes = dir.join("probes.csv");
+    let snap = dir.join("index.snap");
+    let hits = dir.join("hits.csv");
+
+    for (workload, n, seed, path) in [
+        ("uniform-cube", "500", "9", &pts),
+        ("clusters", "80", "3", &probes),
+    ] {
+        let out = bin()
+            .args([
+                "generate",
+                "--workload",
+                workload,
+                "--n",
+                n,
+                "--dim",
+                "2",
+                "--seed",
+                seed,
+                "--out",
+                path.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+    }
+
+    // Build a snapshot, then inspect it.
+    let out = bin()
+        .args([
+            "index",
+            "build",
+            "--input",
+            pts.to_str().unwrap(),
+            "--k",
+            "2",
+            "--seed",
+            "5",
+            "--out",
+            snap.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let summary = String::from_utf8_lossy(&out.stderr);
+    assert!(summary.contains("500 balls"), "{summary}");
+
+    let out = bin()
+        .args(["index", "inspect", "--input", snap.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("query-tree"), "{text}");
+    assert!(text.contains("fnv1a64"), "{text}");
+
+    // The reference answers from the one-shot query command.
+    let out = bin()
+        .args([
+            "query",
+            "--input",
+            pts.to_str().unwrap(),
+            "--k",
+            "2",
+            "--seed",
+            "5",
+            "--probes",
+            probes.to_str().unwrap(),
+            "--out",
+            hits.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let want: Vec<String> = std::fs::read_to_string(&hits)
+        .unwrap()
+        .lines()
+        .filter(|l| !l.starts_with('#'))
+        .map(String::from)
+        .collect();
+
+    // The daemon over the same probes must produce identical rows.
+    let mut child = bin()
+        .args(["serve", "--index", snap.to_str().unwrap()])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    {
+        let mut stdin = child.stdin.take().unwrap();
+        stdin
+            .write_all(std::fs::read(&probes).unwrap().as_slice())
+            .unwrap();
+        stdin.write_all(b"stats\nquit\n").unwrap();
+    }
+    let reader = BufReader::new(child.stdout.take().unwrap());
+    let lines: Vec<String> = reader.lines().map(Result::unwrap).collect();
+    assert!(child.wait().unwrap().success());
+    assert_eq!(&lines[..80], &want[..], "daemon rows must match query rows");
+    assert!(
+        lines[80].starts_with("ok generation=1 n=500"),
+        "{}",
+        lines[80]
+    );
+    assert_eq!(lines[81], "ok bye");
+
+    // `index frobnicate` is a clean usage error.
+    let out = bin().args(["index", "frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("index build|inspect"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

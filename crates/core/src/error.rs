@@ -70,6 +70,18 @@ pub enum SepdcError {
         /// The configured depth limit that was exceeded.
         limit: usize,
     },
+    /// A persistent index snapshot failed to decode. Snapshot bytes are
+    /// adversarial input (a file on disk, a daemon swap request), so every
+    /// structural defect maps to a typed
+    /// [`SnapshotError`](crate::snapshot::SnapshotError) — loading never
+    /// panics.
+    Snapshot(crate::snapshot::SnapshotError),
+}
+
+impl From<crate::snapshot::SnapshotError> for SepdcError {
+    fn from(e: crate::snapshot::SnapshotError) -> Self {
+        SepdcError::Snapshot(e)
+    }
 }
 
 impl std::fmt::Display for SepdcError {
@@ -100,6 +112,7 @@ impl std::fmt::Display for SepdcError {
             SepdcError::RecursionDepthExceeded { limit } => {
                 write!(f, "recursion exceeded the configured max_depth = {limit}")
             }
+            SepdcError::Snapshot(e) => write!(f, "snapshot: {e}"),
         }
     }
 }

@@ -13,6 +13,7 @@
 //! | §6.2 Fast Correction / reachability marching | [`partition_tree`], [`correction`] |
 //! | Def 1.1 k-NN graph | [`graph`] |
 //! | §3 batch serving (read path over [`query`]) | [`serve`] |
+//! | persistent index snapshots (save/load) | [`snapshot`] |
 //!
 //! Baselines and substrates: [`brute`] (the `O(n²)` oracle), [`kdtree`]
 //! (the sequential `O(n log n)`-class baseline standing in for Vaidya's
@@ -53,6 +54,7 @@ pub mod seeding;
 pub mod serve;
 mod shared;
 pub mod simple_parallel;
+pub mod snapshot;
 pub mod validate;
 
 pub use brute::{brute_force_knn, try_brute_force_knn};
@@ -74,5 +76,9 @@ pub use report::{
 pub use serve::{BatchResult, CoverPredicate, ServeOutput, ServeStats};
 pub use simple_parallel::{
     simple_parallel_knn, try_simple_parallel_knn, SimpleDcOutput, SimpleDcStats,
+};
+pub use snapshot::{
+    load_partition_tree, load_query_tree, save_partition_tree, save_query_tree, SectionInfo,
+    SnapshotError, SnapshotInfo, SnapshotKind, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
 };
 pub use validate::{validate_against_oracle, validate_knn, ValidationError};

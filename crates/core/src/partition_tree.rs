@@ -127,6 +127,12 @@ impl<const D: usize> PartitionTree<D> {
         &self.perm[start as usize..(start + len) as usize]
     }
 
+    /// The whole permutation array (point ids tiled left-to-right by leaf
+    /// order) — the flat column the snapshot writer serializes.
+    pub fn perm(&self) -> &[u32] {
+        &self.perm
+    }
+
     /// Number of points in the tree.
     pub fn size(&self) -> usize {
         match self.nodes[self.root() as usize] {

@@ -61,7 +61,10 @@ impl Default for QueryTreeConfig {
     }
 }
 
-enum QNode<const D: usize> {
+/// Tree node. Crate-visible (not public API) so the
+/// [`snapshot`](crate::snapshot) module can flatten and reconstruct the
+/// boxed tree without exposing its shape to callers.
+pub(crate) enum QNode<const D: usize> {
     Internal {
         sep: Separator<D>,
         left: Box<QNode<D>>,
@@ -285,6 +288,68 @@ impl<const D: usize> QueryTree<D> {
     /// Columnar view of the indexed balls (the batched cover kernel).
     pub(crate) fn soa_balls(&self) -> &SoaBalls<D> {
         &self.soa
+    }
+
+    /// The root node, for snapshot flattening.
+    pub(crate) fn root(&self) -> &QNode<D> {
+        &self.root
+    }
+
+    /// The indexed balls, in id order.
+    pub fn balls(&self) -> &[Ball<D>] {
+        &self.balls
+    }
+
+    /// Reassemble a tree from snapshot-decoded parts. The caller
+    /// ([`snapshot::load_query_tree`](crate::snapshot::load_query_tree))
+    /// has already validated every id, range, and float; this constructor
+    /// only stamps a fresh `algo = "query-load"` report so a loaded tree
+    /// is observable like a built one.
+    pub(crate) fn from_snapshot_parts(
+        root: QNode<D>,
+        balls: Vec<Ball<D>>,
+        soa: SoaBalls<D>,
+        stats: QueryTreeStats,
+        cost: CostProfile,
+        seed: u64,
+        load_elapsed: std::time::Duration,
+    ) -> Self {
+        let mut counters = vec![
+            ("stats.height".to_string(), stats.height as f64),
+            ("stats.leaves".to_string(), stats.leaves as f64),
+            ("stats.internals".to_string(), stats.internals as f64),
+            ("stats.stored_balls".to_string(), stats.stored_balls as f64),
+            ("stats.candidates".to_string(), stats.candidates as f64),
+            ("stats.fallbacks".to_string(), stats.fallbacks as f64),
+            (
+                "stats.forced_leaves".to_string(),
+                stats.forced_leaves as f64,
+            ),
+        ];
+        counters.extend(cost_counters(&cost));
+        let report = RunReport {
+            version: crate::report::RUN_REPORT_VERSION,
+            algo: "query-load".to_string(),
+            dim: D,
+            n: balls.len(),
+            k: 0,
+            seed,
+            threads: rayon::current_num_threads(),
+            wall_ms: 0.0,
+            config: Vec::new(),
+            phases: Vec::new(),
+            counters,
+            depth: Vec::new(),
+        }
+        .finish(load_elapsed);
+        QueryTree {
+            root,
+            balls,
+            soa,
+            stats,
+            cost,
+            report,
+        }
     }
 
     /// Number of tree nodes visited plus leaf balls scanned for `p` —

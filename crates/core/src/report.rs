@@ -577,6 +577,11 @@ fn json_num(v: f64) -> String {
     if !v.is_finite() {
         return "null".to_string();
     }
+    if v == 0.0 && v.is_sign_negative() {
+        // The integer branch below would cast -0.0 through i64 and print
+        // "0", losing the sign bit on round-trip; "-0" parses back to -0.0.
+        return "-0".to_string();
+    }
     if v == v.trunc() && v.abs() < 1e15 {
         format!("{}", v as i64)
     } else {
@@ -824,17 +829,39 @@ impl<'a> JsonParser<'a> {
                         Some(b'b') => out.push('\u{8}'),
                         Some(b'f') => out.push('\u{c}'),
                         Some(b'u') => {
-                            if self.pos + 5 > self.bytes.len() {
-                                return Err("truncated \\u escape".to_string());
-                            }
-                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
-                                .map_err(|_| "bad \\u escape".to_string())?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| "bad \\u escape".to_string())?;
-                            // Surrogate pairs are not needed for our own
-                            // artifacts; replace them rather than reject.
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                            self.pos += 4;
+                            let first = self.unicode_escape()?;
+                            let code = if (0xD800..=0xDBFF).contains(&first) {
+                                // High surrogate: a low surrogate escape must
+                                // follow immediately to form one scalar.
+                                if self.bytes.get(self.pos + 1) != Some(&b'\\')
+                                    || self.bytes.get(self.pos + 2) != Some(&b'u')
+                                {
+                                    return Err(format!(
+                                        "lone high surrogate \\u{first:04x} at byte {}",
+                                        self.pos
+                                    ));
+                                }
+                                self.pos += 2;
+                                let second = self.unicode_escape()?;
+                                if !(0xDC00..=0xDFFF).contains(&second) {
+                                    return Err(format!(
+                                        "expected low surrogate after \\u{first:04x}, \
+                                         found \\u{second:04x}"
+                                    ));
+                                }
+                                0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00)
+                            } else if (0xDC00..=0xDFFF).contains(&first) {
+                                return Err(format!(
+                                    "lone low surrogate \\u{first:04x} at byte {}",
+                                    self.pos
+                                ));
+                            } else {
+                                first
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| format!("bad \\u escape U+{code:04X}"))?,
+                            );
                         }
                         other => return Err(format!("bad escape {:?}", other.map(|c| c as char))),
                     }
@@ -852,6 +879,25 @@ impl<'a> JsonParser<'a> {
                 }
             }
         }
+    }
+
+    /// Parse the `uXXXX` tail of a `\u` escape. On entry `self.pos` is at
+    /// the `u`; on success it is left on the last hex digit (the caller's
+    /// shared `self.pos += 1` then steps past the whole escape).
+    fn unicode_escape(&mut self) -> Result<u32, String> {
+        debug_assert_eq!(self.bytes.get(self.pos), Some(&b'u'));
+        if self.pos + 5 > self.bytes.len() {
+            return Err("truncated \\u escape".to_string());
+        }
+        let hex = &self.bytes[self.pos + 1..self.pos + 5];
+        if !hex.iter().all(u8::is_ascii_hexdigit) {
+            return Err("bad \\u escape".to_string());
+        }
+        // Hex digits are ASCII, so the slice is valid UTF-8.
+        let code = u32::from_str_radix(std::str::from_utf8(hex).unwrap(), 16)
+            .map_err(|_| "bad \\u escape".to_string())?;
+        self.pos += 4;
+        Ok(code)
     }
 
     fn number(&mut self) -> Result<Json, String> {
@@ -977,6 +1023,62 @@ mod tests {
         report.algo = "weird \"algo\"\twith\nescapes\\".to_string();
         let back = RunReport::from_json(&report.to_json()).unwrap();
         assert_eq!(back.algo, report.algo);
+    }
+
+    #[test]
+    fn signed_zero_round_trips_bitwise() {
+        // -0.0 == 0.0 under PartialEq, so compare raw bits explicitly.
+        assert_eq!(json_num(-0.0), "-0");
+        assert_eq!(json_num(0.0), "0");
+        let mut report = sample_report();
+        report.wall_ms = -0.0;
+        report.counters.push(("zero.neg".to_string(), -0.0));
+        report.counters.push(("zero.pos".to_string(), 0.0));
+        let back = RunReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back.wall_ms.to_bits(), (-0.0f64).to_bits());
+        let bits: Vec<u64> = back.counters.iter().map(|(_, v)| v.to_bits()).collect();
+        let want: Vec<u64> = report.counters.iter().map(|(_, v)| v.to_bits()).collect();
+        assert_eq!(bits, want);
+        // Exact-text re-serialization still holds with signed zeros present.
+        assert_eq!(back.to_json(), report.to_json());
+    }
+
+    #[test]
+    fn astral_plane_strings_round_trip() {
+        // Raw UTF-8 astral chars survive the writer (emitted unescaped)
+        // and the parser's raw path.
+        let mut report = sample_report();
+        report.algo = "math \u{1d54a} emoji \u{1f600} bmp \u{2603}".to_string();
+        let back = RunReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back.algo, report.algo);
+
+        // Escaped surrogate pairs (what other JSON writers emit) must
+        // combine into the astral scalar, not U+FFFD.
+        let text = report
+            .to_json()
+            .replace("\u{1d54a}", "\\ud835\\udd4a")
+            .replace("\u{1f600}", "\\ud83d\\ude00");
+        let back = RunReport::from_json(&text).unwrap();
+        assert_eq!(back.algo, report.algo);
+    }
+
+    #[test]
+    fn lone_surrogates_are_typed_parse_errors() {
+        let make = |algo_json: &str| sample_report().to_json().replace("\"parallel\"", algo_json);
+        for bad in [
+            "\"\\ud835\"",         // lone high at end of string
+            "\"\\ud835 tail\"",    // high not followed by an escape
+            "\"\\ud835\\n\"",      // high followed by a non-\u escape
+            "\"\\ud835\\ud836\"",  // high followed by another high
+            "\"\\udd4a\"",         // bare low
+            "\"\\udc00 leading\"", // bare low with trailing text
+        ] {
+            let err = RunReport::from_json(&make(bad));
+            assert!(
+                matches!(err, Err(ReportError::Parse(ref m)) if m.contains("surrogate")),
+                "{bad}: {err:?}"
+            );
+        }
     }
 
     #[test]

@@ -99,9 +99,13 @@ impl CoverPredicate {
 /// Two allocations for the whole batch regardless of probe count —
 /// compare `Vec<Vec<u32>>`, which costs one allocation per probe and
 /// scatters rows across the heap.
+///
+/// Offsets are explicit `u64`, not `usize`: the CSR arrays cross process
+/// boundaries (snapshot files, daemon framing), so their width must not
+/// depend on the architecture that produced them.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct BatchResult {
-    offsets: Vec<usize>,
+    offsets: Vec<u64>,
     ids: Vec<u32>,
 }
 
@@ -126,12 +130,14 @@ impl BatchResult {
 
     /// Hit ids of probe `i` (indices into the tree's ball array).
     pub fn hits(&self, i: usize) -> &[u32] {
-        &self.ids[self.offsets[i]..self.offsets[i + 1]]
+        &self.ids[self.offsets[i] as usize..self.offsets[i + 1] as usize]
     }
 
     /// Iterate the per-probe hit lists in probe order.
     pub fn iter(&self) -> impl Iterator<Item = &[u32]> {
-        self.offsets.windows(2).map(move |w| &self.ids[w[0]..w[1]])
+        self.offsets
+            .windows(2)
+            .map(move |w| &self.ids[w[0] as usize..w[1] as usize])
     }
 
     /// Total hits across the batch (`ids.len()`).
@@ -140,7 +146,10 @@ impl BatchResult {
     }
 
     /// The raw CSR offsets array (`len() + 1` entries, starting at 0).
-    pub fn offsets(&self) -> &[usize] {
+    ///
+    /// Fixed-width `u64` so the answer's shape is identical on every
+    /// architecture — the wire/snapshot contract, not a host detail.
+    pub fn offsets(&self) -> &[u64] {
         &self.offsets
     }
 
@@ -323,11 +332,11 @@ fn assemble(parts: Vec<ChunkPart>, probes: usize) -> (BatchResult, ServeStats) {
     let total: usize = parts.iter().map(|p| p.ids.len()).sum();
     let mut offsets = Vec::with_capacity(probes + 1);
     let mut ids = Vec::with_capacity(total);
-    offsets.push(0usize);
-    let mut at = 0usize;
+    offsets.push(0u64);
+    let mut at = 0u64;
     for part in parts {
         for &len in &part.lens {
-            at += len as usize;
+            at += u64::from(len);
             offsets.push(at);
         }
         ids.extend_from_slice(&part.ids);

@@ -71,6 +71,27 @@ impl<const D: usize> SoaPoints<D> {
         }
     }
 
+    /// Rebuild the arena from per-dimension columns (already columnar —
+    /// no transpose). Every column must have the same length; serialization
+    /// code uses this so a snapshot load stays a straight column copy.
+    ///
+    /// # Panics
+    /// Panics if the columns disagree on length.
+    pub fn from_columns(cols: [Vec<f64>; D]) -> Self {
+        let len = cols.first().map_or(0, Vec::len);
+        assert!(
+            cols.iter().all(|c| c.len() == len),
+            "SoaPoints::from_columns: ragged columns"
+        );
+        SoaPoints { cols, len }
+    }
+
+    /// Borrow coordinate column `d` (`col(d)[i]` is coordinate `d` of
+    /// point `i`) — the flat array serialization code writes to disk.
+    pub fn col(&self, d: usize) -> &[f64] {
+        &self.cols[d]
+    }
+
     /// Number of points.
     pub fn len(&self) -> usize {
         self.len
@@ -193,6 +214,33 @@ impl<const D: usize> SoaBalls<D> {
             centers: SoaPoints::from_points(&centers),
             radius_sq: balls.iter().map(|b| b.radius * b.radius).collect(),
         }
+    }
+
+    /// Rebuild from center columns plus plain radii. `radius_sq` is
+    /// recomputed as `r * r` — the same multiplication `from_balls`
+    /// performs — so a set reloaded from serialized columns filters
+    /// bit-for-bit like the original.
+    ///
+    /// # Panics
+    /// Panics if `radii.len()` disagrees with the column length (or the
+    /// columns are ragged).
+    pub fn from_columns(centers: [Vec<f64>; D], radii: &[f64]) -> Self {
+        let centers = SoaPoints::from_columns(centers);
+        assert_eq!(
+            centers.len(),
+            radii.len(),
+            "SoaBalls::from_columns: center/radius length mismatch"
+        );
+        SoaBalls {
+            centers,
+            radius_sq: radii.iter().map(|r| r * r).collect(),
+        }
+    }
+
+    /// Borrow the center-coordinate arena (columnar access for
+    /// serialization; `centers().col(d)[i]` is coordinate `d` of ball `i`).
+    pub fn centers(&self) -> &SoaPoints<D> {
+        &self.centers
     }
 
     /// Number of balls.
