@@ -1,0 +1,282 @@
+//! Churn bench for the batch-dynamic [`sepdc_core::ShardedIndex`]: the
+//! amortized cost of the logarithmic method under a live
+//! insert/delete/query mix, against the only alternative a static
+//! structure offers — a full rebuild per mutation.
+//!
+//! ```sh
+//! cargo run --release -p sepdc-bench --bin bench_churn            # full, 100k
+//! cargo run --release -p sepdc-bench --bin bench_churn -- --smoke # scaled down
+//! cargo run --release -p sepdc-bench --bin bench_churn -- --ci    # smoke + asserts
+//! ```
+//!
+//! The full run builds a sharded index over the PR-1 acceptance workload
+//! (UniformCube 2d, n = 100k, k = 4), then:
+//!
+//! * inserts `n/10` fresh balls at ParGeo-style batch sizes 1 / 16 / 256 /
+//!   4096, reporting µs per op and the rebuild-amortization counters;
+//! * deletes the same number of ids and reports µs per op;
+//! * **asserts** the acceptance bound: amortized singleton insert is ≥ 5x
+//!   cheaper than one full `QueryTree` rebuild per op;
+//! * replays an identical churn script under 1-thread and multi-thread
+//!   pools and asserts the resulting snapshots are **byte-identical**
+//!   (rebuild determinism), then serves a post-churn probe batch at
+//!   1/2/4/8 threads asserting byte-identical answers (query determinism);
+//! * writes `BENCH_churn.json` (override with `SEPDC_BENCH_OUT`) with
+//!   `"bench_churn_version": 1`, host provenance, the table, and the
+//!   headline metrics as top-level fields.
+
+use sepdc_bench::harness::{host_info, timed, HostInfo, Table};
+use sepdc_core::serve::{CoverPredicate, ServeConfig};
+use sepdc_core::{
+    kdtree_all_knn, save_sharded_index, NeighborhoodSystem, QueryTree, QueryTreeConfig,
+    ShardedConfig, ShardedIndex,
+};
+use sepdc_geom::ball::Ball;
+use sepdc_workloads::Workload;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+const BATCH_SIZES: [usize; 4] = [1, 16, 256, 4096];
+
+fn pool(t: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(t)
+        .build()
+        .unwrap()
+}
+
+/// Fresh balls to churn in, disjoint seed from the base workload.
+fn extra_balls(n: usize, seed: u64) -> Vec<Ball<2>> {
+    Workload::UniformCube
+        .generate::<2>(n, seed)
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| Ball::new(c, 0.002 + 0.01 * ((i % 5) as f64)))
+        .collect()
+}
+
+/// One measured insert sweep: clone the base index, insert `extra` in
+/// batches of `batch`, return (seconds, rebuilds delta, rebuilt balls
+/// delta).
+fn insert_sweep(base: &ShardedIndex<2>, extra: &[Ball<2>], batch: usize) -> (f64, u64, u64) {
+    let mut idx = base.clone();
+    let before = idx.stats();
+    let ((), sec) = timed(|| {
+        for chunk in extra.chunks(batch) {
+            idx.try_insert_batch::<3>(chunk).unwrap();
+        }
+    });
+    let after = idx.stats();
+    (
+        sec,
+        after.rebuilds - before.rebuilds,
+        after.rebuilt_balls - before.rebuilt_balls,
+    )
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke" || a == "--ci");
+    let ci = std::env::args().any(|a| a == "--ci");
+    let scale = if smoke { 25 } else { 1 };
+    let n = 100_000 / scale;
+    let churn = n / 10;
+    let k = 4;
+    let staging_cap = 256;
+
+    let pts = Workload::UniformCube.generate::<2>(n, 7);
+    let knn = kdtree_all_knn(&pts, k);
+    let system = NeighborhoodSystem::from_knn(&pts, &knn);
+    let cfg = ShardedConfig {
+        staging_cap,
+        ..ShardedConfig::default()
+    };
+
+    // The static alternative: one full query-tree build, i.e. the price a
+    // frozen snapshot pays *per mutation* to stay fresh.
+    let (_tree, full_build_s) =
+        timed(|| QueryTree::build::<3>(system.balls(), QueryTreeConfig::default(), 3));
+    let (base, shard_build_s) =
+        timed(|| ShardedIndex::from_balls::<3>(system.balls(), cfg, 3).unwrap());
+
+    let extra = extra_balls(churn, 13);
+    let mut table = Table::new(
+        "BENCH churn (logarithmic-method amortization)",
+        &[
+            "batch",
+            "insert µs/op",
+            "rebuilds",
+            "balls/insert",
+            "delete µs/op",
+        ],
+    );
+
+    let mut singleton_insert_us = 0.0;
+    for &bs in &BATCH_SIZES {
+        let (sec, rebuilds, rebuilt) = insert_sweep(&base, &extra, bs);
+        let us_per_op = sec * 1e6 / churn as f64;
+        if bs == 1 {
+            singleton_insert_us = us_per_op;
+        }
+        // Delete sweep at the same batch size: churn the freshly inserted
+        // ids back out of a churned clone.
+        let mut idx = base.clone();
+        let ids = idx.try_insert_batch::<3>(&extra).unwrap();
+        let (_, del_sec) = timed(|| {
+            for chunk in ids.chunks(bs) {
+                idx.delete_batch(chunk);
+            }
+        });
+        table.row(
+            bs.to_string(),
+            vec![
+                format!("{us_per_op:.2}"),
+                rebuilds.to_string(),
+                format!("{:.1}", rebuilt as f64 / churn as f64),
+                format!("{:.2}", del_sec * 1e6 / churn as f64),
+            ],
+        );
+    }
+
+    // Acceptance: amortized insert beats rebuild-per-op by >= 5x. (The
+    // logarithmic method gives O(log(n/B)) amortized rebuild work per
+    // insert vs O(n) for a full rebuild, so the margin is enormous; 5x is
+    // the floor the issue pins.)
+    let full_build_us = full_build_s * 1e6;
+    let ratio = full_build_us / singleton_insert_us.max(1e-9);
+    assert!(
+        ratio >= 5.0,
+        "amortized insert ({singleton_insert_us:.2} µs) must be >= 5x cheaper than a \
+         full rebuild per op ({full_build_us:.0} µs); got {ratio:.1}x"
+    );
+
+    // Determinism: the same churn script must leave byte-identical
+    // snapshots at every thread count (rebuild seeds are a pure function
+    // of the operation sequence), and post-churn answers must be
+    // byte-identical across serving pools.
+    let script = |threads: usize| {
+        pool(threads).install(|| {
+            let mut idx = ShardedIndex::from_balls::<3>(system.balls(), cfg, 3).unwrap();
+            idx.try_insert_batch::<3>(&extra).unwrap();
+            let dels: Vec<u64> = (0..churn as u64 / 2).map(|i| i * 2).collect();
+            idx.delete_batch(&dels);
+            idx
+        })
+    };
+    let churned = script(1);
+    let snap1 = save_sharded_index(&churned);
+    for t in [2, 8] {
+        assert_eq!(
+            save_sharded_index(&script(t)),
+            snap1,
+            "churned snapshot must be byte-identical at {t} threads"
+        );
+    }
+    let probes = Workload::Clusters.generate::<2>(4096.min(n), 11);
+    let serve_cfg = ServeConfig::default();
+    let baseline = pool(1).install(|| {
+        churned
+            .try_covering_batch(&probes, CoverPredicate::Closed, &serve_cfg)
+            .unwrap()
+    });
+    let mut query_rates: Vec<f64> = Vec::new();
+    for &t in &THREADS {
+        let p = pool(t);
+        let (got, sec) = p.install(|| {
+            timed(|| {
+                churned
+                    .try_covering_batch(&probes, CoverPredicate::Closed, &serve_cfg)
+                    .unwrap()
+            })
+        });
+        assert_eq!(got, baseline, "covering batch must be identical at {t}T");
+        query_rates.push(probes.len() as f64 / sec.max(1e-12));
+    }
+
+    let host = host_info();
+    host.warn_if_single_core();
+    table.note(host.describe());
+    table.note(format!(
+        "workload: UniformCube 2d n={n} k={k}, staging_cap={staging_cap}, churn={churn} \
+         inserts + deletes per batch-size row"
+    ));
+    table.note(format!(
+        "full rebuild {:.1} ms vs amortized singleton insert {singleton_insert_us:.2} µs \
+         => {ratio:.0}x cheaper per op (acceptance floor 5x)",
+        full_build_s * 1e3,
+    ));
+    table.note(format!(
+        "initial sharded build {:.1} ms; churned snapshot byte-identical at 1/2/8 threads",
+        shard_build_s * 1e3,
+    ));
+    table.note(format!(
+        "post-churn covering batch ({} probes) byte-identical at 1/2/4/8T; \
+         probes/s: {}",
+        probes.len(),
+        query_rates
+            .iter()
+            .zip(THREADS)
+            .map(|(r, t)| format!("{t}T={r:.0}"))
+            .collect::<Vec<_>>()
+            .join(" "),
+    ));
+    if smoke {
+        table.note(format!(
+            "--{} run: n scaled down {scale}x (CI sanity only)",
+            if ci { "ci" } else { "smoke" }
+        ));
+    }
+    table.print();
+
+    let out_path =
+        std::env::var("SEPDC_BENCH_OUT").unwrap_or_else(|_| "BENCH_churn.json".to_string());
+    std::fs::write(
+        &out_path,
+        bench_json(
+            &table,
+            &host,
+            &Headline {
+                n,
+                churn,
+                staging_cap,
+                full_build_ms: full_build_s * 1e3,
+                sharded_build_ms: shard_build_s * 1e3,
+                amortized_insert_us: singleton_insert_us,
+                rebuild_ratio: ratio,
+            },
+        ),
+    )
+    .expect("write bench json");
+    eprintln!("[wrote {out_path}]");
+}
+
+/// Headline metrics surfaced as top-level artifact fields (the CI schema
+/// check reads these).
+struct Headline {
+    n: usize,
+    churn: usize,
+    staging_cap: usize,
+    full_build_ms: f64,
+    sharded_build_ms: f64,
+    amortized_insert_us: f64,
+    rebuild_ratio: f64,
+}
+
+fn bench_json(table: &Table, host: &HostInfo, h: &Headline) -> String {
+    let mut s = String::from("{\n\"bench_churn_version\": 1,\n\"host\": ");
+    s.push_str(&host.to_json());
+    s.push_str(&format!(
+        ",\n\"n\": {},\n\"churn_ops\": {},\n\"staging_cap\": {},\n\
+         \"full_build_ms\": {:.3},\n\"sharded_build_ms\": {:.3},\n\
+         \"amortized_insert_us\": {:.3},\n\"rebuild_ratio\": {:.1},\n",
+        h.n,
+        h.churn,
+        h.staging_cap,
+        h.full_build_ms,
+        h.sharded_build_ms,
+        h.amortized_insert_us,
+        h.rebuild_ratio
+    ));
+    s.push_str("\"table\":\n");
+    s.push_str(table.to_json().trim_end());
+    s.push_str("\n}\n");
+    s
+}

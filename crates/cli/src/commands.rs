@@ -10,7 +10,7 @@ use sepdc_core::snapshot::{self, SnapshotKind};
 use sepdc_core::{
     kdtree_all_knn, try_brute_force_knn, try_kdtree_all_knn, try_parallel_knn,
     try_simple_parallel_knn, KnnDcConfig, KnnGraph, KnnResult, NeighborhoodSystem, QueryTree,
-    QueryTreeConfig, RunReport, SepdcError,
+    QueryTreeConfig, RunReport, SepdcError, ShardedConfig, ShardedIndex,
 };
 use sepdc_separator::{find_good_separator, SeparatorConfig};
 use sepdc_workloads::Workload;
@@ -291,17 +291,24 @@ pub struct IndexBuildOutput {
 /// neighborhood system → `QueryTree` with the default config and the
 /// given seed), so a daemon serving the snapshot answers byte-identically
 /// to `sepdc query` over the same inputs.
+///
+/// `sharded: Some(staging_cap)` freezes a batch-dynamic
+/// [`ShardedIndex`] (snapshot kind 3) instead: same balls, same global
+/// ids (the input row order), but the served daemon additionally accepts
+/// `insert`/`delete` lines.
 pub fn index_build(
     input: &str,
     dim_flag: Option<usize>,
     k: usize,
     seed: u64,
+    sharded: Option<usize>,
 ) -> CliResult<IndexBuildOutput> {
     let dim = resolve_dim(input, dim_flag)?;
     fn run<const D: usize, const E: usize>(
         input: &str,
         k: usize,
         seed: u64,
+        sharded: Option<usize>,
     ) -> CliResult<IndexBuildOutput> {
         let points = parse_points::<D>(input)?;
         if points.is_empty() {
@@ -310,6 +317,27 @@ pub fn index_build(
         let t0 = std::time::Instant::now();
         let knn = try_kdtree_all_knn(&points, k).map_err(|e| e.to_string())?;
         let system = NeighborhoodSystem::from_knn(&points, &knn);
+        if let Some(staging_cap) = sharded {
+            let cfg = ShardedConfig {
+                staging_cap,
+                tree: QueryTreeConfig::default(),
+            };
+            let index = ShardedIndex::from_balls::<E>(system.balls(), cfg, seed)
+                .map_err(|e| e.to_string())?;
+            let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let snapshot = snapshot::save_sharded_index(&index);
+            let s = index.stats();
+            let summary = format!(
+                "sharded-indexed {} balls (d={D}, k={k}, seed {seed}, staging {staging_cap}) \
+                 in {build_ms:.1} ms: {} shards / {} slots, {} staged, snapshot {} bytes",
+                s.live,
+                s.shards,
+                s.slots,
+                s.staged,
+                snapshot.len(),
+            );
+            return Ok(IndexBuildOutput { snapshot, summary });
+        }
         let tree = QueryTree::try_build::<E>(system.balls(), QueryTreeConfig::default(), seed)
             .map_err(|e| e.to_string())?;
         let build_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -325,7 +353,7 @@ pub fn index_build(
         );
         Ok(IndexBuildOutput { snapshot, summary })
     }
-    with_dim!(dim, run(input, k, seed))
+    with_dim!(dim, run(input, k, seed, sharded))
 }
 
 /// `index inspect`: print a snapshot's header and section table, then
@@ -378,6 +406,31 @@ pub fn index_inspect(bytes: &[u8]) -> CliResult<String> {
                     tree.perm().len(),
                     tree.bounds().is_some(),
                 ))
+            }
+            with_dim!(info.dim as usize, load(bytes))?
+        }
+        SnapshotKind::ShardedIndex => {
+            fn load<const D: usize, const E: usize>(bytes: &[u8]) -> CliResult<String> {
+                let t0 = std::time::Instant::now();
+                let index = snapshot::load_sharded_index::<D>(bytes).map_err(|e| e.to_string())?;
+                let s = index.stats();
+                let mut detail = format!(
+                    "sharded-index: {} live balls ({} dead, {} staged) in {} shards / {} slots, \
+                     seed {}, next id {}, {} rebuilds; loaded + validated in {:.1} ms\n",
+                    s.live,
+                    s.dead,
+                    s.staged,
+                    s.shards,
+                    s.slots,
+                    index.seed(),
+                    s.next_id,
+                    s.rebuilds,
+                    t0.elapsed().as_secs_f64() * 1e3,
+                );
+                for (slot, live, total) in index.shard_sizes() {
+                    detail.push_str(&format!("  slot {slot:>2}: {live} live / {total} stored\n"));
+                }
+                Ok(detail)
             }
             with_dim!(info.dim as usize, load(bytes))?
         }

@@ -5,7 +5,25 @@
 //! `a,b[,dist]` per line.
 
 use crate::CliResult;
+use sepdc_geom::ball::Ball;
 use sepdc_geom::Point;
+
+/// Decode raw file bytes as UTF-8, reporting the first offending line
+/// instead of the `io::Error` blob `read_to_string` produces (point files
+/// are adversarial input; the PR 2 totality contract wants line numbers).
+pub fn decode_text(bytes: &[u8]) -> CliResult<String> {
+    match std::str::from_utf8(bytes) {
+        Ok(s) => Ok(s.to_owned()),
+        Err(e) => {
+            let lineno = bytes[..e.valid_up_to()]
+                .iter()
+                .filter(|&&b| b == b'\n')
+                .count()
+                + 1;
+            Err(format!("line {lineno}: invalid UTF-8 byte sequence"))
+        }
+    }
+}
 
 /// Parse a point file's contents into fixed-dimension points.
 ///
@@ -41,6 +59,37 @@ pub fn parse_points<const D: usize>(text: &str) -> CliResult<Vec<Point<D>>> {
         out.push(p);
     }
     Ok(out)
+}
+
+/// Parse one ball row — `D` coordinates then a radius, comma or
+/// whitespace separated — for the daemon's `insert` control line. Total:
+/// wrong arity, unparsable fields, non-finite coordinates, and
+/// non-finite/negative radii all come back as typed messages.
+pub fn parse_ball<const D: usize>(row: &str) -> CliResult<Ball<D>> {
+    let fields: Vec<&str> = row
+        .split(|c: char| c == ',' || c.is_whitespace())
+        .filter(|f| !f.is_empty())
+        .collect();
+    if fields.len() != D + 1 {
+        return Err(format!(
+            "expected {} fields ({D} coordinates + radius), found {}",
+            D + 1,
+            fields.len()
+        ));
+    }
+    let mut vals = vec![0.0f64; D + 1];
+    for (i, f) in fields.iter().enumerate() {
+        vals[i] = f.parse().map_err(|_| format!("cannot parse '{f}'"))?;
+    }
+    let center = Point(std::array::from_fn(|d| vals[d]));
+    let radius = vals[D];
+    if !center.is_finite() {
+        return Err("non-finite coordinate".to_string());
+    }
+    if !radius.is_finite() || radius < 0.0 {
+        return Err(format!("invalid radius {radius}"));
+    }
+    Ok(Ball { center, radius })
 }
 
 /// Number of coordinates on the first data line (for `--dim auto`).
@@ -117,6 +166,29 @@ mod tests {
         assert_eq!(sniff_dimension("# c\n1,2,3\n"), Some(3));
         assert_eq!(sniff_dimension("1 2\n"), Some(2));
         assert_eq!(sniff_dimension("# only comments\n"), None);
+    }
+
+    #[test]
+    fn decode_reports_first_bad_line() {
+        assert_eq!(decode_text(b"1,2\n3,4\n").unwrap(), "1,2\n3,4\n");
+        let err = decode_text(b"1,2\n\xff\xfe\n5,6\n").unwrap_err();
+        assert!(err.contains("line 2") && err.contains("UTF-8"), "{err}");
+        let err = decode_text(b"\x80").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn parse_ball_totality() {
+        let b = parse_ball::<2>("0.5, 0.25  0.1").unwrap();
+        assert_eq!(b.center, Point::from([0.5, 0.25]));
+        assert_eq!(b.radius, 0.1);
+        assert!(parse_ball::<2>("1,2").unwrap_err().contains("3 fields"));
+        assert!(parse_ball::<2>("1,2,x").unwrap_err().contains("'x'"));
+        assert!(parse_ball::<2>("NaN,2,0.1")
+            .unwrap_err()
+            .contains("non-finite"));
+        assert!(parse_ball::<2>("1,2,-0.5").unwrap_err().contains("radius"));
+        assert!(parse_ball::<2>("1,2,inf").unwrap_err().contains("radius"));
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! | Def 1.1 k-NN graph | [`graph`] |
 //! | §3 batch serving (read path over [`query`]) | [`serve`] |
 //! | persistent index snapshots (save/load) | [`snapshot`] |
+//! | batch-dynamic sharding (logarithmic method) | [`sharded`] |
 //!
 //! Baselines and substrates: [`brute`] (the `O(n²)` oracle), [`kdtree`]
 //! (the sequential `O(n log n)`-class baseline standing in for Vaidya's
@@ -52,6 +53,7 @@ pub mod query;
 pub mod report;
 pub mod seeding;
 pub mod serve;
+pub mod sharded;
 mod shared;
 pub mod simple_parallel;
 pub mod snapshot;
@@ -74,11 +76,13 @@ pub use report::{
     DepthRow, Phase, PhaseSample, ReportError, RunRecorder, RunReport, RUN_REPORT_VERSION,
 };
 pub use serve::{BatchResult, CoverPredicate, ServeOutput, ServeStats};
+pub use sharded::{ShardedBatch, ShardedConfig, ShardedIndex, ShardedNeighbor, ShardedStats};
 pub use simple_parallel::{
     simple_parallel_knn, try_simple_parallel_knn, SimpleDcOutput, SimpleDcStats,
 };
 pub use snapshot::{
-    load_partition_tree, load_query_tree, save_partition_tree, save_query_tree, SectionInfo,
-    SnapshotError, SnapshotInfo, SnapshotKind, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+    load_partition_tree, load_query_tree, load_sharded_index, save_partition_tree, save_query_tree,
+    save_sharded_index, SectionInfo, SnapshotError, SnapshotInfo, SnapshotKind, SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
 };
 pub use validate::{validate_against_oracle, validate_knn, ValidationError};

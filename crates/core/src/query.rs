@@ -13,7 +13,7 @@
 //! `O(n)`, query `O(log n + m₀)`; parallel construction in `O(log n)`
 //! rounds w.h.p. (Theorem 3.1).
 
-use crate::error::SepdcError;
+use crate::error::{validate_points, SepdcError};
 use crate::report::{cost_counters, Phase, RunRecorder, RunReport};
 use crate::seeding::child_seed;
 use rayon::prelude::*;
@@ -231,19 +231,43 @@ impl<const D: usize> QueryTree<D> {
     }
 
     /// Indices of all balls whose *closed* body contains `p`.
+    ///
+    /// Panics on a non-finite probe; use [`QueryTree::try_covering`] for
+    /// the typed-error path.
     pub fn covering(&self, p: &Point<D>) -> Vec<u32> {
-        let mut out = Vec::new();
-        self.covering_into(p, false, &mut Vec::new(), &mut out);
-        out
+        self.try_covering(p).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Indices of all balls whose *open interior* contains `p` — the
     /// predicate the correction step needs (a point strictly inside a
     /// k-neighborhood ball invalidates its radius).
+    ///
+    /// Panics on a non-finite probe; use
+    /// [`QueryTree::try_covering_interior`] for the typed-error path.
     pub fn covering_interior(&self, p: &Point<D>) -> Vec<u32> {
+        self.try_covering_interior(p)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`QueryTree::covering`]: rejects a non-finite probe with
+    /// [`SepdcError::NonFinitePoint`] instead of descending on a separator
+    /// predicate that NaN poisons — the same validation
+    /// [`QueryTree::try_serve`] applies to every probe of a batch, so
+    /// single-probe and batch paths agree on bad input.
+    pub fn try_covering(&self, p: &Point<D>) -> Result<Vec<u32>, SepdcError> {
+        validate_points(std::slice::from_ref(p))?;
+        let mut out = Vec::new();
+        self.covering_into(p, false, &mut Vec::new(), &mut out);
+        Ok(out)
+    }
+
+    /// Fallible [`QueryTree::covering_interior`] (see
+    /// [`QueryTree::try_covering`] for the contract).
+    pub fn try_covering_interior(&self, p: &Point<D>) -> Result<Vec<u32>, SepdcError> {
+        validate_points(std::slice::from_ref(p))?;
         let mut out = Vec::new();
         self.covering_into(p, true, &mut Vec::new(), &mut out);
-        out
+        Ok(out)
     }
 
     /// Scratch-reusing cover query: appends to `out` the ids of all balls
@@ -595,6 +619,43 @@ mod tests {
             slow.sort_unstable();
             assert_eq!(fast, slow);
         }
+    }
+
+    #[test]
+    fn non_finite_probes_are_typed_errors_matching_batch_path() {
+        let (_, sys) = knn_system(100, 1, 4);
+        let tree = QueryTree::build::<3>(sys.balls(), QueryTreeConfig::default(), 5);
+        for bad in [
+            Point::<2>::from([f64::NAN, 0.0]),
+            Point::from([0.0, f64::INFINITY]),
+        ] {
+            assert_eq!(
+                tree.try_covering(&bad),
+                Err(SepdcError::NonFinitePoint { idx: 0 })
+            );
+            assert_eq!(
+                tree.try_covering_interior(&bad),
+                Err(SepdcError::NonFinitePoint { idx: 0 })
+            );
+            // The batch path reports the same error for the same probe.
+            let batch = tree.try_serve(
+                &[bad],
+                crate::serve::CoverPredicate::Closed,
+                &crate::ServeConfig::default(),
+            );
+            assert_eq!(batch.err(), Some(SepdcError::NonFinitePoint { idx: 0 }));
+        }
+        // The infallible names still answer normal probes.
+        let p = Point::from([0.5, 0.5]);
+        assert_eq!(tree.covering(&p), tree.try_covering(&p).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn covering_panics_with_the_typed_message() {
+        let (_, sys) = knn_system(50, 1, 6);
+        let tree = QueryTree::build::<3>(sys.balls(), QueryTreeConfig::default(), 5);
+        tree.covering(&Point::from([f64::NAN, 0.0]));
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! Persistent index snapshots: a versioned on-disk format for
-//! [`QueryTree`] and [`PartitionTree`].
+//! [`QueryTree`], [`PartitionTree`], and [`ShardedIndex`].
 //!
 //! BENCH_query_throughput.json shows the query structure answering ~1M
 //! probes/s but costing ~900 ms to build — so a process that rebuilds on
@@ -15,7 +15,8 @@
 //! ```text
 //! header   magic [u8; 8] = "SEPDCSNP"
 //!          version       u32   (SNAPSHOT_VERSION)
-//!          kind          u32   (1 = query tree, 2 = partition tree)
+//!          kind          u32   (1 = query tree, 2 = partition tree,
+//!                               3 = sharded index)
 //!          dim           u32   (const D of the tree)
 //!          section_count u32
 //! table    section_count × { tag [u8; 4], offset u64, len u64, checksum u64 }
@@ -42,7 +43,8 @@
 
 use crate::error::SepdcError;
 use crate::partition_tree::{PartitionNode, PartitionTree};
-use crate::query::{QNode, QueryTree, QueryTreeStats};
+use crate::query::{QNode, QueryTree, QueryTreeConfig, QueryTreeStats};
+use crate::sharded::{ShardedConfig, ShardedIndex};
 use sepdc_geom::aabb::Aabb;
 use sepdc_geom::ball::Ball;
 use sepdc_geom::halfspace::Hyperplane;
@@ -73,6 +75,10 @@ pub enum SnapshotKind {
     QueryTree,
     /// A [`PartitionTree`] (§6 arena tree + permutation + optional bounds).
     PartitionTree,
+    /// A [`ShardedIndex`] (logarithmic-method shard manifest wrapping
+    /// nested query-tree snapshots, tombstone bitmaps, and the staging
+    /// array).
+    ShardedIndex,
 }
 
 impl SnapshotKind {
@@ -80,6 +86,7 @@ impl SnapshotKind {
         match self {
             SnapshotKind::QueryTree => 1,
             SnapshotKind::PartitionTree => 2,
+            SnapshotKind::ShardedIndex => 3,
         }
     }
 
@@ -87,6 +94,7 @@ impl SnapshotKind {
         match code {
             1 => Some(SnapshotKind::QueryTree),
             2 => Some(SnapshotKind::PartitionTree),
+            3 => Some(SnapshotKind::ShardedIndex),
             _ => None,
         }
     }
@@ -96,6 +104,7 @@ impl SnapshotKind {
         match self {
             SnapshotKind::QueryTree => "query-tree",
             SnapshotKind::PartitionTree => "partition-tree",
+            SnapshotKind::ShardedIndex => "sharded-index",
         }
     }
 }
@@ -222,6 +231,11 @@ const TAG_LFID: &[u8; 4] = b"LFID";
 const TAG_PNOD: &[u8; 4] = b"PNOD";
 const TAG_PERM: &[u8; 4] = b"PERM";
 const TAG_BNDS: &[u8; 4] = b"BNDS";
+const TAG_SMET: &[u8; 4] = b"SMET";
+const TAG_SHRD: &[u8; 4] = b"SHRD";
+const TAG_GIDS: &[u8; 4] = b"GIDS";
+const TAG_TOMB: &[u8; 4] = b"TOMB";
+const TAG_STAG: &[u8; 4] = b"STAG";
 
 const NODE_LEAF: u8 = 0;
 const NODE_SPHERE: u8 = 1;
@@ -256,6 +270,14 @@ fn put_u32_array(buf: &mut Vec<u8>, vals: &[u32]) {
     put_u64(buf, vals.len() as u64);
     for &v in vals {
         put_u32(buf, v);
+    }
+}
+
+/// Length-prefixed flat `u64` array.
+fn put_u64_array(buf: &mut Vec<u8>, vals: &[u64]) {
+    put_u64(buf, vals.len() as u64);
+    for &v in vals {
+        put_u64(buf, v);
     }
 }
 
@@ -357,6 +379,15 @@ impl<'a> Cursor<'a> {
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
             out.push(self.u32()?);
+        }
+        Ok(out)
+    }
+
+    fn u64_array(&mut self) -> Result<Vec<u64>, SnapshotError> {
+        let n = self.array_len(8)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.u64()?);
         }
         Ok(out)
     }
@@ -557,6 +588,11 @@ fn tag_name(tag: &[u8; 4]) -> &'static str {
         TAG_PNOD => "PNOD",
         TAG_PERM => "PERM",
         TAG_BNDS => "BNDS",
+        TAG_SMET => "SMET",
+        TAG_SHRD => "SHRD",
+        TAG_GIDS => "GIDS",
+        TAG_TOMB => "TOMB",
+        TAG_STAG => "STAG",
         _ => "????",
     }
 }
@@ -1193,6 +1229,350 @@ pub fn load_partition_tree<const D: usize>(bytes: &[u8]) -> Result<PartitionTree
     }
 }
 
+// ---------------------------------------------------------------------------
+// ShardedIndex save/load
+// ---------------------------------------------------------------------------
+
+/// The logarithmic method never occupies a slot at or above 64 — slot `i`
+/// holds up to `staging_cap · 2^i` balls, so slot 64 would require more
+/// balls than `u64` ids can name. Bounding it also caps the allocation an
+/// adversarial `slot_count` can drive.
+const MAX_SLOTS: u64 = 64;
+
+/// Serialize a [`ShardedIndex`] into snapshot bytes.
+///
+/// Sections: `SMET` (staging capacity, master seed, id/epoch/rebuild
+/// counters, slot count, live-ball cross-check), `SHRD` (the shard
+/// manifest — per occupied slot, the slot index and a complete nested
+/// query-tree snapshot, checksummed container and all, so shard payloads
+/// reuse the kind-1 codec verbatim), `GIDS` (per-shard ascending global-id
+/// columns), `TOMB` (per-shard tombstone bitmap words), `STAG` (the
+/// staging entries `(id, center, radius)`, ascending by id).
+pub fn save_sharded_index<const D: usize>(index: &ShardedIndex<D>) -> Vec<u8> {
+    let (seed, next_id, epoch, rebuilds, rebuilt_balls, slot_count) = index.meta_for_snapshot();
+    let stats = index.stats();
+
+    let mut smet = Vec::with_capacity(8 * 8);
+    put_u64(&mut smet, index.config().staging_cap as u64);
+    put_u64(&mut smet, seed);
+    put_u64(&mut smet, next_id);
+    put_u64(&mut smet, epoch);
+    put_u64(&mut smet, rebuilds);
+    put_u64(&mut smet, rebuilt_balls);
+    put_u64(&mut smet, slot_count);
+    put_u64(&mut smet, stats.live as u64);
+
+    let shards = index.shards_for_snapshot();
+    let mut shrd = Vec::new();
+    put_u64(&mut shrd, shards.len() as u64);
+    let mut gids = Vec::new();
+    put_u64(&mut gids, shards.len() as u64);
+    let mut tomb = Vec::new();
+    put_u64(&mut tomb, shards.len() as u64);
+    for (slot, shard) in &shards {
+        put_u64(&mut shrd, *slot as u64);
+        let nested = save_query_tree(&shard.core.tree);
+        put_u64(&mut shrd, nested.len() as u64);
+        shrd.extend_from_slice(&nested);
+        put_u64_array(&mut gids, &shard.core.ids);
+        put_u64_array(&mut tomb, &shard.tombs);
+    }
+
+    let staging = index.staging_for_snapshot();
+    let mut stag = Vec::with_capacity(8 + staging.len() * (8 + (D + 1) * 8));
+    put_u64(&mut stag, staging.len() as u64);
+    for (id, ball) in staging {
+        put_u64(&mut stag, *id);
+        for d in 0..D {
+            put_f64(&mut stag, ball.center.0[d]);
+        }
+        put_f64(&mut stag, ball.radius);
+    }
+
+    assemble_container(
+        SnapshotKind::ShardedIndex,
+        D as u32,
+        &[
+            (TAG_SMET, smet),
+            (TAG_SHRD, shrd),
+            (TAG_GIDS, gids),
+            (TAG_TOMB, tomb),
+            (TAG_STAG, stag),
+        ],
+    )
+}
+
+/// Reconstruct a [`ShardedIndex`] from snapshot bytes.
+///
+/// Validates the full shard-manifest invariant set before constructing
+/// anything: strictly increasing slot indices below the recorded slot
+/// count, per-slot capacity (`n ≤ staging_cap · 2^slot`), each nested
+/// query-tree snapshot through the complete kind-1 validation path,
+/// strictly increasing global-id columns matching tree sizes, tombstone
+/// bitmaps of exactly the right width with no bits set past the end,
+/// sorted finite staging entries under capacity, global-id disjointness
+/// across every shard and the staging array, all ids below `next_id`, and
+/// the recorded live count against the decoded population.
+pub fn load_sharded_index<const D: usize>(bytes: &[u8]) -> Result<ShardedIndex<D>, SepdcError> {
+    let c = parse_container(bytes)?;
+    if c.kind != SnapshotKind::ShardedIndex {
+        return Err(SnapshotError::KindMismatch {
+            found: c.kind,
+            expected: SnapshotKind::ShardedIndex,
+        }
+        .into());
+    }
+    if c.dim != D as u32 {
+        return Err(SnapshotError::DimensionMismatch {
+            found: c.dim,
+            expected: D as u32,
+        }
+        .into());
+    }
+
+    let mut cur = Cursor::new(c.section(TAG_SMET, "SMET")?, "SMET");
+    let raw_cap = cur.u64()?;
+    let seed = cur.u64()?;
+    let next_id = cur.u64()?;
+    let epoch = cur.u64()?;
+    let rebuilds = cur.u64()?;
+    let rebuilt_balls = cur.u64()?;
+    let slot_count = cur.u64()?;
+    let live = cur.u64()?;
+    cur.finish()?;
+    let staging_cap = usize::try_from(raw_cap)
+        .ok()
+        .filter(|&cap| cap >= 1)
+        .ok_or_else(|| corrupt("SMET", format!("staging capacity {raw_cap} is invalid")))?;
+    if slot_count > MAX_SLOTS {
+        return Err(corrupt(
+            "SMET",
+            format!("slot count {slot_count} exceeds the {MAX_SLOTS}-slot bound"),
+        )
+        .into());
+    }
+    let slot_count = slot_count as usize;
+
+    // SHRD: slot indices + nested kind-1 snapshots, each fully validated
+    // by `load_query_tree` (checksums, geometry, structure).
+    let mut cur = Cursor::new(c.section(TAG_SHRD, "SHRD")?, "SHRD");
+    let n_shards = cur.array_len(16)?; // ≥ 16 bytes per shard: slot + nested length
+    let mut shards: crate::sharded::ShardParts<D> = Vec::with_capacity(n_shards);
+    let mut prev_slot: Option<usize> = None;
+    for i in 0..n_shards {
+        let raw_slot = cur.u64()?;
+        let slot = usize::try_from(raw_slot)
+            .ok()
+            .filter(|&s| s < slot_count)
+            .ok_or_else(|| {
+                corrupt(
+                    "SHRD",
+                    format!("shard {i} slot {raw_slot} out of range (slot count {slot_count})"),
+                )
+            })?;
+        if prev_slot.is_some_and(|p| slot <= p) {
+            return Err(corrupt(
+                "SHRD",
+                format!("shard slots not strictly increasing at shard {i} (slot {slot})"),
+            )
+            .into());
+        }
+        prev_slot = Some(slot);
+        let nested_len = cur.u64()?;
+        let nested_len = usize::try_from(nested_len)
+            .ok()
+            .filter(|&l| l <= cur.remaining())
+            .ok_or_else(|| {
+                corrupt(
+                    "SHRD",
+                    format!(
+                        "shard at slot {slot}: nested snapshot length {nested_len} exceeds section"
+                    ),
+                )
+            })?;
+        let tree = load_query_tree::<D>(cur.take(nested_len)?)
+            .map_err(|e| corrupt("SHRD", format!("shard at slot {slot}: {e}")))?;
+        let n = tree.len();
+        if n == 0 {
+            return Err(corrupt("SHRD", format!("shard at slot {slot} is empty")).into());
+        }
+        // slot < MAX_SLOTS = 64, so the u128 shift cannot overflow.
+        if (n as u128) > (staging_cap as u128) << slot {
+            return Err(corrupt(
+                "SHRD",
+                format!(
+                    "shard at slot {slot} holds {n} balls, over its capacity {staging_cap}·2^{slot}"
+                ),
+            )
+            .into());
+        }
+        shards.push((slot, tree, Vec::new(), Vec::new(), 0));
+    }
+    cur.finish()?;
+
+    // GIDS: one ascending global-id column per shard, aligned with the
+    // shard's ball order.
+    let mut cur = Cursor::new(c.section(TAG_GIDS, "GIDS")?, "GIDS");
+    let n_gids = cur.array_len(8)?;
+    if n_gids != n_shards {
+        return Err(corrupt("GIDS", format!("{n_gids} id columns for {n_shards} shards")).into());
+    }
+    for (slot, tree, ids, _, _) in &mut shards {
+        let col = cur.u64_array()?;
+        if col.len() != tree.len() {
+            return Err(corrupt(
+                "GIDS",
+                format!(
+                    "shard at slot {slot}: {} ids for {} balls",
+                    col.len(),
+                    tree.len()
+                ),
+            )
+            .into());
+        }
+        if let Some(w) = col.windows(2).position(|w| w[0] >= w[1]) {
+            return Err(corrupt(
+                "GIDS",
+                format!("shard at slot {slot}: ids not strictly increasing at position {w}"),
+            )
+            .into());
+        }
+        if col.last().is_some_and(|&id| id >= next_id) {
+            return Err(corrupt(
+                "GIDS",
+                format!("shard at slot {slot}: id at or above next_id {next_id}"),
+            )
+            .into());
+        }
+        *ids = col;
+    }
+    cur.finish()?;
+
+    // TOMB: one bitmap per shard, exactly ceil(n/64) words, no bit set at
+    // or past the shard length.
+    let mut cur = Cursor::new(c.section(TAG_TOMB, "TOMB")?, "TOMB");
+    let n_tomb = cur.array_len(8)?;
+    if n_tomb != n_shards {
+        return Err(corrupt("TOMB", format!("{n_tomb} bitmaps for {n_shards} shards")).into());
+    }
+    for (slot, tree, _, tombs, dead) in &mut shards {
+        let words = cur.u64_array()?;
+        let n = tree.len();
+        if words.len() != n.div_ceil(64) {
+            return Err(corrupt(
+                "TOMB",
+                format!(
+                    "shard at slot {slot}: {} bitmap words for {n} balls",
+                    words.len()
+                ),
+            )
+            .into());
+        }
+        let tail_bits = n % 64;
+        if tail_bits != 0 && words.last().is_some_and(|&w| w >> tail_bits != 0) {
+            return Err(corrupt(
+                "TOMB",
+                format!("shard at slot {slot}: tombstone bit set past the shard length"),
+            )
+            .into());
+        }
+        *dead = words.iter().map(|w| w.count_ones() as usize).sum();
+        *tombs = words;
+    }
+    cur.finish()?;
+
+    // STAG: sorted finite staging entries strictly under capacity (the
+    // writer carries the moment staging reaches `staging_cap`).
+    let mut cur = Cursor::new(c.section(TAG_STAG, "STAG")?, "STAG");
+    let n_stag = cur.array_len(8 + (D + 1) * 8)?;
+    if n_stag >= staging_cap {
+        return Err(corrupt(
+            "STAG",
+            format!("{n_stag} staged entries at or above capacity {staging_cap}"),
+        )
+        .into());
+    }
+    let mut staging: Vec<(u64, Ball<D>)> = Vec::with_capacity(n_stag);
+    for i in 0..n_stag {
+        let id = cur.u64()?;
+        if id >= next_id {
+            return Err(corrupt(
+                "STAG",
+                format!("staged id {id} at or above next_id {next_id}"),
+            )
+            .into());
+        }
+        if staging.last().is_some_and(|(prev, _)| id <= *prev) {
+            return Err(corrupt(
+                "STAG",
+                format!("staged ids not strictly increasing at entry {i}"),
+            )
+            .into());
+        }
+        let mut coords = [0.0f64; D];
+        for v in &mut coords {
+            *v = cur.f64()?;
+        }
+        let radius = cur.f64()?;
+        if !coords.iter().all(|v| v.is_finite()) || !radius.is_finite() || radius < 0.0 {
+            return Err(corrupt("STAG", format!("staged ball {i} is non-finite")).into());
+        }
+        staging.push((
+            id,
+            Ball {
+                center: Point(coords),
+                radius,
+            },
+        ));
+    }
+    cur.finish()?;
+
+    // Global ids must be disjoint across every shard and the staging
+    // array — each column is sorted, so one merge-sort pass over the
+    // concatenation finds any collision.
+    let mut all_ids: Vec<u64> = Vec::new();
+    for (_, _, ids, _, _) in &shards {
+        all_ids.extend_from_slice(ids);
+    }
+    all_ids.extend(staging.iter().map(|(id, _)| *id));
+    all_ids.sort_unstable();
+    if let Some(w) = all_ids.windows(2).position(|w| w[0] == w[1]) {
+        return Err(corrupt(
+            "GIDS",
+            format!("global id {} appears in more than one shard", all_ids[w]),
+        )
+        .into());
+    }
+
+    let decoded_live: usize = shards
+        .iter()
+        .map(|(_, tree, _, _, dead)| tree.len() - dead)
+        .sum::<usize>()
+        + staging.len();
+    if decoded_live as u64 != live {
+        return Err(corrupt(
+            "SMET",
+            format!("recorded live count {live} disagrees with decoded population {decoded_live}"),
+        )
+        .into());
+    }
+
+    Ok(ShardedIndex::from_snapshot_parts(
+        ShardedConfig {
+            staging_cap,
+            tree: QueryTreeConfig::default(),
+        },
+        seed,
+        slot_count,
+        shards,
+        staging,
+        next_id,
+        epoch,
+        rebuilds,
+        rebuilt_balls,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1295,6 +1675,178 @@ mod tests {
                 expected: 3,
             }))
         );
+    }
+
+    /// An index with occupied shards, live tombstones, and a non-empty
+    /// staging array — every section of the kind-3 layout exercised.
+    fn sample_sharded(n: usize, staging_cap: usize) -> ShardedIndex<2> {
+        let points = Workload::UniformCube.generate::<2>(n, 5);
+        let balls: Vec<Ball<2>> = points
+            .iter()
+            .map(|&p| Ball {
+                center: p,
+                radius: 0.05,
+            })
+            .collect();
+        let cfg = ShardedConfig {
+            staging_cap,
+            tree: QueryTreeConfig::default(),
+        };
+        let mut idx = ShardedIndex::new(cfg, 99).unwrap();
+        idx.try_insert_batch::<3>(&balls).unwrap();
+        idx.delete_batch(&[0, 3, 7, 50]);
+        idx
+    }
+
+    /// Rebuild `bytes` with one section body rewritten (checksums are
+    /// recomputed, so the mutation reaches the semantic validators rather
+    /// than tripping the checksum gate).
+    fn patch_sharded(bytes: &[u8], target: &[u8; 4], f: impl FnOnce(&mut Vec<u8>)) -> Vec<u8> {
+        let c = parse_container(bytes).unwrap();
+        let mut f = Some(f);
+        let mut sections: Vec<(&[u8; 4], Vec<u8>)> = Vec::new();
+        for s in &c.sections {
+            let tag: &'static [u8; 4] = match &s.tag {
+                b"SMET" => TAG_SMET,
+                b"SHRD" => TAG_SHRD,
+                b"GIDS" => TAG_GIDS,
+                b"TOMB" => TAG_TOMB,
+                b"STAG" => TAG_STAG,
+                other => panic!("unexpected tag {other:?}"),
+            };
+            let mut body = s.body.to_vec();
+            if tag == target {
+                (f.take().unwrap())(&mut body);
+            }
+            sections.push((tag, body));
+        }
+        assert!(f.is_none(), "target section not found");
+        assemble_container(SnapshotKind::ShardedIndex, c.dim, &sections)
+    }
+
+    #[test]
+    fn sharded_index_round_trips_byte_identically() {
+        let idx = sample_sharded(100, 32);
+        let stats = idx.stats();
+        assert!(stats.shards > 0 && stats.staged > 0 && stats.dead > 0);
+
+        let bytes = save_sharded_index(&idx);
+        let loaded = load_sharded_index::<2>(&bytes).unwrap();
+        assert_eq!(loaded.stats(), stats);
+        assert_eq!(loaded.seed(), idx.seed());
+        assert_eq!(loaded.config().staging_cap, idx.config().staging_cap);
+        assert_eq!(loaded.shard_sizes(), idx.shard_sizes());
+
+        let probes = Workload::Clusters.generate::<2>(64, 11);
+        for p in &probes {
+            assert_eq!(
+                loaded.try_covering(p).unwrap(),
+                idx.try_covering(p).unwrap()
+            );
+            let a = loaded.try_knn(p, 3).unwrap();
+            let b = idx.try_knn(p, 3).unwrap();
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!((x.id, x.dist_sq.to_bits()), (y.id, y.dist_sq.to_bits()));
+            }
+        }
+        // Saving the loaded index reproduces the exact bytes.
+        assert_eq!(save_sharded_index(&loaded), bytes);
+
+        let info = inspect(&bytes).unwrap();
+        assert_eq!(info.kind, SnapshotKind::ShardedIndex);
+        let tags: Vec<&str> = info.sections.iter().map(|s| s.tag.as_str()).collect();
+        assert_eq!(tags, ["SMET", "SHRD", "GIDS", "TOMB", "STAG"]);
+    }
+
+    #[test]
+    fn staging_only_sharded_index_round_trips() {
+        let idx = sample_sharded(10, 64); // everything fits in staging
+        assert_eq!(idx.stats().shards, 0);
+        let bytes = save_sharded_index(&idx);
+        let loaded = load_sharded_index::<2>(&bytes).unwrap();
+        assert_eq!(loaded.stats(), idx.stats());
+        assert_eq!(save_sharded_index(&loaded), bytes);
+    }
+
+    #[test]
+    fn sharded_kind_and_dim_mismatches_are_typed() {
+        let bytes = save_sharded_index(&sample_sharded(50, 16));
+        assert_eq!(
+            load_query_tree::<2>(&bytes).map(|t| t.len()),
+            Err(SepdcError::Snapshot(SnapshotError::KindMismatch {
+                found: SnapshotKind::ShardedIndex,
+                expected: SnapshotKind::QueryTree,
+            }))
+        );
+        assert_eq!(
+            load_sharded_index::<3>(&bytes).map(|i| i.len()),
+            Err(SepdcError::Snapshot(SnapshotError::DimensionMismatch {
+                found: 2,
+                expected: 3,
+            }))
+        );
+        let tree_bytes = save_query_tree(&sample_tree(50));
+        assert_eq!(
+            load_sharded_index::<2>(&tree_bytes).map(|i| i.len()),
+            Err(SepdcError::Snapshot(SnapshotError::KindMismatch {
+                found: SnapshotKind::QueryTree,
+                expected: SnapshotKind::ShardedIndex,
+            }))
+        );
+    }
+
+    #[test]
+    fn sharded_adversarial_defects_are_rejected() {
+        let bytes = save_sharded_index(&sample_sharded(100, 32));
+        let expect_corrupt = |mutated: Vec<u8>, tag: &str| match load_sharded_index::<2>(&mutated)
+            .map(|i| i.len())
+        {
+            Err(SepdcError::Snapshot(SnapshotError::Corrupt { tag: t, .. })) => {
+                assert_eq!(t, tag)
+            }
+            other => panic!("expected Corrupt({tag}), got {other:?}"),
+        };
+
+        // A bit flip inside a nested shard snapshot fails that shard's
+        // checksummed kind-1 validation, reported against SHRD.
+        expect_corrupt(patch_sharded(&bytes, TAG_SHRD, |b| b[40] ^= 0xff), "SHRD");
+        // Recorded live count disagreeing with the decoded population.
+        expect_corrupt(
+            patch_sharded(&bytes, TAG_SMET, |b| {
+                let at = b.len() - 8;
+                b[at..].copy_from_slice(&u64::MAX.to_le_bytes());
+            }),
+            "SMET",
+        );
+        // Duplicated global id (first id overwritten with the second).
+        expect_corrupt(
+            patch_sharded(&bytes, TAG_GIDS, |b| {
+                let second = b[24..32].to_vec();
+                b[16..24].copy_from_slice(&second);
+            }),
+            "GIDS",
+        );
+        // Tombstone word with every bit set: either a bit past the shard
+        // length or a live-count disagreement, both typed.
+        let mutated = patch_sharded(&bytes, TAG_TOMB, |b| {
+            b[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+        });
+        assert!(matches!(
+            load_sharded_index::<2>(&mutated).map(|i| i.len()),
+            Err(SepdcError::Snapshot(SnapshotError::Corrupt { .. }))
+        ));
+        // Staged id at or above next_id.
+        expect_corrupt(
+            patch_sharded(&bytes, TAG_STAG, |b| {
+                b[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+            }),
+            "STAG",
+        );
+        // Truncation anywhere is typed, never a panic.
+        for cut in [7, HEADER_LEN - 1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(load_sharded_index::<2>(&bytes[..cut]).is_err());
+        }
     }
 
     #[test]
