@@ -24,7 +24,7 @@
 //!   serving on failure; in-flight batches finish on the generation they
 //!   started with — old generations drain as their handles drop).
 //! * **`stats`** — `ok generation=G n=N dim=D probes=P batches=B swaps=S
-//!   kind=K`.
+//!   kind=K splitter=NAME`.
 //! * **`quit`** — `ok bye`, then exit. EOF on stdin also exits.
 //! * Blank lines and `#` comments are ignored without a response, so a
 //!   generated point file can be piped in unmodified.
@@ -132,6 +132,15 @@ impl<const D: usize> ServingIndex<D> {
         match self {
             ServingIndex::Single(_) => SnapshotKind::QueryTree.name(),
             ServingIndex::Sharded(_) => SnapshotKind::ShardedIndex.name(),
+        }
+    }
+
+    /// Name of the split-decision backend the served structure was (and,
+    /// for sharded indices, future rebuilds will be) built with.
+    fn splitter_name(&self) -> &'static str {
+        match self {
+            ServingIndex::Single(tree) => tree.splitter().name(),
+            ServingIndex::Sharded(index) => index.config().tree.splitter.name(),
         }
     }
 
@@ -329,10 +338,11 @@ fn serve_loop<const D: usize, const E: usize>(
     {
         let gen = cell.current();
         eprintln!(
-            "sepdc serve: {} balls (dim {D}, {}), generation {}, {} predicate, \
-             chunk {}, admission cap {cap}",
+            "sepdc serve: {} balls (dim {D}, {}, splitter {}), generation {}, \
+             {} predicate, chunk {}, admission cap {cap}",
             gen.index.len(),
             gen.index.kind_name(),
+            gen.index.splitter_name(),
             gen.number,
             pred.name(),
             serve_cfg.chunk_size,
@@ -459,13 +469,15 @@ fn serve_loop<const D: usize, const E: usize>(
                     let gen = cell.current();
                     writeln!(
                         out,
-                        "ok generation={} n={} dim={D} probes={} batches={} swaps={} kind={}",
+                        "ok generation={} n={} dim={D} probes={} batches={} swaps={} kind={} \
+                         splitter={}",
                         gen.number,
                         gen.index.len(),
                         stats.probes,
                         stats.batches,
                         stats.swaps,
                         gen.index.kind_name(),
+                        gen.index.splitter_name(),
                     )
                     .is_ok()
                 }
@@ -564,6 +576,7 @@ fn serve_loop<const D: usize, const E: usize>(
 mod tests {
     use super::*;
     use crate::commands;
+    use sepdc_core::SplitterKind;
     use std::io::Cursor;
 
     fn tmpdir(name: &str) -> std::path::PathBuf {
@@ -581,7 +594,8 @@ mod tests {
     ) -> (String, String, Vec<String>) {
         let pts = commands::generate("uniform-cube", 400, 2, 3).unwrap();
         let probes = commands::generate("clusters", 120, 2, 9).unwrap();
-        let built = commands::index_build(&pts, Some(2), 2, 5, staging).unwrap();
+        let built =
+            commands::index_build(&pts, Some(2), 2, 5, staging, SplitterKind::Random).unwrap();
         let snap = dir.join("index.snap");
         std::fs::write(&snap, &built.snapshot).unwrap();
         let q = commands::query(
@@ -594,6 +608,7 @@ mod tests {
             false,
             5,
             1024,
+            SplitterKind::Random,
         )
         .unwrap();
         let rows: Vec<String> = q
@@ -659,7 +674,8 @@ mod tests {
         let (snap, _, _) = fixture(&dir);
         // A second, different snapshot to swap in.
         let pts2 = commands::generate("grid", 200, 2, 21).unwrap();
-        let built2 = commands::index_build(&pts2, Some(2), 2, 5, None).unwrap();
+        let built2 =
+            commands::index_build(&pts2, Some(2), 2, 5, None, SplitterKind::Random).unwrap();
         let snap2 = dir.join("index2.snap");
         std::fs::write(&snap2, &built2.snapshot).unwrap();
         // A corrupt file the swap must reject while the old index serves on.
@@ -702,7 +718,8 @@ mod tests {
         let dir = tmpdir("dim");
         let (snap, _, _) = fixture(&dir);
         let pts3 = commands::generate("uniform-cube", 100, 3, 4).unwrap();
-        let built3 = commands::index_build(&pts3, Some(3), 2, 5, None).unwrap();
+        let built3 =
+            commands::index_build(&pts3, Some(3), 2, 5, None, SplitterKind::Random).unwrap();
         let snap3 = dir.join("index3.snap");
         std::fs::write(&snap3, &built3.snapshot).unwrap();
         let input = format!("swap {}\nstats\n", snap3.display());
@@ -845,7 +862,8 @@ mod tests {
         // Tiny staging capacity: build leaves staging nearly full, so a
         // couple of inserts force a carry (shard rebuild) mid-session.
         let pts = commands::generate("uniform-cube", 40, 2, 3).unwrap();
-        let built = commands::index_build(&pts, Some(2), 1, 5, Some(4)).unwrap();
+        let built =
+            commands::index_build(&pts, Some(2), 1, 5, Some(4), SplitterKind::Random).unwrap();
         let snap = dir.join("tiny.snap");
         std::fs::write(&snap, &built.snapshot).unwrap();
         let input = "insert 9,9,0.5\ninsert 9.1,9.1,0.5\ninsert 9.2,9.2,0.5\n\

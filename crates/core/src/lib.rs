@@ -15,6 +15,7 @@
 //! | §3 batch serving (read path over [`query`]) | [`serve`] |
 //! | persistent index snapshots (save/load) | [`snapshot`] |
 //! | batch-dynamic sharding (logarithmic method) | [`sharded`] |
+//! | pluggable split-decision backends | [`splitter`] |
 //!
 //! Baselines and substrates: [`brute`] (the `O(n²)` oracle), [`kdtree`]
 //! (the sequential `O(n log n)`-class baseline standing in for Vaidya's
@@ -57,6 +58,7 @@ pub mod sharded;
 mod shared;
 pub mod simple_parallel;
 pub mod snapshot;
+pub mod splitter;
 pub mod validate;
 
 pub use brute::{brute_force_knn, try_brute_force_knn};
@@ -84,5 +86,8 @@ pub use snapshot::{
     load_partition_tree, load_query_tree, load_sharded_index, save_partition_tree, save_query_tree,
     save_sharded_index, SectionInfo, SnapshotError, SnapshotInfo, SnapshotKind, SNAPSHOT_MAGIC,
     SNAPSHOT_VERSION,
+};
+pub use splitter::{
+    splitter_for, DeterministicHalving, GraphSplitter, RandomSphere, Splitter, SplitterKind,
 };
 pub use validate::{validate_against_oracle, validate_knn, ValidationError};

@@ -45,6 +45,7 @@ use crate::error::SepdcError;
 use crate::partition_tree::{PartitionNode, PartitionTree};
 use crate::query::{QNode, QueryTree, QueryTreeConfig, QueryTreeStats};
 use crate::sharded::{ShardedConfig, ShardedIndex};
+use crate::splitter::SplitterKind;
 use sepdc_geom::aabb::Aabb;
 use sepdc_geom::ball::Ball;
 use sepdc_geom::halfspace::Hyperplane;
@@ -611,7 +612,7 @@ pub fn save_query_tree<const D: usize>(tree: &QueryTree<D>) -> Vec<u8> {
     let stats = tree.stats();
     let cost = tree.build_cost();
 
-    let mut meta = Vec::with_capacity(14 * 8);
+    let mut meta = Vec::with_capacity(15 * 8);
     put_u64(&mut meta, tree.run_report().seed);
     put_u64(&mut meta, tree.len() as u64);
     for v in [
@@ -627,6 +628,9 @@ pub fn save_query_tree<const D: usize>(tree: &QueryTree<D>) -> Vec<u8> {
         cost.scan_ops,
         cost.separator_candidates,
         cost.punts,
+        // Appended last so snapshots written before the splitter existed
+        // (14-word META) still load: absent ⇒ the Random default.
+        tree.splitter().code(),
     ] {
         put_u64(&mut meta, v);
     }
@@ -724,6 +728,7 @@ struct QueryMeta {
     n_balls: u64,
     stats: QueryTreeStats,
     cost: CostProfile,
+    splitter: SplitterKind,
 }
 
 fn load_query_meta(body: &[u8]) -> Result<QueryMeta, SnapshotError> {
@@ -749,12 +754,22 @@ fn load_query_meta(body: &[u8]) -> Result<QueryMeta, SnapshotError> {
         separator_candidates: c.u64()?,
         punts: c.u64()?,
     };
+    // Optional 15th word: splitter backend code. Snapshots written before
+    // the pluggable-splitter era stop at 14 words and decode as Random.
+    let splitter = if c.remaining() > 0 {
+        let code = c.u64()?;
+        SplitterKind::from_code(code)
+            .ok_or_else(|| corrupt("META", format!("unknown splitter code {code}")))?
+    } else {
+        SplitterKind::Random
+    };
     c.finish()?;
     Ok(QueryMeta {
         seed,
         n_balls,
         stats,
         cost,
+        splitter,
     })
 }
 
@@ -980,6 +995,7 @@ pub fn load_query_tree<const D: usize>(bytes: &[u8]) -> Result<QueryTree<D>, Sep
         meta.stats,
         meta.cost,
         meta.seed,
+        meta.splitter,
         t0.elapsed(),
     ))
 }
