@@ -8,9 +8,10 @@ use rand_chacha::ChaCha8Rng;
 use sepdc_core::serve::{CoverPredicate, ServeConfig};
 use sepdc_core::snapshot::{self, SnapshotKind};
 use sepdc_core::{
-    kdtree_all_knn, try_brute_force_knn, try_kdtree_all_knn, try_parallel_knn,
-    try_simple_parallel_knn, KnnDcConfig, KnnGraph, KnnResult, NeighborhoodSystem, QueryTree,
-    QueryTreeConfig, RunReport, SepdcError, ShardedConfig, ShardedIndex, SplitterKind,
+    kdtree_all_knn, try_brute_force_knn, try_kdtree_all_knn, try_kdtree_all_knn_with,
+    try_parallel_knn, try_simple_parallel_knn, KnnDcConfig, KnnGraph, KnnResult,
+    NeighborhoodSystem, Precision, QueryTree, QueryTreeConfig, RunReport, SepdcError,
+    ShardedConfig, ShardedIndex, SplitterKind,
 };
 use sepdc_separator::{find_good_separator, SeparatorConfig};
 use sepdc_workloads::Workload;
@@ -38,6 +39,12 @@ macro_rules! with_dim {
 pub fn splitter_by_name(name: &str) -> CliResult<SplitterKind> {
     SplitterKind::parse(name)
         .ok_or_else(|| format!("unknown splitter '{name}' (available: random, halving, graph)"))
+}
+
+/// Parse a `--precision` flag value into a [`Precision`] tier.
+pub fn precision_by_name(name: &str) -> CliResult<Precision> {
+    Precision::parse(name)
+        .ok_or_else(|| format!("unknown precision '{name}' (available: exact, mixed)"))
 }
 
 fn workload_by_name(name: &str) -> CliResult<Workload> {
@@ -76,6 +83,12 @@ pub struct KnnCommandOutput {
 }
 
 /// `knn`: compute the k-NN graph of a point file with a chosen algorithm.
+///
+/// `precision` selects the DESIGN.md §17 filtering tier (output-invisible;
+/// `mixed` is the default everywhere). `epsilon > 0` opts into `(1+ε)`-
+/// approximate correction for the `parallel`/`simple` algorithms; the exact
+/// run is then computed alongside and the *measured* error certificate is
+/// appended to the report (`certificate.*` counters) and the summary.
 pub fn knn(
     input: &str,
     dim_flag: Option<usize>,
@@ -83,6 +96,8 @@ pub fn knn(
     algo: &str,
     seed: u64,
     splitter: SplitterKind,
+    precision: Precision,
+    epsilon: f64,
 ) -> CliResult<KnnCommandOutput> {
     let dim = resolve_dim(input, dim_flag)?;
     fn run<const D: usize, const E: usize>(
@@ -91,6 +106,8 @@ pub fn knn(
         algo: &str,
         seed: u64,
         splitter: SplitterKind,
+        precision: Precision,
+        epsilon: f64,
     ) -> CliResult<KnnCommandOutput> {
         let points = parse_points::<D>(input)?;
         if points.is_empty() {
@@ -98,18 +115,45 @@ pub fn knn(
             // point file at the CLI boundary is a user mistake.
             return Err(SepdcError::EmptyInput.to_string());
         }
-        let cfg = KnnDcConfig::new(k).with_seed(seed).with_splitter(splitter);
+        if epsilon > 0.0 && !matches!(algo, "parallel" | "simple") {
+            return Err(format!(
+                "--epsilon requires the parallel or simple algorithm (got '{algo}')"
+            ));
+        }
+        let cfg = KnnDcConfig::new(k)
+            .with_seed(seed)
+            .with_splitter(splitter)
+            .with_precision(precision)
+            .with_epsilon(epsilon);
         let t0 = std::time::Instant::now();
+        // Appends the measured ε error certificate (vs a fresh exact run)
+        // to the summary and report of an approximate run.
+        let certify = |knn: &KnnResult,
+                       exact: Result<KnnResult, SepdcError>,
+                       extra: &mut String,
+                       report: &mut RunReport|
+         -> Result<(), SepdcError> {
+            let cert = knn.error_certificate(&exact?);
+            extra.push_str(&format!(
+                ", ε-certificate: max rel err {:.3e} (mean {:.3e}, {} of {} ranks differ)",
+                cert.max_rel_error,
+                cert.mean_rel_error(),
+                cert.mismatched_entries,
+                cert.compared_entries,
+            ));
+            report.counters.extend(cert.counters());
+            Ok(())
+        };
         // All algorithms run through their `try_*` variants: NaN-poisoned
         // files, `k = 0`, and any other invalid input surface as the typed
         // error's message instead of a panic.
         let run: Result<(KnnResult, String, Option<String>), SepdcError> = match algo {
-            "parallel" => try_parallel_knn::<D, E>(&points, &cfg).map(|out| {
+            "parallel" => try_parallel_knn::<D, E>(&points, &cfg).and_then(|out| {
                 // Every fallback path is surfaced here: silent forced
                 // leaves or degenerate splits are exactly the conditions
                 // that erode the separator guarantees, so hiding them from
                 // the summary would mask a degraded run.
-                let extra = format!(
+                let mut extra = format!(
                     ", depth {} rounds, {} fast / {} punts ({} threshold, {} marching), \
                      {} forced leaves ({} degenerate splits, {} depth-capped), \
                      {} march steps ({} pruned), {} correction dist evals",
@@ -125,19 +169,41 @@ pub fn knn(
                     out.meter.march_pruned,
                     out.meter.correction_dist_evals,
                 );
-                (out.knn, extra, Some(out.report.to_json()))
+                let mut report = out.report;
+                if epsilon > 0.0 {
+                    let exact = try_parallel_knn::<D, E>(&points, &cfg.with_epsilon(0.0))
+                        .map(|o| o.knn);
+                    certify(&out.knn, exact, &mut extra, &mut report)?;
+                }
+                Ok((out.knn, extra, Some(report.to_json())))
             }),
-            "simple" => try_simple_parallel_knn::<D, E>(&points, &cfg).map(|out| {
-                let extra = format!(
+            "simple" => try_simple_parallel_knn::<D, E>(&points, &cfg).and_then(|out| {
+                let mut extra = format!(
                     ", depth {} rounds, {} forced leaves ({} degenerate splits, {} depth-capped)",
                     out.cost.depth,
                     out.stats.forced_leaves,
                     out.stats.degenerate_splits,
                     out.stats.depth_forced_leaves,
                 );
-                (out.knn, extra, Some(out.report.to_json()))
+                let mut report = out.report;
+                if epsilon > 0.0 {
+                    let exact = try_simple_parallel_knn::<D, E>(&points, &cfg.with_epsilon(0.0))
+                        .map(|o| o.knn);
+                    certify(&out.knn, exact, &mut extra, &mut report)?;
+                }
+                Ok((out.knn, extra, Some(report.to_json())))
             }),
-            "kdtree" => try_kdtree_all_knn(&points, k).map(|r| (r, String::new(), None)),
+            "kdtree" => try_kdtree_all_knn_with(&points, k, precision).map(|(r, fstats)| {
+                let extra = if precision.is_mixed() {
+                    format!(
+                        ", precision tier: {} f32 rejects / {} f64 confirms ({} bound violations)",
+                        fstats.f32_rejects, fstats.f64_confirms, fstats.unsafe_margin_hits,
+                    )
+                } else {
+                    String::new()
+                };
+                (r, extra, None)
+            }),
             "brute" => try_brute_force_knn(&points, k).map(|r| (r, String::new(), None)),
             other => {
                 return Err(format!(
@@ -166,7 +232,7 @@ pub fn knn(
             report_json,
         })
     }
-    with_dim!(dim, run(input, k, algo, seed, splitter))
+    with_dim!(dim, run(input, k, algo, seed, splitter, precision, epsilon))
 }
 
 /// Output of the `query` command.
@@ -200,6 +266,8 @@ pub fn query(
     seed: u64,
     chunk: usize,
     splitter: SplitterKind,
+    precision: Precision,
+    epsilon: f64,
 ) -> CliResult<QueryCommandOutput> {
     let dim = resolve_dim(input, dim_flag)?;
     let probe_w = workload_by_name(probe_workload)?;
@@ -214,6 +282,8 @@ pub fn query(
         seed: u64,
         chunk: usize,
         splitter: SplitterKind,
+        precision: Precision,
+        epsilon: f64,
     ) -> CliResult<QueryCommandOutput> {
         let points = parse_points::<D>(input)?;
         if points.is_empty() {
@@ -228,6 +298,7 @@ pub fn query(
         let system = NeighborhoodSystem::from_knn(&points, &knn);
         let tree_cfg = QueryTreeConfig {
             splitter,
+            precision,
             ..QueryTreeConfig::default()
         };
         let tree =
@@ -241,6 +312,8 @@ pub fn query(
         let cfg = ServeConfig {
             chunk_size: chunk,
             record: true,
+            precision,
+            epsilon,
             ..ServeConfig::default()
         };
         let out = tree
@@ -286,7 +359,9 @@ pub fn query(
             interior,
             seed,
             chunk,
-            splitter
+            splitter,
+            precision,
+            epsilon
         )
     )
 }
@@ -312,6 +387,7 @@ pub struct IndexBuildOutput {
 /// [`ShardedIndex`] (snapshot kind 3) instead: same balls, same global
 /// ids (the input row order), but the served daemon additionally accepts
 /// `insert`/`delete` lines.
+#[allow(clippy::too_many_arguments)]
 pub fn index_build(
     input: &str,
     dim_flag: Option<usize>,
@@ -319,6 +395,8 @@ pub fn index_build(
     seed: u64,
     sharded: Option<usize>,
     splitter: SplitterKind,
+    precision: Precision,
+    epsilon: f64,
 ) -> CliResult<IndexBuildOutput> {
     let dim = resolve_dim(input, dim_flag)?;
     fn run<const D: usize, const E: usize>(
@@ -327,13 +405,19 @@ pub fn index_build(
         seed: u64,
         sharded: Option<usize>,
         splitter: SplitterKind,
+        precision: Precision,
+        epsilon: f64,
     ) -> CliResult<IndexBuildOutput> {
         let points = parse_points::<D>(input)?;
         if points.is_empty() {
             return Err(SepdcError::EmptyInput.to_string());
         }
+        // The tier and ε ride in the snapshot META (words 16/17), so a
+        // daemon loading this index serves with the same knobs.
         let tree_cfg = QueryTreeConfig {
             splitter,
+            precision,
+            epsilon,
             ..QueryTreeConfig::default()
         };
         let t0 = std::time::Instant::now();
@@ -376,7 +460,7 @@ pub fn index_build(
         );
         Ok(IndexBuildOutput { snapshot, summary })
     }
-    with_dim!(dim, run(input, k, seed, sharded, splitter))
+    with_dim!(dim, run(input, k, seed, sharded, splitter, precision, epsilon))
 }
 
 /// `index inspect`: print a snapshot's header and section table, then
@@ -406,7 +490,8 @@ pub fn index_inspect(bytes: &[u8]) -> CliResult<String> {
                 let s = tree.stats();
                 Ok(format!(
                     "query-tree: {} balls, height {}, {} leaves, {} internals, \
-                     {} stored refs, seed {}, splitter {}; loaded + validated in {:.1} ms\n",
+                     {} stored refs, seed {}, splitter {}, precision {} (ε = {}); \
+                     loaded + validated in {:.1} ms\n",
                     tree.len(),
                     s.height,
                     s.leaves,
@@ -414,6 +499,8 @@ pub fn index_inspect(bytes: &[u8]) -> CliResult<String> {
                     s.stored_balls,
                     tree.run_report().seed,
                     tree.splitter().name(),
+                    tree.precision().name(),
+                    tree.epsilon(),
                     t0.elapsed().as_secs_f64() * 1e3,
                 ))
             }
@@ -541,11 +628,11 @@ mod tests {
     #[test]
     fn generate_then_knn_roundtrip() {
         let pts = generate("uniform-cube", 200, 2, 7).unwrap();
-        let out = knn(&pts, None, 2, "parallel", 1, SplitterKind::Random).unwrap();
+        let out = knn(&pts, None, 2, "parallel", 1, SplitterKind::Random, Precision::Mixed, 0.0).unwrap();
         assert!(out.summary.contains("200 points (d=2)"));
         assert!(out.edges_csv.lines().count() > 200);
         // Same input through the oracle gives the same edge count.
-        let oracle = knn(&pts, Some(2), 2, "brute", 1, SplitterKind::Random).unwrap();
+        let oracle = knn(&pts, Some(2), 2, "brute", 1, SplitterKind::Random, Precision::Mixed, 0.0).unwrap();
         assert_eq!(
             out.edges_csv.lines().count(),
             oracle.edges_csv.lines().count()
@@ -557,7 +644,7 @@ mod tests {
         let pts = generate("clusters", 150, 3, 3).unwrap();
         let mut counts = Vec::new();
         for algo in ["parallel", "simple", "kdtree", "brute"] {
-            let out = knn(&pts, None, 1, algo, 5, SplitterKind::Random).unwrap();
+            let out = knn(&pts, None, 1, algo, 5, SplitterKind::Random, Precision::Mixed, 0.0).unwrap();
             counts.push(out.edges_csv.lines().count());
         }
         assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
@@ -566,7 +653,7 @@ mod tests {
     #[test]
     fn dimension_sniffing() {
         let pts = generate("uniform-cube", 50, 4, 1).unwrap();
-        let out = knn(&pts, None, 1, "kdtree", 1, SplitterKind::Random).unwrap();
+        let out = knn(&pts, None, 1, "kdtree", 1, SplitterKind::Random, Precision::Mixed, 0.0).unwrap();
         assert!(out.summary.contains("(d=4)"));
     }
 
@@ -576,7 +663,7 @@ mod tests {
             .unwrap_err()
             .contains("available"));
         let pts = generate("grid", 30, 2, 1).unwrap();
-        assert!(knn(&pts, None, 1, "nope", 1, SplitterKind::Random).is_err());
+        assert!(knn(&pts, None, 1, "nope", 1, SplitterKind::Random, Precision::Mixed, 0.0).is_err());
     }
 
     #[test]
@@ -607,7 +694,7 @@ mod tests {
         // Satellite fix: degenerate splits, depth-capped leaves, and punt
         // counters used to be computed and then dropped on the floor.
         let pts = generate("uniform-cube", 400, 2, 9).unwrap();
-        let out = knn(&pts, None, 2, "parallel", 3, SplitterKind::Random).unwrap();
+        let out = knn(&pts, None, 2, "parallel", 3, SplitterKind::Random, Precision::Mixed, 0.0).unwrap();
         for needle in [
             "fast",
             "punts",
@@ -622,16 +709,16 @@ mod tests {
         ] {
             assert!(out.summary.contains(needle), "{}", out.summary);
         }
-        let simple = knn(&pts, None, 2, "simple", 3, SplitterKind::Random).unwrap();
+        let simple = knn(&pts, None, 2, "simple", 3, SplitterKind::Random, Precision::Mixed, 0.0).unwrap();
         for needle in ["forced leaves", "degenerate splits", "depth-capped"] {
             assert!(simple.summary.contains(needle), "{}", simple.summary);
         }
         // The brute/kdtree paths have no instrumented recursion.
-        assert!(knn(&pts, None, 2, "brute", 3, SplitterKind::Random)
+        assert!(knn(&pts, None, 2, "brute", 3, SplitterKind::Random, Precision::Mixed, 0.0)
             .unwrap()
             .report_json
             .is_none());
-        assert!(knn(&pts, None, 2, "kdtree", 3, SplitterKind::Random)
+        assert!(knn(&pts, None, 2, "kdtree", 3, SplitterKind::Random, Precision::Mixed, 0.0)
             .unwrap()
             .report_json
             .is_none());
@@ -641,7 +728,7 @@ mod tests {
     fn knn_report_json_is_a_valid_run_report() {
         let pts = generate("clusters", 300, 3, 2).unwrap();
         for (algo, name) in [("parallel", "parallel"), ("simple", "simple")] {
-            let out = knn(&pts, None, 2, algo, 7, SplitterKind::Random).unwrap();
+            let out = knn(&pts, None, 2, algo, 7, SplitterKind::Random, Precision::Mixed, 0.0).unwrap();
             let json = out.report_json.as_deref().expect(algo);
             let rep = RunReport::from_json(json).unwrap();
             assert_eq!(rep.algo, name);
@@ -667,6 +754,8 @@ mod tests {
             11,
             32,
             SplitterKind::Random,
+            Precision::Mixed,
+            0.0,
         )
         .unwrap();
         assert!(out.summary.contains("served 100 probes"), "{}", out.summary);
@@ -694,6 +783,8 @@ mod tests {
             5,
             7,
             SplitterKind::Random,
+            Precision::Mixed,
+            0.0,
         )
         .unwrap();
         assert!(out.summary.contains("open predicate"), "{}", out.summary);
@@ -737,6 +828,8 @@ mod tests {
             1,
             8,
             SplitterKind::Random,
+            Precision::Mixed,
+            0.0,
         )
         .unwrap_err();
         assert!(err.contains("line 2"), "{err}");
@@ -752,6 +845,8 @@ mod tests {
             1,
             0,
             SplitterKind::Random,
+            Precision::Mixed,
+            0.0,
         )
         .unwrap_err();
         assert!(err.contains("serve.chunk_size"), "{err}");
@@ -760,7 +855,7 @@ mod tests {
     #[test]
     fn report_pretty_printer_round_trip() {
         let pts = generate("uniform-cube", 250, 2, 4).unwrap();
-        let out = knn(&pts, None, 1, "parallel", 6, SplitterKind::Random).unwrap();
+        let out = knn(&pts, None, 1, "parallel", 6, SplitterKind::Random, Precision::Mixed, 0.0).unwrap();
         let rendered = report(out.report_json.as_deref().unwrap()).unwrap();
         assert!(rendered.contains("run report v1"), "{rendered}");
         assert!(rendered.contains("phase timings"), "{rendered}");
@@ -776,11 +871,75 @@ mod tests {
         let pts = generate("grid", 20, 2, 1).unwrap();
         // `k = 0` and empty inputs map to the typed SepdcError messages.
         for algo in ["parallel", "simple", "kdtree", "brute"] {
-            let err = knn(&pts, None, 0, algo, 1, SplitterKind::Random).unwrap_err();
+            let err = knn(&pts, None, 0, algo, 1, SplitterKind::Random, Precision::Mixed, 0.0).unwrap_err();
             assert!(err.contains("invalid k = 0"), "{algo}: {err}");
         }
-        let err = knn("", Some(2), 1, "brute", 1, SplitterKind::Random).unwrap_err();
+        let err = knn("", Some(2), 1, "brute", 1, SplitterKind::Random, Precision::Mixed, 0.0).unwrap_err();
         assert!(err.contains("empty"), "{err}");
+    }
+
+    #[test]
+    fn knn_precision_tiers_agree_and_epsilon_certifies() {
+        let pts = generate("uniform-cube", 300, 2, 13).unwrap();
+        // Exact and mixed tiers return identical edges for every algorithm
+        // that supports the tier flag.
+        for algo in ["parallel", "simple", "kdtree"] {
+            let exact = knn(&pts, None, 2, algo, 3, SplitterKind::Random, Precision::Exact, 0.0)
+                .unwrap();
+            let mixed = knn(&pts, None, 2, algo, 3, SplitterKind::Random, Precision::Mixed, 0.0)
+                .unwrap();
+            assert_eq!(exact.edges_csv, mixed.edges_csv, "{algo}");
+        }
+        // The kdtree summary surfaces the tier counters in mixed mode only.
+        let kd = knn(&pts, None, 2, "kdtree", 3, SplitterKind::Random, Precision::Mixed, 0.0)
+            .unwrap();
+        assert!(kd.summary.contains("f32 rejects"), "{}", kd.summary);
+        // ε > 0 runs the exact algorithm alongside and reports a measured
+        // certificate in the summary and the report counters.
+        let eps = knn(&pts, None, 2, "parallel", 3, SplitterKind::Random, Precision::Mixed, 0.25)
+            .unwrap();
+        assert!(eps.summary.contains("ε-certificate"), "{}", eps.summary);
+        let rep = RunReport::from_json(eps.report_json.as_deref().unwrap()).unwrap();
+        let max_err = rep.counter("certificate.max_rel_error").unwrap();
+        assert!((0.0..=0.25).contains(&max_err), "max rel err {max_err}");
+        assert_eq!(rep.counter("epsilon"), None, "epsilon echoes in config");
+        assert!(rep.config.iter().any(|(n, v)| n == "epsilon" && *v == 0.25));
+        // ε is a correction-path knob: algorithms without one reject it.
+        let err = knn(&pts, None, 2, "kdtree", 3, SplitterKind::Random, Precision::Mixed, 0.1)
+            .unwrap_err();
+        assert!(err.contains("--epsilon requires"), "{err}");
+    }
+
+    #[test]
+    fn query_epsilon_serves_relaxed_predicate() {
+        let pts = generate("uniform-cube", 250, 2, 17).unwrap();
+        let serve = |eps: f64| {
+            query(
+                &pts,
+                None,
+                2,
+                None,
+                "uniform-cube",
+                80,
+                false,
+                7,
+                64,
+                SplitterKind::Random,
+                Precision::Mixed,
+                eps,
+            )
+            .unwrap()
+        };
+        let exact = serve(0.0);
+        let relaxed = serve(0.5);
+        let rep = RunReport::from_json(&relaxed.report_json).unwrap();
+        assert!(rep.config.iter().any(|(n, v)| n == "epsilon" && *v == 0.5));
+        let skips = rep.counter("precision.eps_skips").unwrap();
+        let exact_rep = RunReport::from_json(&exact.report_json).unwrap();
+        let dropped =
+            exact_rep.counter("serve.hits").unwrap() - rep.counter("serve.hits").unwrap();
+        assert_eq!(skips, dropped, "every dropped hit is counted");
+        assert!(exact_rep.counter("precision.eps_skips").unwrap() == 0.0);
     }
 
     #[test]
@@ -788,7 +947,7 @@ mod tests {
         // NaN/inf coordinates are stopped at parse time with a line number,
         // so the algorithms only ever see finite points from the CLI.
         for poisoned in ["0.5,0.5\nNaN,0.25\n", "0.5,0.5\n0.25,inf\n"] {
-            let err = knn(poisoned, None, 1, "parallel", 1, SplitterKind::Random).unwrap_err();
+            let err = knn(poisoned, None, 1, "parallel", 1, SplitterKind::Random, Precision::Mixed, 0.0).unwrap_err();
             assert!(err.contains("non-finite"), "{err}");
             assert!(err.contains("line 2"), "{err}");
         }

@@ -576,7 +576,7 @@ fn serve_loop<const D: usize, const E: usize>(
 mod tests {
     use super::*;
     use crate::commands;
-    use sepdc_core::SplitterKind;
+    use sepdc_core::{Precision, SplitterKind};
     use std::io::Cursor;
 
     fn tmpdir(name: &str) -> std::path::PathBuf {
@@ -595,7 +595,7 @@ mod tests {
         let pts = commands::generate("uniform-cube", 400, 2, 3).unwrap();
         let probes = commands::generate("clusters", 120, 2, 9).unwrap();
         let built =
-            commands::index_build(&pts, Some(2), 2, 5, staging, SplitterKind::Random).unwrap();
+            commands::index_build(&pts, Some(2), 2, 5, staging, SplitterKind::Random, Precision::Mixed, 0.0).unwrap();
         let snap = dir.join("index.snap");
         std::fs::write(&snap, &built.snapshot).unwrap();
         let q = commands::query(
@@ -609,6 +609,8 @@ mod tests {
             5,
             1024,
             SplitterKind::Random,
+            Precision::Mixed,
+            0.0,
         )
         .unwrap();
         let rows: Vec<String> = q
@@ -675,7 +677,7 @@ mod tests {
         // A second, different snapshot to swap in.
         let pts2 = commands::generate("grid", 200, 2, 21).unwrap();
         let built2 =
-            commands::index_build(&pts2, Some(2), 2, 5, None, SplitterKind::Random).unwrap();
+            commands::index_build(&pts2, Some(2), 2, 5, None, SplitterKind::Random, Precision::Mixed, 0.0).unwrap();
         let snap2 = dir.join("index2.snap");
         std::fs::write(&snap2, &built2.snapshot).unwrap();
         // A corrupt file the swap must reject while the old index serves on.
@@ -719,7 +721,7 @@ mod tests {
         let (snap, _, _) = fixture(&dir);
         let pts3 = commands::generate("uniform-cube", 100, 3, 4).unwrap();
         let built3 =
-            commands::index_build(&pts3, Some(3), 2, 5, None, SplitterKind::Random).unwrap();
+            commands::index_build(&pts3, Some(3), 2, 5, None, SplitterKind::Random, Precision::Mixed, 0.0).unwrap();
         let snap3 = dir.join("index3.snap");
         std::fs::write(&snap3, &built3.snapshot).unwrap();
         let input = format!("swap {}\nstats\n", snap3.display());
@@ -863,7 +865,7 @@ mod tests {
         // couple of inserts force a carry (shard rebuild) mid-session.
         let pts = commands::generate("uniform-cube", 40, 2, 3).unwrap();
         let built =
-            commands::index_build(&pts, Some(2), 1, 5, Some(4), SplitterKind::Random).unwrap();
+            commands::index_build(&pts, Some(2), 1, 5, Some(4), SplitterKind::Random, Precision::Mixed, 0.0).unwrap();
         let snap = dir.join("tiny.snap");
         std::fs::write(&snap, &built.snapshot).unwrap();
         let input = "insert 9,9,0.5\ninsert 9.1,9.1,0.5\ninsert 9.2,9.2,0.5\n\

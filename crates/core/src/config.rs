@@ -5,6 +5,83 @@ use crate::query::QueryTreeConfig;
 use crate::splitter::SplitterKind;
 use sepdc_separator::SeparatorConfig;
 
+/// Distance-evaluation tier for the candidate-filtering passes
+/// (DESIGN.md §17).
+///
+/// * [`Precision::Mixed`] (the default): candidates are first screened by
+///   the blocked f32 shadow kernels with a certified error bound
+///   ([`sepdc_geom::F32Bound`]); only survivors pay an exact f64
+///   evaluation. Answers are **byte-identical** to the exact tier — the
+///   bound makes every f32 reject provably safe — so this is on by
+///   default.
+/// * [`Precision::Exact`]: every candidate is evaluated in f64 directly
+///   (the pre-tier behavior, kept selectable for A/B measurement and as
+///   the reference the certificate of ε-mode is measured against).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Precision {
+    /// f64 everywhere; no f32 screening.
+    Exact,
+    /// f32 screening with certified-safe rejects, f64 confirmation.
+    #[default]
+    Mixed,
+}
+
+impl Precision {
+    /// Stable CLI / config-echo name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Precision::Exact => "exact",
+            Precision::Mixed => "mixed",
+        }
+    }
+
+    /// Parse a CLI name (`exact` | `mixed`).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "exact" => Some(Precision::Exact),
+            "mixed" => Some(Precision::Mixed),
+            _ => None,
+        }
+    }
+
+    /// Stable wire code (snapshot META, config echoes).
+    pub fn code(self) -> u64 {
+        match self {
+            Precision::Exact => 0,
+            Precision::Mixed => 1,
+        }
+    }
+
+    /// Inverse of [`Precision::code`].
+    pub fn from_code(code: u64) -> Option<Self> {
+        match code {
+            0 => Some(Precision::Exact),
+            1 => Some(Precision::Mixed),
+            _ => None,
+        }
+    }
+
+    /// `true` for the f32-screening tier.
+    pub fn is_mixed(self) -> bool {
+        self == Precision::Mixed
+    }
+}
+
+/// Radius multiplier `1 / (1+ε)` applied to crossing-ball radii in
+/// ε-approximate mode. Exactly `1.0` when `ε = 0`, so the exact path's
+/// arithmetic is untouched (multiplying a radius by 1.0 is an IEEE-754
+/// identity).
+pub fn eps_radius_scale(epsilon: f64) -> f64 {
+    1.0 / (1.0 + epsilon)
+}
+
+/// Squared-threshold multiplier `1 / (1+ε)²` applied to cover-filter
+/// radii in ε-approximate mode. Exactly `1.0` when `ε = 0`.
+pub fn eps_cover_scale(epsilon: f64) -> f64 {
+    let s = 1.0 + epsilon;
+    1.0 / (s * s)
+}
+
 /// Shared configuration of the Section 5 and Section 6 algorithms.
 #[derive(Clone, Copy, Debug)]
 pub struct KnnDcConfig {
@@ -38,6 +115,18 @@ pub struct KnnDcConfig {
     /// ([`crate::splitter`]). The default [`SplitterKind::Random`] is the
     /// paper's engine, byte-identical to the pre-trait implementation.
     pub splitter: SplitterKind,
+    /// Distance-evaluation tier for the correction candidate filters
+    /// (owner-distance gathers, fast-correction fix loop). Answers are
+    /// byte-identical across tiers; see [`Precision`].
+    pub precision: Precision,
+    /// Approximation slack ε ≥ 0 for the opt-in `(1+ε)`-approximate mode:
+    /// crossing-ball radii are shrunk by `1/(1+ε)` before correction, so
+    /// every reported k-th neighbor distance is at most `(1+ε)` times the
+    /// exact one (certificate measured, never assumed — see
+    /// [`KnnResult::error_certificate`](crate::KnnResult::error_certificate)).
+    /// `0.0` (the default) is exact mode and leaves the arithmetic
+    /// untouched.
+    pub epsilon: f64,
     /// Query-structure configuration for the punt path.
     pub query: QueryTreeConfig,
     /// Subtree size below which recursion stops forking rayon tasks.
@@ -84,6 +173,17 @@ pub struct ServeConfig {
     /// Defaults to `false`: a high-throughput read path should not pay
     /// two clock reads per chunk unless asked to explain itself.
     pub record: bool,
+    /// Distance-evaluation tier for the per-leaf cover filter. The
+    /// returned id lists are byte-identical across tiers (the f32 reject
+    /// is certified safe), preserving the pure-function contract above.
+    pub precision: Precision,
+    /// Approximation slack ε ≥ 0 for relaxed covering: a probe is
+    /// reported covered only when `dist_sq <= r² / (1+ε)²`, and each ball
+    /// the exact predicate admits but the relaxed one skips is counted in
+    /// `precision.eps_skips`. `0.0` (the default) is the exact predicate.
+    /// Nonzero ε is the one serve knob that *does* change answers — it is
+    /// opt-in and certificate-counted.
+    pub epsilon: f64,
 }
 
 impl Default for ServeConfig {
@@ -92,6 +192,8 @@ impl Default for ServeConfig {
             chunk_size: 1024,
             parallel_threshold: 1024,
             record: false,
+            precision: Precision::default(),
+            epsilon: 0.0,
         }
     }
 }
@@ -103,6 +205,12 @@ impl ServeConfig {
             return Err(SepdcError::InvalidConfig {
                 param: "serve.chunk_size",
                 value: 0.0,
+            });
+        }
+        if !self.epsilon.is_finite() || !(0.0..=1.0).contains(&self.epsilon) {
+            return Err(SepdcError::InvalidConfig {
+                param: "serve.epsilon",
+                value: self.epsilon,
             });
         }
         Ok(())
@@ -121,6 +229,8 @@ impl KnnDcConfig {
             marching_slack: 8.0,
             separator: SeparatorConfig::default(),
             splitter: SplitterKind::Random,
+            precision: Precision::default(),
+            epsilon: 0.0,
             query: QueryTreeConfig::default(),
             parallel_cutoff: 2048,
             max_depth: None,
@@ -140,6 +250,24 @@ impl KnnDcConfig {
     pub fn with_splitter(mut self, kind: SplitterKind) -> Self {
         self.splitter = kind;
         self.query.splitter = kind;
+        self
+    }
+
+    /// With a specific distance-evaluation tier, applied to both the
+    /// correction filters and the punt-path query structure.
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self.query.precision = precision;
+        self
+    }
+
+    /// With an approximation slack ε (see [`KnnDcConfig::epsilon`]).
+    ///
+    /// Applied only to the top-level correction: the punt-path query
+    /// structure is built over *already-shrunk* crossing balls, so
+    /// `query.epsilon` stays 0 — setting both would relax twice.
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
         self
     }
 
@@ -205,6 +333,14 @@ impl KnnDcConfig {
         }
         if !self.separator.tol.is_finite() || self.separator.tol < 0.0 {
             return Err(bad("separator.tol", self.separator.tol));
+        }
+        // ε ∈ [0, 1]: the certificate bound (1+ε)·r is only meaningful
+        // for modest slack, and larger values are always a config typo.
+        if !self.epsilon.is_finite() || !(0.0..=1.0).contains(&self.epsilon) {
+            return Err(bad("epsilon", self.epsilon));
+        }
+        if !self.query.epsilon.is_finite() || !(0.0..=1.0).contains(&self.query.epsilon) {
+            return Err(bad("query.epsilon", self.query.epsilon));
         }
         if self.query.leaf_size == 0 {
             return Err(bad("query.leaf_size", 0.0));
@@ -355,6 +491,68 @@ mod tests {
         let mut query_bad = base;
         query_bad.query.leaf_size = 0;
         assert!(query_bad.validate().is_err());
+    }
+
+    #[test]
+    fn precision_and_epsilon_knobs() {
+        // Mixed is the default tier at every layer (byte-identical answers).
+        let cfg = KnnDcConfig::new(1);
+        assert_eq!(cfg.precision, Precision::Mixed);
+        assert_eq!(cfg.query.precision, Precision::Mixed);
+        assert_eq!(cfg.epsilon, 0.0);
+        let exact = cfg.with_precision(Precision::Exact);
+        assert_eq!(exact.precision, Precision::Exact);
+        assert_eq!(exact.query.precision, Precision::Exact);
+        // with_epsilon relaxes only the top level (punt-path balls are
+        // already shrunk).
+        let eps = KnnDcConfig::new(1).with_epsilon(0.25);
+        assert_eq!(eps.epsilon, 0.25);
+        assert_eq!(eps.query.epsilon, 0.0);
+        eps.validate().unwrap();
+        // Out-of-range ε is a typed config error at both layers.
+        for bad_eps in [f64::NAN, -0.1, 1.5] {
+            let bad = KnnDcConfig::new(1).with_epsilon(bad_eps);
+            assert!(
+                matches!(
+                    bad.validate(),
+                    Err(crate::SepdcError::InvalidConfig { param: "epsilon", .. })
+                ),
+                "eps {bad_eps}"
+            );
+            let sbad = ServeConfig {
+                epsilon: bad_eps,
+                ..ServeConfig::default()
+            };
+            assert!(sbad.validate().is_err(), "serve eps {bad_eps}");
+        }
+        let mut qbad = KnnDcConfig::new(1);
+        qbad.query.epsilon = 2.0;
+        assert!(matches!(
+            qbad.validate(),
+            Err(crate::SepdcError::InvalidConfig {
+                param: "query.epsilon",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn precision_names_and_codes_round_trip() {
+        for p in [Precision::Exact, Precision::Mixed] {
+            assert_eq!(Precision::parse(p.name()), Some(p));
+            assert_eq!(Precision::from_code(p.code()), Some(p));
+        }
+        assert_eq!(Precision::parse("f16"), None);
+        assert_eq!(Precision::from_code(7), None);
+        assert!(Precision::Mixed.is_mixed() && !Precision::Exact.is_mixed());
+    }
+
+    #[test]
+    fn eps_scales_are_exact_identities_at_zero() {
+        assert_eq!(eps_radius_scale(0.0), 1.0);
+        assert_eq!(eps_cover_scale(0.0), 1.0);
+        assert!(eps_radius_scale(0.5) < 1.0);
+        assert!((eps_cover_scale(0.5) - 1.0 / 2.25).abs() < 1e-15);
     }
 
     #[test]

@@ -21,7 +21,7 @@ use rayon::prelude::*;
 use sepdc_geom::ball::Ball;
 use sepdc_geom::point::Point;
 use sepdc_geom::shape::Separator;
-use sepdc_geom::soa::SoaPoints;
+use sepdc_geom::soa::{FilterStats, SoaPoints};
 use sepdc_scan::CostProfile;
 
 /// A crossing ball together with its owning point id.
@@ -38,6 +38,15 @@ const PAR_SCAN_CUTOFF: usize = 2048;
 /// balls (side smaller than `k+1`, possible only after degenerate fallback
 /// cuts) are returned separately for exhaustive correction.
 ///
+/// `eps_scale` is the ε-mode radius shrink [`crate::config::eps_radius_scale`]
+/// (`1.0` = exact). When `< 1.0` each subset ball is tested with radius
+/// `r · eps_scale`: balls that cross only at full radius are dropped, which
+/// is exactly what bounds the reported k-th distance by `(1+ε)` times the
+/// exact one (DESIGN.md §17). The third return value counts those drops so
+/// the relaxation stays observable; it is always `0` at `eps_scale = 1.0`,
+/// where the constructed balls are bit-identical to the unscaled ones
+/// (IEEE: `x * 1.0 == x`).
+///
 /// Large sides are scanned as parallel chunks with per-chunk buffers; the
 /// chunk results are concatenated in chunk order, so the output is
 /// identical to the sequential scan regardless of thread count.
@@ -46,35 +55,43 @@ pub(crate) fn collect_crossing<const D: usize>(
     lists: &SharedLists,
     side_ids: &[u32],
     sep: &Separator<D>,
-) -> (Vec<CrossingBall<D>>, Vec<u32>) {
+    eps_scale: f64,
+) -> (Vec<CrossingBall<D>>, Vec<u32>, u64) {
+    let relaxed = eps_scale < 1.0;
     let scan = |ids: &[u32]| {
         let mut crossing = Vec::new();
         let mut unbounded = Vec::new();
+        let mut eps_skips = 0u64;
         for &i in ids {
             let r_sq = lists.radius_sq(i as usize);
             if !r_sq.is_finite() {
                 unbounded.push(i);
                 continue;
             }
-            let ball = Ball::new(points[i as usize], r_sq.sqrt());
+            let r = r_sq.sqrt();
+            let ball = Ball::new(points[i as usize], r * eps_scale);
             if ball.crosses(sep) {
                 crossing.push(CrossingBall { owner: i, ball });
+            } else if relaxed && Ball::new(points[i as usize], r).crosses(sep) {
+                eps_skips += 1;
             }
         }
-        (crossing, unbounded)
+        (crossing, unbounded, eps_skips)
     };
     if side_ids.len() < PAR_SCAN_CUTOFF {
         return scan(side_ids);
     }
-    let per_chunk: Vec<(Vec<CrossingBall<D>>, Vec<u32>)> =
+    let per_chunk: Vec<(Vec<CrossingBall<D>>, Vec<u32>, u64)> =
         side_ids.par_chunks(PAR_SCAN_CUTOFF).map(scan).collect();
     let mut crossing = Vec::new();
     let mut unbounded = Vec::new();
-    for (c, u) in per_chunk {
+    let mut eps_skips = 0u64;
+    for (c, u, s) in per_chunk {
         crossing.extend(c);
         unbounded.extend(u);
+        eps_skips += s;
     }
-    (crossing, unbounded)
+    (crossing, unbounded, eps_skips)
 }
 
 /// Exhaustively merge every point of `opposite` into the lists of the
@@ -89,6 +106,10 @@ pub(crate) fn correct_unbounded<const D: usize>(
     unbounded: &[u32],
     opposite: &[u32],
 ) {
+    // Deliberately f64-only in every precision tier: an unbounded owner has
+    // an infinite cached radius (its list is under-full), so the certified
+    // f32 lower bound can never reject a candidate here — a f32 pre-pass
+    // would be pure overhead on an already rare path.
     let one = |&o: &u32| {
         // One blocked distance sweep per owner, then a batched merge (the
         // cached radius is loaded once per batch; `merge_candidate`
@@ -112,7 +133,16 @@ pub(crate) fn correct_unbounded<const D: usize>(
 /// every point of the subset; a point strictly inside a crossing ball from
 /// the *opposite* side is merged into that ball owner's list.
 ///
-/// Returns the work–depth cost of the build plus the query sweep.
+/// In the mixed precision tier (`qcfg.precision`) the leaf cover scans run
+/// through the tiered f32 kernel inside the tree, and the owner-distance
+/// merge pass pre-rejects owners whose certified f32 lower bound already
+/// exceeds the owner's cached squared radius: `merge_candidate` would
+/// fast-reject those in f64 anyway (the cached radius only shrinks, so a
+/// stale read over-admits), which keeps the lists byte-identical while
+/// skipping the f64 gather for them.
+///
+/// Returns the work–depth cost of the build plus the query sweep, and the
+/// accumulated precision-tier filter counters.
 pub(crate) fn correct_via_query<const D: usize, const E: usize>(
     soa: &SoaPoints<D>,
     lists: &SharedLists,
@@ -120,27 +150,33 @@ pub(crate) fn correct_via_query<const D: usize, const E: usize>(
     crossing: &[CrossingBall<D>],
     qcfg: QueryTreeConfig,
     seed: u64,
-) -> CostProfile {
+) -> (CostProfile, FilterStats) {
     if crossing.is_empty() || subset.is_empty() {
-        return CostProfile::zero();
+        return (CostProfile::zero(), FilterStats::default());
     }
     let balls: Vec<Ball<D>> = crossing.iter().map(|c| c.ball).collect();
     let tree = QueryTree::build::<E>(&balls, qcfg, seed);
     let height = tree.stats().height as u64;
+    let mixed = qcfg.precision.is_mixed();
 
     // Every subset point queries the structure; merges go through the
     // shared lists (order-independent). Chunks reuse one set of scratch
     // buffers: the leaf cover test and the owner-distance evaluation both
     // run through the blocked SoA kernels.
-    let process = |ids: &[u32]| {
+    let process = |ids: &[u32]| -> FilterStats {
+        let mut stats = FilterStats::default();
+        let mut scratch32: Vec<f32> = Vec::new();
         let mut scratch: Vec<f64> = Vec::new();
         let mut hits: Vec<u32> = Vec::new();
         let mut owners: Vec<u32> = Vec::new();
+        let mut survivors: Vec<u32> = Vec::new();
+        let mut survivor_d32: Vec<f32> = Vec::new();
+        let mut dists32: Vec<f32> = Vec::new();
         let mut dists: Vec<f64> = Vec::new();
         for &p_id in ids {
             let p = soa.point(p_id as usize);
             hits.clear();
-            tree.covering_into(&p, true, &mut scratch, &mut hits);
+            tree.covering_into(&p, true, &mut scratch32, &mut scratch, &mut hits, &mut stats);
             // Which side is this point on? Determined by ownership: a point
             // corrects only balls owned by the *other* side. We recover the
             // side from the crossing metadata at merge time instead of
@@ -155,23 +191,71 @@ pub(crate) fn correct_via_query<const D: usize, const E: usize>(
             if owners.is_empty() {
                 continue;
             }
-            soa.dist_sq_gather_into(&p, &owners, &mut dists);
-            for (&o, &d) in owners.iter().zip(&dists) {
+            let bound = mixed.then(|| soa.f32_bound(&p));
+            let merge_list: &[u32] = if let Some(bound) = bound {
+                // f32 pre-pass: reject owners whose certified lower bound
+                // already exceeds their cached squared radius. Safe because
+                // the cached radius is monotone non-increasing, so
+                // `lb > cached_now ⟹ d64 > cached_at_merge` and
+                // `merge_candidate` would be a no-op.
+                soa.dist_sq_f32_gather_into(&p, &owners, &mut dists32);
+                survivors.clear();
+                survivor_d32.clear();
+                for (&o, &d32) in owners.iter().zip(&dists32) {
+                    if bound.lower_bound(d32) > lists.radius_sq(o as usize) {
+                        stats.f32_rejects += 1;
+                    } else {
+                        survivors.push(o);
+                        survivor_d32.push(d32);
+                    }
+                }
+                stats.f64_confirms += survivors.len() as u64;
+                &survivors
+            } else {
+                &owners
+            };
+            if merge_list.is_empty() {
+                continue;
+            }
+            soa.dist_sq_gather_into(&p, merge_list, &mut dists);
+            if let Some(bound) = bound {
+                // Empirical bound validation: the exact distance can never
+                // fall below the certified f32 lower bound (DESIGN.md §17).
+                // CI gates this counter at zero.
+                for (&d64, &d32) in dists.iter().zip(&survivor_d32) {
+                    if bound.lower_bound(d32) > d64 {
+                        stats.unsafe_margin_hits += 1;
+                    }
+                }
+            }
+            for (&o, &d) in merge_list.iter().zip(&dists) {
                 lists.merge_candidate(o as usize, p_id, d);
             }
         }
+        stats
     };
-    if subset.len() >= PAR_SCAN_CUTOFF {
-        subset.par_chunks(PAR_SCAN_CUTOFF).for_each(process);
+    let stats = if subset.len() >= PAR_SCAN_CUTOFF {
+        subset
+            .par_chunks(PAR_SCAN_CUTOFF)
+            .fold(FilterStats::default, |mut acc, chunk| {
+                acc.merge(&process(chunk));
+                acc
+            })
+            .reduce(FilterStats::default, |mut a, b| {
+                a.merge(&b);
+                a
+            })
     } else {
-        process(subset);
-    }
+        process(subset)
+    };
 
     // Build cost, then one query round of depth = tree height + leaf scan,
     // executed by all subset points in parallel (unit rounds each).
-    tree.build_cost()
+    let cost = tree
+        .build_cost()
         .then(CostProfile::rounds(height + 1, subset.len() as u64))
-        .with_punt()
+        .with_punt();
+    (cost, stats)
 }
 
 #[cfg(test)]
@@ -206,8 +290,9 @@ mod tests {
     #[test]
     fn collect_crossing_identifies_boundary_balls() {
         let (points, lists, left, _right, sep) = line_fixture(20, 1, 9.5);
-        let (crossing, unbounded) = collect_crossing(&points, &lists, &left, &sep);
+        let (crossing, unbounded, eps_skips) = collect_crossing(&points, &lists, &left, &sep, 1.0);
         assert!(unbounded.is_empty());
+        assert_eq!(eps_skips, 0);
         // Only the point at x = 9 has a subset ball (radius 1) crossing
         // x = 9.5.
         assert_eq!(crossing.len(), 1);
@@ -215,11 +300,26 @@ mod tests {
     }
 
     #[test]
+    fn collect_crossing_eps_shrink_drops_and_counts_marginal_balls() {
+        let (points, lists, left, _right, sep) = line_fixture(20, 1, 9.5);
+        // The x = 9 ball has radius 1 and crosses x = 9.5 by exactly 0.5;
+        // shrinking to radius 0.4 drops it and counts one ε skip.
+        let (crossing, unbounded, eps_skips) = collect_crossing(&points, &lists, &left, &sep, 0.4);
+        assert!(unbounded.is_empty());
+        assert!(crossing.is_empty());
+        assert_eq!(eps_skips, 1);
+        // A shrink that still crosses keeps the ball and counts nothing.
+        let (crossing, _, eps_skips) = collect_crossing(&points, &lists, &left, &sep, 0.9);
+        assert_eq!(crossing.len(), 1);
+        assert_eq!(eps_skips, 0);
+    }
+
+    #[test]
     fn query_correction_fixes_boundary_lists() {
         let (points, lists, left, right, sep) = line_fixture(20, 2, 9.5);
         let mut crossing = Vec::new();
         for ids in [&left, &right] {
-            let (c, u) = collect_crossing(&points, &lists, ids, &sep);
+            let (c, u, _) = collect_crossing(&points, &lists, ids, &sep, 1.0);
             assert!(u.is_empty());
             crossing.extend(c);
         }
@@ -239,6 +339,43 @@ mod tests {
     }
 
     #[test]
+    fn query_correction_tiers_agree_and_mixed_reports_stats() {
+        use crate::config::Precision;
+        let subset: Vec<u32> = (0..20).collect();
+        let mut results = Vec::new();
+        let mut stats_by_tier = Vec::new();
+        for precision in [Precision::Exact, Precision::Mixed] {
+            let (points, lists, left, right, sep) = line_fixture(20, 2, 9.5);
+            let mut crossing = Vec::new();
+            for ids in [&left, &right] {
+                let (c, _, _) = collect_crossing(&points, &lists, ids, &sep, 1.0);
+                crossing.extend(c);
+            }
+            let soa = SoaPoints::from_points(&points);
+            let qcfg = QueryTreeConfig {
+                precision,
+                ..QueryTreeConfig::default()
+            };
+            let (_, stats) = correct_via_query::<1, 2>(&soa, &lists, &subset, &crossing, qcfg, 7);
+            stats_by_tier.push(stats);
+            results.push(lists.into_result());
+        }
+        // Byte-identical lists across tiers.
+        for i in 0..20 {
+            assert_eq!(results[0].neighbors(i), results[1].neighbors(i));
+        }
+        let exact = &stats_by_tier[0];
+        let mixed = &stats_by_tier[1];
+        assert_eq!(exact.f32_rejects, 0);
+        assert_eq!(exact.f64_confirms, 0);
+        // Mixed mode actually exercised the filter and never observed a
+        // violation of the certified bound.
+        assert!(mixed.f32_rejects + mixed.f64_confirms > 0);
+        assert_eq!(mixed.unsafe_margin_hits, 0);
+        assert_eq!(mixed.eps_skips, 0);
+    }
+
+    #[test]
     fn unbounded_owners_are_corrected_exhaustively() {
         // Left side has a single point: its subset ball is unbounded.
         let points: Vec<Point<1>> = (0..10).map(|i| Point::from([i as f64])).collect();
@@ -251,7 +388,7 @@ mod tests {
             lists.set_list(i, tmp.neighbors(i));
         }
         let sep: Separator<1> = Hyperplane::axis_aligned(0, 0.5).into();
-        let (_, unbounded) = collect_crossing(&points, &lists, &left, &sep);
+        let (_, unbounded, _) = collect_crossing(&points, &lists, &left, &sep, 1.0);
         assert_eq!(unbounded, vec![0]);
         let soa = SoaPoints::from_points(&points);
         correct_unbounded(&soa, &lists, &unbounded, &right);
@@ -263,7 +400,7 @@ mod tests {
         let points: Vec<Point<1>> = (0..4).map(|i| Point::from([i as f64])).collect();
         let lists = SharedLists::new(4, 1);
         let soa = SoaPoints::from_points(&points);
-        let cost = correct_via_query::<1, 2>(
+        let (cost, stats) = correct_via_query::<1, 2>(
             &soa,
             &lists,
             &[0, 1, 2, 3],
@@ -272,5 +409,6 @@ mod tests {
             1,
         );
         assert_eq!(cost, CostProfile::zero());
+        assert_eq!(stats, FilterStats::default());
     }
 }

@@ -13,6 +13,7 @@
 //! `O(n)`, query `O(log n + m₀)`; parallel construction in `O(log n)`
 //! rounds w.h.p. (Theorem 3.1).
 
+use crate::config::{eps_cover_scale, Precision};
 use crate::error::{validate_points, SepdcError};
 use crate::report::{cost_counters, Phase, RunRecorder, RunReport};
 use crate::seeding::child_seed;
@@ -21,7 +22,7 @@ use rayon::prelude::*;
 use sepdc_geom::ball::Ball;
 use sepdc_geom::point::Point;
 use sepdc_geom::shape::Separator;
-use sepdc_geom::soa::SoaBalls;
+use sepdc_geom::soa::{FilterStats, SoaBalls};
 use sepdc_scan::CostProfile;
 use sepdc_separator::{SearchOutcome, SeparatorConfig};
 
@@ -54,6 +55,17 @@ pub struct QueryTreeConfig {
     /// attributed to their caller's `punt-correction` phase, so per-node
     /// instrumentation inside those builds would only add overhead.
     pub record: bool,
+    /// Distance-evaluation tier for the leaf cover scans (DESIGN.md §17).
+    /// [`Precision::Mixed`] (the default) pre-rejects candidates through the
+    /// f32 shadow kernels with a certified lower bound and confirms only
+    /// survivors in f64 — answers stay byte-identical to
+    /// [`Precision::Exact`].
+    pub precision: Precision,
+    /// Cover-filter relaxation ε ∈ [0, 1]. When nonzero, leaf scans may
+    /// skip balls whose squared radius exceeds the probe distance by less
+    /// than a `(1+ε)²` factor; skips are counted in the filter stats so the
+    /// relaxation stays observable. `0.0` (default) is the exact predicate.
+    pub epsilon: f64,
 }
 
 impl Default for QueryTreeConfig {
@@ -64,6 +76,8 @@ impl Default for QueryTreeConfig {
             splitter: SplitterKind::Random,
             parallel_cutoff: 4096,
             record: false,
+            precision: Precision::default(),
+            epsilon: 0.0,
         }
     }
 }
@@ -115,6 +129,11 @@ pub struct QueryTree<const D: usize> {
     /// Which split-decision backend built this tree (round-tripped through
     /// snapshots).
     splitter: SplitterKind,
+    /// Distance tier for leaf cover scans (round-tripped through
+    /// snapshots).
+    precision: Precision,
+    /// Cover-filter relaxation ε (round-tripped through snapshots).
+    epsilon: f64,
 }
 
 struct BuildCtx<'a, const D: usize> {
@@ -166,6 +185,12 @@ impl<const D: usize> QueryTree<D> {
             return Err(SepdcError::InvalidConfig {
                 param: "leaf_size",
                 value: 0.0,
+            });
+        }
+        if !cfg.epsilon.is_finite() || !(0.0..=1.0).contains(&cfg.epsilon) {
+            return Err(SepdcError::InvalidConfig {
+                param: "epsilon",
+                value: cfg.epsilon,
             });
         }
         if let Some(idx) = balls
@@ -225,6 +250,8 @@ impl<const D: usize> QueryTree<D> {
                 ),
                 ("record".to_string(), f64::from(u8::from(cfg.record))),
                 ("splitter".to_string(), cfg.splitter.code() as f64),
+                ("precision".to_string(), cfg.precision.code() as f64),
+                ("epsilon".to_string(), cfg.epsilon),
             ],
             phases: obs.phases(),
             counters,
@@ -239,6 +266,8 @@ impl<const D: usize> QueryTree<D> {
             cost: built.cost,
             report,
             splitter: cfg.splitter,
+            precision: cfg.precision,
+            epsilon: cfg.epsilon,
         })
     }
 
@@ -269,7 +298,14 @@ impl<const D: usize> QueryTree<D> {
     pub fn try_covering(&self, p: &Point<D>) -> Result<Vec<u32>, SepdcError> {
         validate_points(std::slice::from_ref(p))?;
         let mut out = Vec::new();
-        self.covering_into(p, false, &mut Vec::new(), &mut out);
+        self.covering_into(
+            p,
+            false,
+            &mut Vec::new(),
+            &mut Vec::new(),
+            &mut out,
+            &mut FilterStats::default(),
+        );
         Ok(out)
     }
 
@@ -278,25 +314,46 @@ impl<const D: usize> QueryTree<D> {
     pub fn try_covering_interior(&self, p: &Point<D>) -> Result<Vec<u32>, SepdcError> {
         validate_points(std::slice::from_ref(p))?;
         let mut out = Vec::new();
-        self.covering_into(p, true, &mut Vec::new(), &mut out);
+        self.covering_into(
+            p,
+            true,
+            &mut Vec::new(),
+            &mut Vec::new(),
+            &mut out,
+            &mut FilterStats::default(),
+        );
         Ok(out)
     }
 
     /// Scratch-reusing cover query: appends to `out` the ids of all balls
     /// containing `p` (open interior when `open`), in leaf order, and
     /// returns the number of tree nodes visited. The leaf scan runs through
-    /// the blocked [`SoaBalls`] kernel; `scratch` is a reusable distance
-    /// buffer so batch callers ([`serve`](crate::serve), the punt
-    /// correction) do no per-probe allocation.
+    /// the tiered [`SoaBalls`] kernel honoring the tree's precision tier
+    /// and ε; `scratch32`/`scratch` are reusable distance buffers so batch
+    /// callers ([`serve`](crate::serve), the punt correction) do no
+    /// per-probe allocation, and `stats` accumulates the `precision.*`
+    /// filter counters.
     pub(crate) fn covering_into(
         &self,
         p: &Point<D>,
         open: bool,
+        scratch32: &mut Vec<f32>,
         scratch: &mut Vec<f64>,
         out: &mut Vec<u32>,
+        stats: &mut FilterStats,
     ) -> usize {
         let (leaf, visited) = self.descend_counted(p);
-        self.soa.filter_covering_into(p, leaf, open, scratch, out);
+        self.soa.filter_covering_tiered_into(
+            p,
+            leaf,
+            open,
+            self.precision.is_mixed(),
+            eps_cover_scale(self.epsilon),
+            scratch32,
+            scratch,
+            out,
+            stats,
+        );
         visited
     }
 
@@ -350,6 +407,8 @@ impl<const D: usize> QueryTree<D> {
         cost: CostProfile,
         seed: u64,
         splitter: SplitterKind,
+        precision: Precision,
+        epsilon: f64,
         load_elapsed: std::time::Duration,
     ) -> Self {
         let mut counters = vec![
@@ -388,6 +447,8 @@ impl<const D: usize> QueryTree<D> {
             cost,
             report,
             splitter,
+            precision,
+            epsilon,
         }
     }
 
@@ -395,6 +456,18 @@ impl<const D: usize> QueryTree<D> {
     /// metadata when the tree came from a snapshot).
     pub fn splitter(&self) -> SplitterKind {
         self.splitter
+    }
+
+    /// The distance-evaluation tier this tree's leaf scans run in
+    /// (restored from metadata when the tree came from a snapshot).
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// The cover-filter relaxation ε this tree was built with (`0.0` =
+    /// exact predicate).
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
     }
 
     /// Number of tree nodes visited plus leaf balls scanned for `p` —

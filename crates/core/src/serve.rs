@@ -66,10 +66,12 @@
 
 pub use crate::config::ServeConfig;
 
+use crate::config::eps_cover_scale;
 use crate::error::{validate_points, SepdcError};
 use crate::query::QueryTree;
-use crate::report::{Phase, RunRecorder, RunReport, RUN_REPORT_VERSION};
+use crate::report::{precision_counters, Phase, RunRecorder, RunReport, RUN_REPORT_VERSION};
 use sepdc_geom::point::Point;
+use sepdc_geom::soa::FilterStats;
 
 /// Which containment predicate a batch evaluates.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -206,6 +208,9 @@ pub struct ServeStats {
     pub cost_total: u64,
     /// Largest single-probe query cost in the batch.
     pub cost_max: u64,
+    /// Precision-tier filter counters accumulated across every leaf scan
+    /// of the batch (all zero in the exact tier with ε = 0).
+    pub filter: FilterStats,
 }
 
 impl ServeStats {
@@ -253,6 +258,7 @@ fn serve_chunk<const D: usize>(
     tree: &QueryTree<D>,
     chunk: &[Point<D>],
     pred: CoverPredicate,
+    cfg: &ServeConfig,
     obs: &RunRecorder,
 ) -> ChunkPart {
     let t = obs.start();
@@ -266,14 +272,30 @@ fn serve_chunk<const D: usize>(
     };
     let soa = tree.soa_balls();
     let open = pred == CoverPredicate::Open;
-    // One distance buffer for the whole chunk: the leaf filter runs through
-    // the blocked SoA kernel, appending hits in leaf order (so the CSR
-    // assembly stays byte-identical to the scalar filter).
+    // The serving tier is the batch's own knob (a tree built exact can be
+    // served mixed and vice versa); answers are byte-identical either way,
+    // and ε > 0 relaxes the cover predicate per DESIGN.md §17.
+    let mixed = cfg.precision.is_mixed();
+    let eps_scale = eps_cover_scale(cfg.epsilon);
+    // One distance-buffer pair for the whole chunk: the leaf filter runs
+    // through the blocked SoA kernels, appending hits in leaf order (so the
+    // CSR assembly stays byte-identical to the scalar filter).
+    let mut scratch32: Vec<f32> = Vec::new();
     let mut scratch: Vec<f64> = Vec::new();
     for p in chunk {
         let (leaf, visited) = tree.descend_counted(p);
         let before = part.ids.len();
-        soa.filter_covering_into(p, leaf, open, &mut scratch, &mut part.ids);
+        soa.filter_covering_tiered_into(
+            p,
+            leaf,
+            open,
+            mixed,
+            eps_scale,
+            &mut scratch32,
+            &mut scratch,
+            &mut part.ids,
+            &mut part.stats.filter,
+        );
         let hits = (part.ids.len() - before) as u64;
         let cost = visited as u64 + leaf.len() as u64;
         part.lens.push(hits as u32);
@@ -305,12 +327,12 @@ fn serve_rec<const D: usize>(
 ) -> Vec<ChunkPart> {
     let chunks = probes.len().div_ceil(cfg.chunk_size);
     if chunks <= 1 {
-        return vec![serve_chunk(tree, probes, pred, obs)];
+        return vec![serve_chunk(tree, probes, pred, cfg, obs)];
     }
     if !parallel {
         return probes
             .chunks(cfg.chunk_size)
-            .map(|c| serve_chunk(tree, c, pred, obs))
+            .map(|c| serve_chunk(tree, c, pred, cfg, obs))
             .collect();
     }
     // Split at a chunk boundary so chunk contents are identical to the
@@ -345,6 +367,7 @@ fn assemble(parts: Vec<ChunkPart>, probes: usize) -> (BatchResult, ServeStats) {
         stats.chunks += part.stats.chunks;
         stats.cost_total += part.stats.cost_total;
         stats.cost_max = stats.cost_max.max(part.stats.cost_max);
+        stats.filter.merge(&part.stats.filter);
     }
     (BatchResult { offsets, ids }, stats)
 }
@@ -394,16 +417,22 @@ impl<const D: usize> QueryTree<D> {
                     f64::from(u8::from(pred == CoverPredicate::Open)),
                 ),
                 ("record".to_string(), f64::from(u8::from(cfg.record))),
+                ("precision".to_string(), cfg.precision.code() as f64),
+                ("epsilon".to_string(), cfg.epsilon),
             ],
             phases: obs.phases(),
-            counters: vec![
-                ("serve.probes".to_string(), stats.probes as f64),
-                ("serve.hits".to_string(), stats.hits as f64),
-                ("serve.chunks".to_string(), stats.chunks as f64),
-                ("serve.cost_total".to_string(), stats.cost_total as f64),
-                ("serve.cost_max".to_string(), stats.cost_max as f64),
-                ("serve.cost_mean".to_string(), stats.mean_cost()),
-            ],
+            counters: {
+                let mut counters = vec![
+                    ("serve.probes".to_string(), stats.probes as f64),
+                    ("serve.hits".to_string(), stats.hits as f64),
+                    ("serve.chunks".to_string(), stats.chunks as f64),
+                    ("serve.cost_total".to_string(), stats.cost_total as f64),
+                    ("serve.cost_max".to_string(), stats.cost_max as f64),
+                    ("serve.cost_mean".to_string(), stats.mean_cost()),
+                ];
+                counters.extend(precision_counters(&stats.filter));
+                counters
+            },
             depth: obs.depth_rows(),
         }
         .finish(t_run.elapsed());
@@ -496,7 +525,7 @@ mod tests {
                 let cfg = ServeConfig {
                     chunk_size,
                     parallel_threshold,
-                    record: false,
+                    ..ServeConfig::default()
                 };
                 let out = tree
                     .try_serve(&probes, CoverPredicate::Closed, &cfg)
@@ -573,6 +602,7 @@ mod tests {
             record: true,
             chunk_size: 256,
             parallel_threshold: 512,
+            ..ServeConfig::default()
         };
         let out = tree.try_serve(&probes, CoverPredicate::Open, &cfg).unwrap();
         let r = &out.report;
@@ -615,6 +645,78 @@ mod tests {
         // cost 0 cannot occur (every probe visits the root) but must not
         // underflow the bucket math.
         assert_eq!(cost_bucket(0), 0);
+    }
+
+    #[test]
+    fn precision_tiers_serve_byte_identical_answers() {
+        use crate::config::Precision;
+        let tree = tree_2d(700, 2, 21);
+        let probes = Workload::Clusters.generate::<2>(1500, 22);
+        for pred in [CoverPredicate::Closed, CoverPredicate::Open] {
+            let exact = tree
+                .try_serve(
+                    &probes,
+                    pred,
+                    &ServeConfig {
+                        precision: Precision::Exact,
+                        ..ServeConfig::default()
+                    },
+                )
+                .unwrap();
+            let mixed = tree
+                .try_serve(
+                    &probes,
+                    pred,
+                    &ServeConfig {
+                        precision: Precision::Mixed,
+                        ..ServeConfig::default()
+                    },
+                )
+                .unwrap();
+            assert_eq!(exact.result, mixed.result, "{pred:?}");
+            // Exact mode never touches the filter counters; mixed mode
+            // exercised them without a certified-bound violation.
+            assert_eq!(exact.stats.filter, FilterStats::default());
+            assert!(mixed.stats.filter.f32_rejects + mixed.stats.filter.f64_confirms > 0);
+            assert_eq!(mixed.stats.filter.unsafe_margin_hits, 0);
+            assert_eq!(mixed.stats.filter.eps_skips, 0);
+            // Counters surface in the report under the precision namespace.
+            assert_eq!(
+                mixed.report.counter("precision.f32_rejects"),
+                Some(mixed.stats.filter.f32_rejects as f64)
+            );
+        }
+    }
+
+    #[test]
+    fn epsilon_serving_relaxes_cover_and_counts_skips() {
+        let tree = tree_2d(600, 2, 31);
+        let probes = Workload::UniformCube.generate::<2>(1200, 32);
+        let exact = tree
+            .try_serve(&probes, CoverPredicate::Closed, &ServeConfig::default())
+            .unwrap();
+        let relaxed = tree
+            .try_serve(
+                &probes,
+                CoverPredicate::Closed,
+                &ServeConfig {
+                    epsilon: 0.5,
+                    ..ServeConfig::default()
+                },
+            )
+            .unwrap();
+        // ε-mode may only *drop* hits (the predicate shrinks), and every
+        // dropped hit is counted.
+        assert!(relaxed.stats.hits <= exact.stats.hits);
+        let dropped = exact.stats.hits - relaxed.stats.hits;
+        assert_eq!(relaxed.stats.filter.eps_skips, dropped);
+        assert!(dropped > 0, "ε = 0.5 should drop marginal covers here");
+        for (i, _) in probes.iter().enumerate() {
+            let e: std::collections::HashSet<u32> = exact.result.hits(i).iter().copied().collect();
+            for id in relaxed.result.hits(i) {
+                assert!(e.contains(id), "ε-mode invented hit {id} at probe {i}");
+            }
+        }
     }
 
     #[test]

@@ -14,15 +14,17 @@
 //! motivate Section 6: on hyperplane-adversarial inputs a single cut is
 //! crossed by `Ω(n)` balls.
 
-use crate::config::KnnDcConfig;
+use crate::config::{eps_radius_scale, KnnDcConfig};
 use crate::correction::{collect_crossing, correct_unbounded, correct_via_query};
 use crate::error::{validate_points, SepdcError};
 use crate::knn::{brute_list_soa_into, KnnResult};
 use crate::parallel::config_echo;
 use crate::partition_tree::partition_in_place;
-use crate::report::{cost_counters, Phase, RunRecorder, RunReport};
+use crate::query::QueryTreeConfig;
+use crate::report::{cost_counters, precision_counters, Phase, RunRecorder, RunReport};
 use crate::shared::SharedLists;
 use crate::splitter::splitter_for;
+use sepdc_geom::soa::FilterStats;
 use sepdc_geom::point::Point;
 use sepdc_scan::CostProfile;
 
@@ -160,7 +162,7 @@ pub fn try_simple_parallel_knn<const D: usize, const E: usize>(
     // hands each recursive call a disjoint `&mut` slice — no per-level
     // id-set clones.
     let mut perm: Vec<u32> = (0..n as u32).collect();
-    let (cost, stats) = rec::<D, E>(&ctx, &mut perm, cfg.seed, 0)?;
+    let (cost, stats, fstats) = rec::<D, E>(&ctx, &mut perm, cfg.seed, 0)?;
     let mut counters = vec![
         ("stats.height".to_string(), stats.height as f64),
         (
@@ -190,6 +192,7 @@ pub fn try_simple_parallel_knn<const D: usize, const E: usize>(
         ),
     ];
     counters.extend(cost_counters(&cost));
+    counters.extend(precision_counters(&fstats));
     let report = RunReport {
         version: crate::report::RUN_REPORT_VERSION,
         algo: "simple".to_string(),
@@ -218,7 +221,7 @@ fn rec<const D: usize, const E: usize>(
     ids: &mut [u32],
     seed: u64,
     depth: usize,
-) -> Result<(CostProfile, SimpleDcStats), SepdcError> {
+) -> Result<(CostProfile, SimpleDcStats, FilterStats), SepdcError> {
     let m = ids.len();
     ctx.obs.node(depth);
     if m <= ctx.base {
@@ -226,6 +229,7 @@ fn rec<const D: usize, const E: usize>(
         return Ok((
             CostProfile::rounds(m as u64, m as u64),
             SimpleDcStats::leaf(false),
+            FilterStats::default(),
         ));
     }
     if depth >= ctx.depth_limit {
@@ -240,7 +244,11 @@ fn rec<const D: usize, const E: usize>(
         solve_subset_into(ctx, ids, depth);
         let mut stats = SimpleDcStats::leaf(true);
         stats.depth_forced_leaves = 1;
-        return Ok((CostProfile::rounds(m as u64, m as u64), stats));
+        return Ok((
+            CostProfile::rounds(m as u64, m as u64),
+            stats,
+            FilterStats::default(),
+        ));
     }
     let t_split = ctx.obs.start();
     let subset_points: Vec<Point<D>> = ids.iter().map(|&i| ctx.points[i as usize]).collect();
@@ -252,6 +260,7 @@ fn rec<const D: usize, const E: usize>(
         return Ok((
             CostProfile::rounds(m as u64, m as u64),
             SimpleDcStats::leaf(true),
+            FilterStats::default(),
         ));
     };
     let nl = partition_in_place(ids, |i| sep.side(&ctx.points[i as usize]).routes_interior());
@@ -262,7 +271,11 @@ fn rec<const D: usize, const E: usize>(
         solve_subset_into(ctx, ids, depth);
         let mut stats = SimpleDcStats::leaf(true);
         stats.degenerate_splits = 1;
-        return Ok((CostProfile::rounds(m as u64, m as u64), stats));
+        return Ok((
+            CostProfile::rounds(m as u64, m as u64),
+            stats,
+            FilterStats::default(),
+        ));
     }
 
     // Path-derived sibling seeds (see [`crate::seeding`]).
@@ -280,14 +293,19 @@ fn rec<const D: usize, const E: usize>(
             rec::<D, E>(ctx, rslice, rseed, depth + 1),
         )
     };
-    let ((lcost, lstats), (rcost, rstats)) = (lres?, rres?);
+    let ((lcost, lstats, lf), (rcost, rstats, rf)) = (lres?, rres?);
 
     // Correction: query structure over all crossing balls (both sides).
     // The child calls permuted their halves but the id sets are unchanged.
+    // ε-mode shrinks the crossing radii here exactly as in the Section 6
+    // recursion; the query tree then indexes the shrunk balls.
     let (left, right) = ids.split_at(nl);
     let t_cc = ctx.obs.start();
-    let (mut crossing, unbounded_l) = collect_crossing(ctx.points, ctx.lists, left, &sep);
-    let (cross_r, unbounded_r) = collect_crossing(ctx.points, ctx.lists, right, &sep);
+    let eps_scale = eps_radius_scale(ctx.cfg.epsilon);
+    let (mut crossing, unbounded_l, skips_l) =
+        collect_crossing(ctx.points, ctx.lists, left, &sep, eps_scale);
+    let (cross_r, unbounded_r, skips_r) =
+        collect_crossing(ctx.points, ctx.lists, right, &sep, eps_scale);
     crossing.extend(cross_r);
     correct_unbounded(ctx.soa, ctx.lists, &unbounded_l, right);
     correct_unbounded(ctx.soa, ctx.lists, &unbounded_r, left);
@@ -295,17 +313,28 @@ fn rec<const D: usize, const E: usize>(
     let node_crossing = crossing.len();
     ctx.obs.add_crossing(depth, node_crossing as u64);
     let qseed = crate::seeding::punt_seed(seed);
+    // The top-level precision knob is authoritative even for struct-literal
+    // configs whose `query` sub-config was left untouched; ε stays
+    // `cfg.query.epsilon` because the balls above are already shrunk.
+    let qcfg = QueryTreeConfig {
+        precision: ctx.cfg.precision,
+        ..ctx.cfg.query
+    };
     // Every internal node corrects through the query structure here (the
     // Section 5 combine step), so its time lands in the same
     // `punt-correction` phase the Section 6 punt path uses.
-    let corr_cost = ctx.obs.time(Phase::PuntCorrection, || {
-        correct_via_query::<D, E>(ctx.soa, ctx.lists, ids, &crossing, ctx.cfg.query, qseed)
+    let (corr_cost, corr_stats) = ctx.obs.time(Phase::PuntCorrection, || {
+        correct_via_query::<D, E>(ctx.soa, ctx.lists, ids, &crossing, qcfg, qseed)
     });
 
     let local = CostProfile::scan(m as u64); // the split
     let cost = local.then(lcost.alongside(rcost)).then(corr_cost);
     let stats = lstats.merge(rstats, node_crossing, m);
-    Ok((cost, stats))
+    let mut fstats = lf;
+    fstats.merge(&rf);
+    fstats.merge(&corr_stats);
+    fstats.eps_skips += skips_l + skips_r;
+    Ok((cost, stats, fstats))
 }
 
 fn solve_subset_into<const D: usize>(ctx: &Ctx<'_, D>, ids: &[u32], depth: usize) {

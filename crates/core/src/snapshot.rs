@@ -45,6 +45,7 @@ use crate::error::SepdcError;
 use crate::partition_tree::{PartitionNode, PartitionTree};
 use crate::query::{QNode, QueryTree, QueryTreeConfig, QueryTreeStats};
 use crate::sharded::{ShardedConfig, ShardedIndex};
+use crate::config::Precision;
 use crate::splitter::SplitterKind;
 use sepdc_geom::aabb::Aabb;
 use sepdc_geom::ball::Ball;
@@ -631,6 +632,10 @@ pub fn save_query_tree<const D: usize>(tree: &QueryTree<D>) -> Vec<u8> {
         // Appended last so snapshots written before the splitter existed
         // (14-word META) still load: absent ⇒ the Random default.
         tree.splitter().code(),
+        // Optional words 16/17: precision tier and ε (raw f64 bits).
+        // Absent on pre-precision snapshots ⇒ Mixed, ε = 0 (DESIGN.md §17).
+        tree.precision().code(),
+        tree.epsilon().to_bits(),
     ] {
         put_u64(&mut meta, v);
     }
@@ -729,6 +734,8 @@ struct QueryMeta {
     stats: QueryTreeStats,
     cost: CostProfile,
     splitter: SplitterKind,
+    precision: Precision,
+    epsilon: f64,
 }
 
 fn load_query_meta(body: &[u8]) -> Result<QueryMeta, SnapshotError> {
@@ -763,6 +770,25 @@ fn load_query_meta(body: &[u8]) -> Result<QueryMeta, SnapshotError> {
     } else {
         SplitterKind::Random
     };
+    // Optional words 16/17: precision tier + ε. Snapshots written before
+    // the precision tier stop at 15 words and decode as (Mixed, 0.0) —
+    // the tier is output-invisible, so older trees keep their answers.
+    let precision = if c.remaining() > 0 {
+        let code = c.u64()?;
+        Precision::from_code(code)
+            .ok_or_else(|| corrupt("META", format!("unknown precision code {code}")))?
+    } else {
+        Precision::default()
+    };
+    let epsilon = if c.remaining() > 0 {
+        let eps = f64::from_bits(c.u64()?);
+        if !eps.is_finite() || !(0.0..=1.0).contains(&eps) {
+            return Err(corrupt("META", format!("epsilon {eps} outside [0, 1]")));
+        }
+        eps
+    } else {
+        0.0
+    };
     c.finish()?;
     Ok(QueryMeta {
         seed,
@@ -770,6 +796,8 @@ fn load_query_meta(body: &[u8]) -> Result<QueryMeta, SnapshotError> {
         stats,
         cost,
         splitter,
+        precision,
+        epsilon,
     })
 }
 
@@ -996,6 +1024,8 @@ pub fn load_query_tree<const D: usize>(bytes: &[u8]) -> Result<QueryTree<D>, Sep
         meta.cost,
         meta.seed,
         meta.splitter,
+        meta.precision,
+        meta.epsilon,
         t0.elapsed(),
     ))
 }
